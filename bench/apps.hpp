@@ -1,0 +1,381 @@
+// Application kernels for E7 (and reused by the examples): self-contained
+// substitutes for the paper's multi-threaded benchmarks, written against
+// the public Guest API so they run unchanged on the SMP and
+// replicated-kernel configurations.
+//
+//   is_sort  — NPB-IS-like integer bucket sort. The default variant is
+//              written the way one writes IS for a NUMA/DSM machine:
+//              partitioned generation/counting, then a *gather* phase in
+//              which each thread owns a contiguous bucket range and writes
+//              only its own output region (reads replicate read-only).
+//              The kNaiveScatter variant ports the textbook shared-memory
+//              scatter loop unchanged — an ablation showing what naive
+//              porting costs on page-granularity consistency.
+//   cg_sweep — CG-like stencil iterations: partitioned rows, boundary
+//              exchange, modeled per-row FLOP cost, barrier per iteration.
+//   churn    — kernel-intensive "service" workload: mmap/touch/munmap loops
+//              plus futex hand-offs in independent processes; exercises the
+//              shared kernel structures the paper indicts.
+//
+// Both apps synchronize with SpinBarrier, a two-level (per-kernel, then
+// global) sense-reversing spin barrier — the standard DSM-friendly shape:
+// local arrivals stay on a kernel-local page; only one cache-line-sized
+// interaction per kernel touches the shared global page.
+#pragma once
+
+#include <bit>
+#include <functional>
+#include <vector>
+
+#include "rko/api/machine.hpp"
+#include "rko/base/rng.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace rko::apps {
+
+using api::Guest;
+using api::Machine;
+using api::Thread;
+using mem::kPageSize;
+using mem::Vaddr;
+
+inline topo::KernelId place(int index, int nkernels) {
+    return static_cast<topo::KernelId>(index % nkernels);
+}
+
+/// Two-level spin barrier over guest memory. Layout: one page per kernel
+/// (words: count, gen) + one global page (count, gen). Threads spin with a
+/// short poll interval instead of futex-sleeping: barrier waits here are
+/// short and futex traffic would all funnel to the origin kernel.
+class SpinBarrier {
+public:
+    /// `members_per_kernel[k]` = how many participating threads run on k.
+    SpinBarrier(Guest& g, std::vector<std::uint32_t> members_per_kernel)
+        : members_(std::move(members_per_kernel)) {
+        std::uint32_t kernels_involved = 0;
+        for (const auto m : members_) kernels_involved += (m > 0);
+        kernels_involved_ = kernels_involved;
+        base_ = g.mmap((members_.size() + 1) * kPageSize);
+        RKO_ASSERT(base_ != 0);
+        global_ = base_ + static_cast<Vaddr>(members_.size()) * kPageSize;
+    }
+
+    void wait(Guest& g) {
+        const auto k = static_cast<std::size_t>(g.kernel());
+        const Vaddr local = base_ + static_cast<Vaddr>(k) * kPageSize;
+        const Vaddr local_count = local;
+        const Vaddr local_gen = local + 4;
+        const std::uint32_t lgen = g.read<std::uint32_t>(local_gen);
+        const std::uint32_t arrived =
+            g.rmw_u32(local_count, [](std::uint32_t v) { return v + 1; });
+        if (arrived + 1 == members_[k]) {
+            // Last on this kernel: take one global slot.
+            g.write<std::uint32_t>(local_count, 0);
+            const std::uint32_t ggen = g.read<std::uint32_t>(global_ + 4);
+            const std::uint32_t gdone =
+                g.rmw_u32(global_, [](std::uint32_t v) { return v + 1; });
+            if (gdone + 1 == kernels_involved_) {
+                g.write<std::uint32_t>(global_, 0);
+                g.rmw_u32(global_ + 4, [](std::uint32_t v) { return v + 1; });
+            } else {
+                while (g.read<std::uint32_t>(global_ + 4) == ggen) g.compute(400);
+            }
+            g.rmw_u32(local_gen, [](std::uint32_t v) { return v + 1; });
+        } else {
+            while (g.read<std::uint32_t>(local_gen) == lgen) g.compute(400);
+        }
+    }
+
+private:
+    std::vector<std::uint32_t> members_;
+    std::uint32_t kernels_involved_ = 0;
+    Vaddr base_ = 0;
+    Vaddr global_ = 0;
+};
+
+/// members_per_kernel for `threads` spread round-robin over `nk` kernels.
+inline std::vector<std::uint32_t> round_robin_members(int threads, int nk) {
+    std::vector<std::uint32_t> members(static_cast<std::size_t>(nk), 0);
+    for (int t = 0; t < threads; ++t) {
+        ++members[static_cast<std::size_t>(t % nk)];
+    }
+    return members;
+}
+
+// ---------------------------------------------------------------------------
+// Integer sort (NPB-IS-like).
+// ---------------------------------------------------------------------------
+
+enum class IsVariant {
+    kGather,       ///< DSM-aware: partitioned writes, replicated reads
+    kNaiveScatter, ///< ablation: textbook shared scatter, page ping-pong
+};
+
+struct IsConfig {
+    int nthreads = 8;
+    std::uint32_t nkeys = 1 << 16;
+    std::uint32_t buckets = 256; ///< power of two
+    std::uint64_t seed = 1;
+    IsVariant variant = IsVariant::kGather;
+    Nanos compute_per_key = 25; ///< modeled key-ranking FLOPs
+};
+
+inline Nanos is_sort(Machine& machine, const IsConfig& config) {
+    auto& process = machine.create_process(0);
+    const int nk = machine.nkernels();
+    const auto threads = static_cast<std::uint32_t>(config.nthreads);
+    const std::uint32_t per_thread = config.nkeys / threads;
+    const std::uint32_t bucket_shift =
+        32 - static_cast<std::uint32_t>(std::bit_width(config.buckets - 1));
+    const std::uint32_t buckets_per_thread = config.buckets / threads;
+    RKO_ASSERT(buckets_per_thread >= 1);
+
+    Vaddr keys = 0, out = 0, hist = 0, cursors = 0;
+    // Gather cursors are laid out OWNER-major and page-aligned per owner so
+    // each gather thread's cursor traffic stays on pages it owns — scatter
+    // them through the shared histogram instead and every cursor bump
+    // becomes a cross-kernel ownership steal (that is exactly the naive-
+    // scatter ablation's lesson).
+    const std::uint64_t cursor_block =
+        mem::page_ceil(static_cast<std::uint64_t>(threads) * buckets_per_thread * 4);
+    SpinBarrier* barrier = nullptr;
+    bool sorted = true;
+    Nanos makespan = 0;
+
+    auto worker = [&, per_thread](Guest& g, std::uint32_t tid) {
+        const Vaddr my_keys = keys + static_cast<Vaddr>(tid) * per_thread * 4;
+        const Vaddr my_hist = hist + static_cast<Vaddr>(tid) * config.buckets * 4;
+        // Phase 0: generate keys (partitioned writes).
+        base::Rng rng(config.seed + tid);
+        for (std::uint32_t i = 0; i < per_thread; ++i) {
+            g.write<std::uint32_t>(my_keys + i * 4,
+                                   static_cast<std::uint32_t>(rng.next() >> 32));
+        }
+        barrier->wait(g);
+        // Phase 1: count into the private histogram row.
+        for (std::uint32_t i = 0; i < per_thread; ++i) {
+            const std::uint32_t key = g.read<std::uint32_t>(my_keys + i * 4);
+            const Vaddr slot = my_hist + (key >> bucket_shift) * 4;
+            g.write<std::uint32_t>(slot, g.read<std::uint32_t>(slot) + 1);
+            if (i % 512 == 0) g.compute(config.compute_per_key * 512);
+        }
+        barrier->wait(g);
+        // Phase 2 (tid 0): global prefix sums over hist. For the gather
+        // variant the cursors land in the owner-major cursor array; the
+        // naive variant keeps them in the shared histogram.
+        if (tid == 0) {
+            std::uint32_t running = 0;
+            for (std::uint32_t b = 0; b < config.buckets; ++b) {
+                const std::uint32_t owner = b / buckets_per_thread;
+                for (std::uint32_t t = 0; t < threads; ++t) {
+                    const Vaddr slot =
+                        hist + (static_cast<Vaddr>(t) * config.buckets + b) * 4;
+                    const std::uint32_t count = g.read<std::uint32_t>(slot);
+                    if (config.variant == IsVariant::kNaiveScatter) {
+                        g.write<std::uint32_t>(slot, running);
+                    } else {
+                        const Vaddr cslot =
+                            cursors + static_cast<Vaddr>(owner) * cursor_block +
+                            (static_cast<Vaddr>(t) * buckets_per_thread +
+                             (b % buckets_per_thread)) *
+                                4;
+                        g.write<std::uint32_t>(cslot, running);
+                    }
+                    running += count;
+                }
+            }
+        }
+        barrier->wait(g);
+        // Phase 3: move the keys.
+        if (config.variant == IsVariant::kNaiveScatter) {
+            // Ablation: every thread scatters its own slice to wherever the
+            // global cursor points — random remote pages, maximal protocol
+            // traffic.
+            for (std::uint32_t i = 0; i < per_thread; ++i) {
+                const std::uint32_t key = g.read<std::uint32_t>(my_keys + i * 4);
+                const Vaddr cursor = my_hist + (key >> bucket_shift) * 4;
+                const std::uint32_t pos = g.read<std::uint32_t>(cursor);
+                g.write<std::uint32_t>(cursor, pos + 1);
+                g.write<std::uint32_t>(out + static_cast<Vaddr>(pos) * 4, key);
+            }
+        } else {
+            // Gather: this thread owns buckets [b_lo, b_hi) and therefore a
+            // contiguous region of out[]; it scans everyone's keys (read-
+            // only replication) and writes only its own region.
+            const std::uint32_t b_lo = tid * buckets_per_thread;
+            const std::uint32_t b_hi = b_lo + buckets_per_thread;
+            const Vaddr my_cursors = cursors + static_cast<Vaddr>(tid) * cursor_block;
+            for (std::uint32_t src = 0; src < threads; ++src) {
+                const Vaddr src_keys = keys + static_cast<Vaddr>(src) * per_thread * 4;
+                for (std::uint32_t i = 0; i < per_thread; ++i) {
+                    const std::uint32_t key = g.read<std::uint32_t>(src_keys + i * 4);
+                    const std::uint32_t b = key >> bucket_shift;
+                    if (i % 512 == 0) g.compute(config.compute_per_key * 512);
+                    if (b < b_lo || b >= b_hi) continue;
+                    const Vaddr cursor =
+                        my_cursors + (static_cast<Vaddr>(src) * buckets_per_thread +
+                                      (b - b_lo)) *
+                                         4;
+                    const std::uint32_t pos = g.read<std::uint32_t>(cursor);
+                    g.write<std::uint32_t>(cursor, pos + 1);
+                    g.write<std::uint32_t>(out + static_cast<Vaddr>(pos) * 4, key);
+                }
+            }
+        }
+        barrier->wait(g);
+        // Phase 4 (tid 0): spot-check bucket ordering.
+        if (tid == 0) {
+            std::uint32_t prev = 0;
+            for (std::uint32_t i = 0; i < config.nkeys; i += 97) {
+                const std::uint32_t bucket =
+                    g.read<std::uint32_t>(out + static_cast<Vaddr>(i) * 4) >>
+                    bucket_shift;
+                if (bucket < prev) sorted = false;
+                prev = bucket;
+            }
+        }
+    };
+
+    process.spawn(
+        [&](Guest& g) {
+            keys = g.mmap(static_cast<std::uint64_t>(config.nkeys) * 4);
+            out = g.mmap(static_cast<std::uint64_t>(config.nkeys) * 4);
+            hist = g.mmap(static_cast<std::uint64_t>(threads) * config.buckets * 4);
+            cursors = g.mmap(static_cast<std::uint64_t>(threads) * cursor_block);
+            SpinBarrier bar(g, round_robin_members(config.nthreads, nk));
+            barrier = &bar;
+            const Nanos t0 = g.now();
+            std::vector<Thread*> workers;
+            for (std::uint32_t t = 1; t < threads; ++t) {
+                workers.push_back(&g.spawn([&, t](Guest& wg) { worker(wg, t); },
+                                           place(static_cast<int>(t), nk)));
+            }
+            worker(g, 0);
+            for (Thread* w : workers) g.join(*w);
+            makespan = g.now() - t0;
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    RKO_ASSERT_MSG(sorted, "IS produced an unsorted permutation");
+    return makespan;
+}
+
+// ---------------------------------------------------------------------------
+// CG-like stencil sweep.
+// ---------------------------------------------------------------------------
+
+struct CgConfig {
+    int nthreads = 8;
+    std::uint32_t n = 1 << 15; ///< vector length (u64 cells)
+    int iterations = 8;
+    Nanos compute_per_cell = 250; ///< sparse-row FLOPs + cache misses
+};
+
+inline Nanos cg_sweep(Machine& machine, const CgConfig& config) {
+    auto& process = machine.create_process(0);
+    const int nk = machine.nkernels();
+    const auto threads = static_cast<std::uint32_t>(config.nthreads);
+    const std::uint32_t rows = config.n / threads;
+
+    Vaddr x = 0, y = 0;
+    SpinBarrier* barrier = nullptr;
+    Nanos makespan = 0;
+
+    auto worker = [&, rows](Guest& g, std::uint32_t tid) {
+        const std::uint32_t lo = tid * rows;
+        const std::uint32_t hi = lo + rows;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            g.write<std::uint64_t>(x + static_cast<Vaddr>(i) * 8, i);
+        }
+        barrier->wait(g);
+        Vaddr src = x, dst = y;
+        for (int iter = 0; iter < config.iterations; ++iter) {
+            for (std::uint32_t i = lo; i < hi; ++i) {
+                const std::uint64_t left =
+                    i == 0 ? 0
+                           : g.read<std::uint64_t>(src + static_cast<Vaddr>(i - 1) * 8);
+                const std::uint64_t mid =
+                    g.read<std::uint64_t>(src + static_cast<Vaddr>(i) * 8);
+                const std::uint64_t right =
+                    i + 1 == config.n
+                        ? 0
+                        : g.read<std::uint64_t>(src + static_cast<Vaddr>(i + 1) * 8);
+                g.write<std::uint64_t>(dst + static_cast<Vaddr>(i) * 8,
+                                       (left + 2 * mid + right) / 4);
+                if (i % 256 == 0) g.compute(config.compute_per_cell * 256);
+            }
+            std::swap(src, dst);
+            barrier->wait(g);
+        }
+    };
+
+    process.spawn(
+        [&](Guest& g) {
+            x = g.mmap(static_cast<std::uint64_t>(config.n) * 8);
+            y = g.mmap(static_cast<std::uint64_t>(config.n) * 8);
+            SpinBarrier bar(g, round_robin_members(config.nthreads, nk));
+            barrier = &bar;
+            const Nanos t0 = g.now();
+            std::vector<Thread*> workers;
+            for (std::uint32_t t = 1; t < threads; ++t) {
+                workers.push_back(&g.spawn([&, t](Guest& wg) { worker(wg, t); },
+                                           place(static_cast<int>(t), nk)));
+            }
+            worker(g, 0);
+            for (Thread* w : workers) g.join(*w);
+            makespan = g.now() - t0;
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    return makespan;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-intensive churn service.
+// ---------------------------------------------------------------------------
+
+struct ChurnConfig {
+    int nworkers = 8; ///< one process per worker
+    int iterations = 40;
+    int pages_per_op = 8;
+};
+
+/// Each worker is an independent process (a consolidated-server pattern);
+/// its thread mmaps/touches/munmaps and does a futex hand-off per loop.
+/// Returns the machine makespan.
+inline Nanos churn(Machine& machine, const ChurnConfig& config) {
+    const int nk = machine.nkernels();
+    std::vector<api::Process*> processes;
+    for (int w = 0; w < config.nworkers; ++w) {
+        const topo::KernelId kid = place(w, nk);
+        auto& process = machine.create_process(kid);
+        processes.push_back(&process);
+        process.spawn(
+            [config](Guest& g) {
+                const Vaddr word = g.mmap(kPageSize);
+                for (int n = 0; n < config.iterations; ++n) {
+                    const Vaddr buf = g.mmap(
+                        static_cast<std::uint64_t>(config.pages_per_op) * kPageSize);
+                    RKO_ASSERT(buf != 0);
+                    for (int p = 0; p < config.pages_per_op; ++p) {
+                        g.write<std::uint64_t>(buf + static_cast<Vaddr>(p) * kPageSize,
+                                               static_cast<std::uint64_t>(n));
+                    }
+                    RKO_ASSERT(g.munmap(buf, static_cast<std::uint64_t>(
+                                                 config.pages_per_op) *
+                                                 kPageSize) == 0);
+                    // A futex wake per loop: the service's request hand-off.
+                    g.futex_wake(word, 1);
+                    g.compute(5000); // request processing
+                }
+            },
+            kid);
+    }
+    const Nanos makespan = machine.run();
+    for (auto* p : processes) p->check_all_joined();
+    return makespan;
+}
+
+} // namespace rko::apps

@@ -1,0 +1,192 @@
+// E6 — Distributed futex microbenchmarks.
+//
+//   (a) wake-to-resume latency: same kernel vs. cross-kernel (grant
+//       message),
+//   (b) contended mutex throughput for one process's threads vs. thread
+//       count — SMP vs. Popcorn (cross-kernel futexes pay messages: the
+//       honest cost),
+//   (c) independent processes each hammering their own futexes: SMP's one
+//       global table vs. per-origin tables (the contention the paper
+//       removes).
+#include "harness.hpp"
+#include "rko/api/machine.hpp"
+#include "rko/core/dfutex.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace {
+
+using namespace rko;
+using namespace rko::time_literals;
+using api::Guest;
+using api::Machine;
+using api::Thread;
+using bench::fmt;
+using bench::fmt_ns;
+using bench::fmt_rate;
+using bench::Table;
+using mem::kPageSize;
+using mem::Vaddr;
+
+/// Sleeper waits on a word; waker wakes it `reps` times; returns mean
+/// wake-to-resume latency observed by the sleeper.
+Nanos wake_latency(int sleeper_kernel, int waker_kernel, int reps) {
+    Machine machine(smp::popcorn_config(8, 4));
+    auto& process = machine.create_process(0);
+    Vaddr word = 0;
+    Vaddr stamp = 0;
+    base::Summary latency;
+    auto& sleeper = process.spawn(
+        [&](Guest& g) {
+            word = g.mmap(kPageSize);
+            stamp = g.mmap(kPageSize);
+            for (int i = 0; i < reps; ++i) {
+                while (g.read<std::uint32_t>(word) <= static_cast<std::uint32_t>(i)) {
+                    g.futex_wait(word, static_cast<std::uint32_t>(i));
+                }
+                g.flush_timing();
+                const Nanos woke_at = g.now();
+                const auto sent_at = g.read<std::uint64_t>(stamp);
+                latency.add(static_cast<double>(woke_at) - static_cast<double>(sent_at));
+            }
+        },
+        static_cast<topo::KernelId>(sleeper_kernel));
+    process.spawn(
+        [&](Guest& g) {
+            while (word == 0 || stamp == 0) g.yield();
+            for (int i = 0; i < reps; ++i) {
+                g.compute(100_us); // let the sleeper park
+                g.flush_timing();
+                g.write<std::uint64_t>(stamp, static_cast<std::uint64_t>(g.now()));
+                g.rmw_u32(word, [](std::uint32_t v) { return v + 1; });
+                g.futex_wake(word, 1);
+            }
+            g.join(sleeper);
+        },
+        static_cast<topo::KernelId>(waker_kernel));
+    machine.run();
+    process.check_all_joined();
+    return static_cast<Nanos>(latency.mean());
+}
+
+/// T threads fight over one mutex; returns lock-acquisitions per second.
+double contended_mutex(api::MachineConfig config, int threads, int iters,
+                       bool spread) {
+    Machine machine(config);
+    const int nk = machine.nkernels();
+    auto& process = machine.create_process(0);
+    Vaddr lock_word = 0;
+    auto& init = process.spawn([&](Guest& g) { lock_word = g.mmap(kPageSize); }, 0);
+    for (int t = 0; t < threads; ++t) {
+        process.spawn(
+            [&, iters](Guest& g) {
+                g.join(init);
+                for (int n = 0; n < iters; ++n) {
+                    g.mutex_lock(lock_word);
+                    g.compute(2_us); // critical section
+                    g.mutex_unlock(lock_word);
+                }
+            },
+            spread ? static_cast<topo::KernelId>(t % nk) : 0);
+    }
+    const Nanos elapsed = machine.run();
+    process.check_all_joined();
+    return static_cast<double>(threads) * iters / (static_cast<double>(elapsed) / 1e9);
+}
+
+/// P independent processes, each with its own heavily-used futex; returns
+/// aggregate futex ops/s and the futex-table contention bill.
+std::pair<double, Nanos> independent_processes(api::MachineConfig config,
+                                               int nprocs, int iters) {
+    Machine machine(config);
+    const int nk = machine.nkernels();
+    std::vector<api::Process*> processes;
+    for (int p = 0; p < nprocs; ++p) {
+        const auto kid = static_cast<topo::KernelId>(p % nk);
+        auto& process = machine.create_process(kid);
+        processes.push_back(&process);
+        // Two threads per process ping-pong on a private mutex: every
+        // wait/wake is a futex-table operation at the process origin.
+        process.spawn(
+            [iters](Guest& g) {
+                const Vaddr word = g.mmap(kPageSize);
+                auto& peer = g.spawn(
+                    [word, iters](Guest& pg) {
+                        for (int n = 0; n < iters; ++n) {
+                            pg.mutex_lock(word);
+                            pg.compute(500);
+                            pg.mutex_unlock(word);
+                        }
+                    },
+                    g.kernel());
+                for (int n = 0; n < iters; ++n) {
+                    g.mutex_lock(word);
+                    g.compute(500);
+                    g.mutex_unlock(word);
+                }
+                g.join(peer);
+            },
+            kid);
+    }
+    const Nanos elapsed = machine.run();
+    for (auto* p : processes) p->check_all_joined();
+    const double rate = static_cast<double>(nprocs) * 2 * iters /
+                        (static_cast<double>(elapsed) / 1e9);
+    return {rate, smp::contention_report(machine).total()};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args(argc, argv);
+    const int reps = args.quick() ? 20 : 100;
+    const int iters = args.quick() ? 30 : 150;
+
+    std::printf("E6: distributed futex microbenchmarks\n");
+
+    bench::section("(a) wake-to-resume latency");
+    {
+        Table table({"sleeper", "waker", "latency"});
+        table.add_row({"k0", "k0 (same kernel)", fmt_ns(wake_latency(0, 0, reps))});
+        table.add_row({"k0", "k1 (wake RPC to origin)", fmt_ns(wake_latency(0, 1, reps))});
+        table.add_row({"k1", "k0 (grant message out)", fmt_ns(wake_latency(1, 0, reps))});
+        table.add_row({"k1", "k2 (both remote)", fmt_ns(wake_latency(1, 2, reps))});
+        table.print();
+    }
+
+    bench::section("(b) contended mutex, one process, T threads");
+    {
+        Table table({"T", "SMP acq/s", "Popcorn spread acq/s", "ratio"});
+        for (int t = 2; t <= 16; t *= 2) {
+            const double smp_rate = contended_mutex(smp::smp_config(16), t, iters, false);
+            const double pop_rate =
+                contended_mutex(smp::popcorn_config(16, 4), t, iters, true);
+            table.add_row({fmt("%d", t), fmt_rate(smp_rate), fmt_rate(pop_rate),
+                           fmt("%.2fx", pop_rate / smp_rate)});
+        }
+        table.print();
+        std::printf("\nCross-kernel waiters pay grant messages: Popcorn is "
+                    "honest-slower for one contended lock shared across "
+                    "kernels.\n");
+    }
+
+    bench::section("(c) independent processes, private futexes");
+    {
+        Table table({"processes", "SMP ops/s", "SMP lock-wait", "Popcorn ops/s",
+                     "Popcorn lock-wait", "ratio"});
+        for (int p = 2; p <= 16; p *= 2) {
+            auto [smp_rate, smp_wait] =
+                independent_processes(smp::smp_config(32), p, iters);
+            auto [pop_rate, pop_wait] =
+                independent_processes(smp::popcorn_config(32, 8), p, iters);
+            table.add_row({fmt("%d", p), fmt_rate(smp_rate), fmt_ns(smp_wait),
+                           fmt_rate(pop_rate), fmt_ns(pop_wait),
+                           fmt("%.2fx", pop_rate / smp_rate)});
+        }
+        table.print();
+        std::printf("\nExpected: per-kernel structures (futex table, runqueue) "
+                    "keep independent processes independent; in SMP every "
+                    "sleep/wake crosses the machine-global runqueue and table "
+                    "locks, so the bill grows with process count.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,217 @@
+// E1 — Inter-kernel messaging layer microbenchmarks.
+//
+// Reproduces the messaging-layer figure every Popcorn paper leads with:
+//   (a) one-way latency and RPC round-trip time vs. payload size,
+//   (b) single-pair streaming throughput vs. payload size,
+//   (c) RTT vs. emulated interconnect latency (the wire-latency ablation),
+//   (d) aggregate throughput vs. number of concurrent kernel pairs
+//       (channels are independent, so throughput should scale linearly
+//       while per-message latency stays flat).
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "rko/msg/fabric.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace {
+
+using namespace rko;
+using namespace rko::time_literals;
+using bench::fmt;
+using bench::fmt_ns;
+using bench::fmt_rate;
+using bench::Table;
+
+struct BulkPayload {
+    std::uint32_t size = 0;
+    std::array<std::byte, msg::kMaxPayload - 64> data;
+};
+static_assert(sizeof(BulkPayload) <= msg::kMaxPayload);
+
+/// Sends `iters` requests of `payload_bytes` and waits for each reply.
+Nanos run_pingpong(int iters, std::size_t payload_bytes, Nanos* rtt_mean) {
+    sim::Engine engine;
+    topo::CostModel costs;
+    msg::Fabric fabric(engine, costs, 2);
+    fabric.node(1).register_handler(
+        msg::MsgType::kPing, msg::HandlerClass::kInline,
+        [](msg::Node& node, msg::MessagePtr m) {
+            auto reply = std::make_unique<msg::Message>(*m);
+            node.reply(*m, std::move(reply));
+        });
+    fabric.start_all();
+
+    base::Summary rtt;
+    sim::Actor client(engine, "client", [&](sim::Actor& self) {
+        for (int i = 0; i < iters; ++i) {
+            auto request = msg::make_message(msg::MsgType::kPing, msg::MsgKind::kRequest);
+            request->hdr.payload_size = static_cast<std::uint32_t>(payload_bytes);
+            const Nanos t0 = self.now();
+            fabric.node(0).rpc(1, std::move(request));
+            rtt.add(static_cast<double>(self.now() - t0));
+        }
+    });
+    client.start();
+    engine.run_until(10_s);
+    fabric.request_stop_all();
+    const Nanos end = engine.run();
+    *rtt_mean = static_cast<Nanos>(rtt.mean());
+    return end;
+}
+
+/// One sender streams `iters` one-way messages; returns total virtual time
+/// until the receiver has consumed them all.
+Nanos run_stream(int iters, std::size_t payload_bytes) {
+    sim::Engine engine;
+    topo::CostModel costs;
+    msg::Fabric fabric(engine, costs, 2);
+    int received = 0;
+    fabric.node(1).register_handler(
+        msg::MsgType::kPing, msg::HandlerClass::kInline,
+        [&received](msg::Node&, msg::MessagePtr) { ++received; });
+    fabric.start_all();
+
+    Nanos done_at = 0;
+    sim::Actor sender(engine, "sender", [&](sim::Actor&) {
+        for (int i = 0; i < iters; ++i) {
+            auto m = msg::make_message(msg::MsgType::kPing, msg::MsgKind::kOneway);
+            m->hdr.payload_size = static_cast<std::uint32_t>(payload_bytes);
+            fabric.node(0).send(1, std::move(m));
+        }
+    });
+    sender.start();
+    engine.run_until(100_s);
+    done_at = engine.now();
+    fabric.request_stop_all();
+    engine.run();
+    RKO_ASSERT(received == iters);
+    return done_at;
+}
+
+/// `pairs` disjoint kernel pairs stream concurrently.
+Nanos run_pairs(int pairs, int iters_per_pair, std::size_t payload_bytes,
+                Nanos* rtt_mean) {
+    sim::Engine engine;
+    topo::CostModel costs;
+    msg::Fabric fabric(engine, costs, pairs * 2);
+    for (int p = 0; p < pairs; ++p) {
+        fabric.node(2 * p + 1)
+            .register_handler(msg::MsgType::kPing, msg::HandlerClass::kInline,
+                              [](msg::Node& node, msg::MessagePtr m) {
+                                  node.reply(*m, std::make_unique<msg::Message>(*m));
+                              });
+    }
+    fabric.start_all();
+
+    base::Summary rtt;
+    std::vector<std::unique_ptr<sim::Actor>> clients;
+    for (int p = 0; p < pairs; ++p) {
+        clients.push_back(std::make_unique<sim::Actor>(
+            engine, "client" + std::to_string(p), [&, p](sim::Actor& self) {
+                for (int i = 0; i < iters_per_pair; ++i) {
+                    auto request =
+                        msg::make_message(msg::MsgType::kPing, msg::MsgKind::kRequest);
+                    request->hdr.payload_size = static_cast<std::uint32_t>(payload_bytes);
+                    const Nanos t0 = self.now();
+                    fabric.node(2 * p).rpc(2 * p + 1, std::move(request));
+                    rtt.add(static_cast<double>(self.now() - t0));
+                }
+            }));
+        clients.back()->start();
+    }
+    engine.run_until(100_s);
+    const Nanos done = engine.now();
+    fabric.request_stop_all();
+    engine.run();
+    *rtt_mean = static_cast<Nanos>(rtt.mean());
+    return done;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const rko::bench::Args args(argc, argv);
+    const int iters = args.quick() ? 200 : 2000;
+
+    std::printf("E1: inter-kernel messaging microbenchmarks (virtual time)\n");
+
+    rko::bench::section("(a) latency vs payload size (ping-pong, 2 kernels)");
+    {
+        Table table({"payload", "RTT mean", "one-way est"});
+        for (const std::size_t size : {64u, 256u, 1024u, 4096u}) {
+            Nanos rtt = 0;
+            run_pingpong(iters, size, &rtt);
+            table.add_row({fmt("%zu B", size), fmt_ns(rtt), fmt_ns(rtt / 2)});
+        }
+        table.print();
+    }
+
+    rko::bench::section("(b) single-pair streaming throughput");
+    {
+        Table table({"payload", "msgs/s", "MB/s"});
+        for (const std::size_t size : {64u, 256u, 1024u, 4096u}) {
+            const Nanos elapsed = run_stream(iters * 4, size);
+            const double seconds = static_cast<double>(elapsed) / 1e9;
+            const double mps = static_cast<double>(iters * 4) / seconds;
+            table.add_row({fmt("%zu B", size), fmt_rate(mps),
+                           fmt("%.1f", mps * static_cast<double>(size) / 1e6)});
+        }
+        table.print();
+    }
+
+    rko::bench::section("(c) RPC RTT vs emulated interconnect latency");
+    {
+        // Ablation: the msg_wire_latency knob models slower fabrics (e.g.
+        // PCIe or board-to-board links in heterogeneous Popcorn setups).
+        Table table({"wire one-way", "RTT mean"});
+        for (const Nanos wire : {0_us, 1_us, 5_us, 20_us}) {
+            sim::Engine engine;
+            topo::CostModel costs;
+            costs.msg_wire_latency = wire;
+            msg::Fabric fabric(engine, costs, 2);
+            fabric.node(1).register_handler(
+                msg::MsgType::kPing, msg::HandlerClass::kInline,
+                [](msg::Node& node, msg::MessagePtr m) {
+                    node.reply(*m, std::make_unique<msg::Message>(*m));
+                });
+            fabric.start_all();
+            base::Summary rtt;
+            sim::Actor client(engine, "client", [&](sim::Actor& self) {
+                for (int i = 0; i < iters / 4; ++i) {
+                    auto request =
+                        msg::make_message(msg::MsgType::kPing, msg::MsgKind::kRequest);
+                    const Nanos t0 = self.now();
+                    fabric.node(0).rpc(1, std::move(request));
+                    rtt.add(static_cast<double>(self.now() - t0));
+                }
+            });
+            client.start();
+            engine.run_until(100_s);
+            fabric.request_stop_all();
+            engine.run();
+            table.add_row({fmt_ns(wire), fmt_ns((Nanos)rtt.mean())});
+        }
+        table.print();
+    }
+
+    rko::bench::section("(d) aggregate RPC throughput vs concurrent kernel pairs");
+    {
+        Table table({"pairs", "RTT mean", "total RPC/s", "scaling"});
+        double base_rate = 0;
+        for (const int pairs : {1, 2, 4, 8}) {
+            Nanos rtt = 0;
+            const Nanos elapsed = run_pairs(pairs, iters, 256, &rtt);
+            const double rate =
+                static_cast<double>(pairs) * iters / (static_cast<double>(elapsed) / 1e9);
+            if (pairs == 1) base_rate = rate;
+            table.add_row({fmt("%d", pairs), fmt_ns(rtt), fmt_rate(rate),
+                           fmt("%.2fx", rate / base_rate)});
+        }
+        table.print();
+        std::printf("\nExpected shape: RTT flat, throughput ~linear in pairs "
+                    "(independent channels).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,167 @@
+// E2 — Thread-migration latency breakdown.
+//
+// The paper's central microbenchmark: how long does it take to move a
+// running thread to another kernel, and where does the time go?
+//   (a) phase breakdown (checkpoint / transfer+instantiate / resume) for a
+//       first visit vs. a revisit (shadow reactivation),
+//   (b) cost of re-establishing the working set after migration (the lazy
+//       address-space consistency tail) vs. working-set size,
+//   (c) comparison anchors: migration vs. spawning a fresh thread locally
+//       and remotely.
+#include "harness.hpp"
+#include "rko/api/machine.hpp"
+#include "rko/core/migration.hpp"
+#include "rko/core/page_owner.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace {
+
+using namespace rko;
+using namespace rko::time_literals;
+using api::Guest;
+using api::Machine;
+using bench::fmt;
+using bench::fmt_ns;
+using bench::Table;
+
+struct Phases {
+    base::Summary checkpoint, transfer, resume, total;
+    void add(const core::MigrationBreakdown& b) {
+        checkpoint.add(static_cast<double>(b.checkpoint));
+        transfer.add(static_cast<double>(b.transfer));
+        resume.add(static_cast<double>(b.resume));
+        total.add(static_cast<double>(b.total));
+    }
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args(argc, argv);
+    const int reps = args.quick() ? 20 : 200;
+
+    std::printf("E2: thread migration latency breakdown (virtual time)\n");
+
+    bench::section("(a) migration phases, kernel 0 -> kernel 1 (ping-pong)");
+    {
+        Machine machine(smp::popcorn_config(8, 4));
+        auto& process = machine.create_process(0);
+        Phases first, revisit;
+        process.spawn(
+            [&](Guest& g) {
+                first.add(g.migrate(1));  // cold: task record created
+                revisit.add(g.migrate(0)); // shadow reactivation at origin
+                for (int i = 0; i < reps; ++i) {
+                    revisit.add(g.migrate(1));
+                    revisit.add(g.migrate(0));
+                }
+            },
+            0);
+        machine.run();
+        process.check_all_joined();
+
+        Table table({"phase", "first visit", "revisit mean"});
+        table.add_row({"checkpoint + depart", fmt_ns((Nanos)first.checkpoint.mean()),
+                       fmt_ns((Nanos)revisit.checkpoint.mean())});
+        table.add_row({"transfer + instantiate", fmt_ns((Nanos)first.transfer.mean()),
+                       fmt_ns((Nanos)revisit.transfer.mean())});
+        table.add_row({"resume (core acquire)", fmt_ns((Nanos)first.resume.mean()),
+                       fmt_ns((Nanos)revisit.resume.mean())});
+        table.add_row({"TOTAL", fmt_ns((Nanos)first.total.mean()),
+                       fmt_ns((Nanos)revisit.total.mean())});
+        table.print();
+    }
+
+    bench::section("(b) post-migration working-set re-establishment");
+    {
+        Table table({"working set", "migrate", "first re-touch", "per page"});
+        for (const int pages : {4, 16, 64, 256}) {
+            Machine machine(smp::popcorn_config(8, 4));
+            auto& process = machine.create_process(0);
+            Nanos migrate_cost = 0, retouch_cost = 0;
+            process.spawn(
+                [&](Guest& g) {
+                    const auto buf = g.mmap(static_cast<std::uint64_t>(pages) *
+                                            mem::kPageSize);
+                    for (int p = 0; p < pages; ++p) {
+                        g.write<std::uint64_t>(
+                            buf + static_cast<mem::Vaddr>(p) * mem::kPageSize, p);
+                    }
+                    g.flush_timing();
+                    migrate_cost = g.migrate(1).total;
+                    const Nanos t0 = g.now();
+                    std::uint64_t sum = 0;
+                    for (int p = 0; p < pages; ++p) {
+                        sum += g.read<std::uint64_t>(
+                            buf + static_cast<mem::Vaddr>(p) * mem::kPageSize);
+                    }
+                    g.flush_timing();
+                    retouch_cost = g.now() - t0;
+                    RKO_ASSERT(sum == static_cast<std::uint64_t>(pages) * (pages - 1) / 2);
+                },
+                0);
+            machine.run();
+            process.check_all_joined();
+            table.add_row({fmt("%d pages", pages), fmt_ns(migrate_cost),
+                           fmt_ns(retouch_cost), fmt_ns(retouch_cost / pages)});
+        }
+        table.print();
+        std::printf("\nMigration itself is O(context); the address space follows "
+                    "lazily at ~one remote fault per touched page.\n");
+    }
+
+    bench::section("(c) anchors: migration vs thread creation");
+    {
+        Machine machine(smp::popcorn_config(8, 4));
+        auto& process = machine.create_process(0);
+        base::Summary local_spawn, remote_spawn, migration;
+        process.spawn(
+            [&](Guest& g) {
+                for (int i = 0; i < reps / 2 + 1; ++i) {
+                    Nanos t0 = g.now();
+                    auto& t1 = g.spawn([](Guest&) {}, 0);
+                    local_spawn.add(static_cast<double>(g.now() - t0));
+                    t0 = g.now();
+                    auto& t2 = g.spawn([](Guest&) {}, 2);
+                    remote_spawn.add(static_cast<double>(g.now() - t0));
+                    g.join(t1);
+                    g.join(t2);
+                    t0 = g.now();
+                    g.migrate(i % 2 == 0 ? 1 : 0);
+                    migration.add(static_cast<double>(g.now() - t0));
+                }
+            },
+            0);
+        machine.run();
+        process.check_all_joined();
+
+        Table table({"operation", "mean", "min", "max"});
+        const auto row = [&](const char* name, const base::Summary& s) {
+            table.add_row({name, fmt_ns((Nanos)s.mean()), fmt_ns((Nanos)s.min()),
+                           fmt_ns((Nanos)s.max())});
+        };
+        row("spawn (same kernel)", local_spawn);
+        row("spawn (remote kernel)", remote_spawn);
+        row("migrate (to other kernel)", migration);
+        table.print();
+    }
+
+    bench::section("(d) migration latency distribution");
+    {
+        Machine machine(smp::popcorn_config(8, 2));
+        auto& process = machine.create_process(0);
+        process.spawn(
+            [&](Guest& g) {
+                for (int i = 0; i < reps; ++i) g.migrate(g.kernel() == 0 ? 1 : 0);
+            },
+            0);
+        machine.run();
+        process.check_all_joined();
+        const auto& hist0 = machine.kernel(0).migration().latency();
+        const auto& hist1 = machine.kernel(1).migration().latency();
+        base::Histogram all = hist0;
+        all.merge(hist1);
+        std::printf("%s\n", all.to_string().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,335 @@
+// E4 — Address-space consistency microbenchmarks.
+//
+// The cost of each page-ownership protocol action, the heart of the
+// paper's address-space consistency mechanism:
+//   (a) fault-type latencies: local demand-zero, remote read (replicate),
+//       remote write (invalidate + ownership move), write upgrade,
+//   (b) invalidation fan-out: write fault vs. number of sharing kernels,
+//   (c) false-sharing ping-pong: two kernels alternately writing one page,
+//   (d) protocol ablation: MSI-with-replication vs. migrate-on-any-fault
+//       (no Shared state) on a read-mostly workload,
+//   (e) page-migration throughput vs. working-set size (streaming a
+//       region's ownership from one kernel to another).
+#include "harness.hpp"
+#include "rko/api/machine.hpp"
+#include "rko/core/page_owner.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace {
+
+using namespace rko;
+using namespace rko::time_literals;
+using api::Guest;
+using api::Machine;
+using api::Thread;
+using bench::fmt;
+using bench::fmt_ns;
+using bench::Table;
+using mem::kPageSize;
+using mem::Vaddr;
+
+/// Measures one guest operation with exact timing.
+template <typename Fn>
+Nanos timed(Guest& g, Fn&& fn) {
+    g.flush_timing();
+    const Nanos t0 = g.now();
+    fn();
+    g.flush_timing();
+    return g.now() - t0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args(argc, argv);
+    const int reps = args.quick() ? 16 : 128;
+
+    std::printf("E4: page-fault / consistency-protocol microbenchmarks\n");
+
+    bench::section("(a) fault-type latency (4 kernels, origin = k0)");
+    {
+        Machine machine(smp::popcorn_config(8, 4));
+        auto& process = machine.create_process(0);
+        base::Summary zero_local, zero_remote, read_remote, write_steal, upgrade;
+        Vaddr region = 0;
+        auto& origin_thread = process.spawn(
+            [&](Guest& g) {
+                region = g.mmap(static_cast<std::uint64_t>(reps) * 8 * kPageSize);
+                // (1) local demand-zero faults at the origin.
+                for (int i = 0; i < reps; ++i) {
+                    const Vaddr page = region + static_cast<Vaddr>(i) * kPageSize;
+                    zero_local.add(static_cast<double>(
+                        timed(g, [&] { g.write<int>(page, i); })));
+                }
+            },
+            0);
+        process.spawn(
+            [&](Guest& g) {
+                g.join(origin_thread);
+                const Vaddr base1 = region + static_cast<Vaddr>(reps) * kPageSize;
+                // (2) remote demand-zero (first touch from a replica kernel).
+                for (int i = 0; i < reps; ++i) {
+                    const Vaddr page = base1 + static_cast<Vaddr>(i) * kPageSize;
+                    zero_remote.add(static_cast<double>(
+                        timed(g, [&] { g.write<int>(page, i); })));
+                }
+                // (3) remote read fault: replicate pages the origin owns.
+                for (int i = 0; i < reps; ++i) {
+                    const Vaddr page = region + static_cast<Vaddr>(i) * kPageSize;
+                    read_remote.add(static_cast<double>(
+                        timed(g, [&] { (void)g.read<int>(page); })));
+                }
+                // (4) write upgrade: we are a sharer, take exclusivity
+                //     (invalidates the origin's copy).
+                for (int i = 0; i < reps; ++i) {
+                    const Vaddr page = region + static_cast<Vaddr>(i) * kPageSize;
+                    upgrade.add(static_cast<double>(
+                        timed(g, [&] { g.write<int>(page, i + 1); })));
+                }
+            },
+            1);
+        machine.run();
+        process.check_all_joined();
+
+        // (5) write-steal measured on a fresh machine: k1 owns, k2 writes.
+        Machine machine2(smp::popcorn_config(8, 4));
+        auto& p2 = machine2.create_process(0);
+        Vaddr region2 = 0;
+        auto& owner = p2.spawn(
+            [&](Guest& g) {
+                region2 = g.mmap(static_cast<std::uint64_t>(reps) * kPageSize);
+                for (int i = 0; i < reps; ++i) {
+                    g.write<int>(region2 + static_cast<Vaddr>(i) * kPageSize, i);
+                }
+            },
+            1);
+        p2.spawn(
+            [&](Guest& g) {
+                g.join(owner);
+                for (int i = 0; i < reps; ++i) {
+                    const Vaddr page = region2 + static_cast<Vaddr>(i) * kPageSize;
+                    write_steal.add(static_cast<double>(
+                        timed(g, [&] { g.write<int>(page, i + 7); })));
+                }
+            },
+            2);
+        machine2.run();
+        p2.check_all_joined();
+
+        Table table({"fault type", "mean", "max"});
+        const auto row = [&](const char* name, const base::Summary& s) {
+            table.add_row({name, fmt_ns((Nanos)s.mean()), fmt_ns((Nanos)s.max())});
+        };
+        row("local demand-zero (origin)", zero_local);
+        row("remote demand-zero (1 RPC)", zero_remote);
+        row("remote read, origin owns (replicate)", read_remote);
+        row("remote write, remote owner (steal via origin)", write_steal);
+        row("write upgrade, was sharer (invalidate peers)", upgrade);
+        table.print();
+    }
+
+    bench::section("(b) write-fault latency vs invalidation fan-out");
+    {
+        Table table({"sharers", "write-fault latency"});
+        for (const int sharers : {1, 2, 3, 5, 7}) {
+            const int nk = sharers + 1;
+            if (nk > 8) break;
+            Machine machine(smp::popcorn_config(std::max(8, nk * 2), nk));
+            auto& process = machine.create_process(0);
+            Vaddr page_region = 0;
+            base::Summary latency;
+            auto& init = process.spawn(
+                [&](Guest& g) {
+                    page_region = g.mmap(static_cast<std::uint64_t>(reps) * kPageSize);
+                    for (int i = 0; i < reps; ++i) {
+                        g.write<int>(page_region + static_cast<Vaddr>(i) * kPageSize, i);
+                    }
+                },
+                0);
+            // `sharers` kernels replicate every page (read faults).
+            std::vector<Thread*> readers;
+            Vaddr gate = 0;
+            auto& gatekeeper = process.spawn([&](Guest& g) { gate = g.mmap(kPageSize); }, 0);
+            for (int s = 1; s < nk; ++s) {
+                readers.push_back(&process.spawn(
+                    [&](Guest& g) {
+                        g.join(init);
+                        g.join(gatekeeper);
+                        std::uint64_t sum = 0;
+                        for (int i = 0; i < reps; ++i) {
+                            sum += static_cast<std::uint64_t>(g.read<int>(
+                                page_region + static_cast<Vaddr>(i) * kPageSize));
+                        }
+                        g.rmw_u32(gate, [](std::uint32_t v) { return v + 1; });
+                        g.futex_wake(gate, 64);
+                    },
+                    static_cast<topo::KernelId>(s)));
+            }
+            // Writer at the origin invalidates all sharers per page.
+            process.spawn(
+                [&, sharers](Guest& g) {
+                    g.join(init);
+                    g.join(gatekeeper);
+                    while (g.read<std::uint32_t>(gate) !=
+                           static_cast<std::uint32_t>(sharers)) {
+                        g.futex_wait(gate, g.read<std::uint32_t>(gate));
+                    }
+                    for (int i = 0; i < reps; ++i) {
+                        const Vaddr page =
+                            page_region + static_cast<Vaddr>(i) * kPageSize;
+                        latency.add(static_cast<double>(
+                            timed(g, [&] { g.write<int>(page, -i); })));
+                    }
+                },
+                0);
+            machine.run();
+            process.check_all_joined();
+            table.add_row({fmt("%d", sharers), fmt_ns((Nanos)latency.mean())});
+        }
+        table.print();
+        std::printf("\nFan-out grows the invalidation bill roughly linearly "
+                    "(sequential per-holder invalidates at the directory).\n");
+    }
+
+    bench::section("(c) false-sharing ping-pong (2 kernels, one page)");
+    {
+        Machine machine(smp::popcorn_config(4, 2));
+        auto& process = machine.create_process(0);
+        Vaddr page = 0;
+        const int rounds = reps * 4;
+        Nanos elapsed = 0;
+        auto& a = process.spawn(
+            [&](Guest& g) {
+                page = g.mmap(kPageSize);
+                const Nanos t0 = g.now();
+                for (int i = 0; i < rounds; ++i) {
+                    // Wait for my turn (even), then write.
+                    while ((g.read<std::uint32_t>(page) & 1) != 0) g.yield();
+                    g.rmw_u32(page, [](std::uint32_t v) { return v + 1; });
+                }
+                g.flush_timing();
+                elapsed = g.now() - t0;
+            },
+            0);
+        process.spawn(
+            [&](Guest& g) {
+                while (page == 0) g.yield();
+                for (int i = 0; i < rounds; ++i) {
+                    while ((g.read<std::uint32_t>(page) & 1) == 0) g.yield();
+                    g.rmw_u32(page, [](std::uint32_t v) { return v + 1; });
+                }
+                g.join(a);
+            },
+            1);
+        machine.run();
+        process.check_all_joined();
+        std::printf("rounds=%d total=%s per-handoff=%s\n", rounds,
+                    fmt_ns(elapsed).c_str(), fmt_ns(elapsed / (2 * rounds)).c_str());
+        std::printf("(each handoff = read-replicate + write-invalidate: the "
+                    "worst case the paper tells programmers to avoid)\n");
+    }
+
+    bench::section("(d) protocol ablation: reader replication vs migrate-on-fault");
+    {
+        // Read-mostly sharing is where the Shared state earns its keep: N
+        // kernels repeatedly read pages one kernel wrote. With replication
+        // each kernel faults once per page; without it (no Shared state)
+        // every read steals exclusive ownership and the pages thrash.
+        auto read_mostly = [&](bool replicate) {
+            auto config = smp::popcorn_config(8, 4);
+            config.read_replication = replicate;
+            Machine machine(config);
+            auto& process = machine.create_process(0);
+            Vaddr data = 0;
+            constexpr int kPages = 16;
+            constexpr int kSweeps = 8;
+            auto& writer = process.spawn(
+                [&](Guest& g) {
+                    data = g.mmap(kPages * kPageSize);
+                    for (int p = 0; p < kPages; ++p) {
+                        g.write<std::uint64_t>(data + static_cast<Vaddr>(p) * kPageSize,
+                                               static_cast<std::uint64_t>(p));
+                    }
+                },
+                0);
+            Nanos slowest = 0;
+            for (int r = 1; r < 4; ++r) {
+                process.spawn(
+                    [&](Guest& g) {
+                        g.join(writer);
+                        const Nanos t0 = g.now();
+                        std::uint64_t sum = 0;
+                        for (int sweep = 0; sweep < kSweeps; ++sweep) {
+                            for (int p = 0; p < kPages; ++p) {
+                                sum += g.read<std::uint64_t>(
+                                    data + static_cast<Vaddr>(p) * kPageSize);
+                            }
+                        }
+                        g.flush_timing();
+                        slowest = std::max(slowest, g.now() - t0);
+                        RKO_ASSERT(sum == kSweeps * (kPages * (kPages - 1) / 2));
+                    },
+                    static_cast<topo::KernelId>(r));
+            }
+            machine.run();
+            process.check_all_joined();
+            return slowest;
+        };
+        Table table({"workload", "MSI + replication", "migrate-on-fault", "ratio"});
+        const Nanos msi = read_mostly(true);
+        const Nanos mof = read_mostly(false);
+        table.add_row({"read-mostly, 3 reader kernels", fmt_ns(msi), fmt_ns(mof),
+                       fmt("%.1fx", static_cast<double>(mof) / static_cast<double>(msi))});
+        table.print();
+        std::printf("\nWithout a Shared state every read steals ownership, so "
+                    "concurrent readers thrash pages that replication would "
+                    "let them all hold.\n");
+    }
+
+    bench::section("(e) ownership-streaming throughput vs working set");
+    {
+        Table table({"working set", "move time", "MB/s"});
+        for (const int pages : {16, 64, 256, 1024}) {
+            Machine machine(smp::popcorn_config(4, 2));
+            auto& process = machine.create_process(0);
+            Nanos move_time = 0;
+            auto& owner = process.spawn(
+                [&, pages](Guest& g) {
+                    const Vaddr buf =
+                        g.mmap(static_cast<std::uint64_t>(pages) * kPageSize);
+                    for (int i = 0; i < pages; ++i) {
+                        g.write<std::uint64_t>(buf + static_cast<Vaddr>(i) * kPageSize,
+                                               static_cast<std::uint64_t>(i));
+                    }
+                    g.write<Vaddr>(buf, buf); // self-reference marks readiness
+                },
+                0);
+            process.spawn(
+                [&, pages](Guest& g) {
+                    g.join(owner);
+                    const auto& threads = g.machine().config();
+                    (void)threads;
+                    // Find buf via the owner's published self-reference: the
+                    // bench passes it through guest memory to stay honest.
+                    // (Simplification: recompute the deterministic mmap base.)
+                    const Vaddr buf = mem::kMmapBase;
+                    move_time = timed(g, [&] {
+                        std::uint64_t sum = 0;
+                        for (int i = 0; i < pages; ++i) {
+                            sum += g.read<std::uint64_t>(
+                                buf + static_cast<Vaddr>(i) * kPageSize);
+                        }
+                        (void)sum;
+                    });
+                },
+                1);
+            machine.run();
+            process.check_all_joined();
+            const double mb = static_cast<double>(pages) * kPageSize / 1e6;
+            table.add_row({fmt("%d pages", pages), fmt_ns(move_time),
+                           fmt("%.1f", mb / (static_cast<double>(move_time) / 1e9))});
+        }
+        table.print();
+    }
+    return 0;
+}

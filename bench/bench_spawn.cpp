@@ -1,0 +1,156 @@
+// E3 — Distributed thread-group creation.
+//
+// Measures the cost of populating a thread group, the paper's first
+// mechanism: (a) per-spawn latency for local vs. remote placement, (b) a
+// spawn storm of T threads — all on the origin kernel (SMP-style, one
+// runqueue/one set of structures) vs. spread round-robin over K kernels
+// (distributed thread group), and (c) group-teardown (join-all) cost.
+#include "harness.hpp"
+#include "rko/api/machine.hpp"
+#include "rko/core/thread_group.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace {
+
+using namespace rko;
+using namespace rko::time_literals;
+using api::Guest;
+using api::Machine;
+using api::Thread;
+using bench::fmt;
+using bench::fmt_ns;
+using bench::Table;
+
+/// Parent spawns `count` children placed by `place(i)`, children do a tiny
+/// unit of work, parent joins all. Returns (spawn_total, join_total).
+std::pair<Nanos, Nanos> spawn_storm(Machine& machine, api::Process& process,
+                                    int count,
+                                    const std::function<topo::KernelId(int)>& place) {
+    Nanos spawn_total = 0, join_total = 0;
+    process.spawn(
+        [&, count](Guest& g) {
+            std::vector<Thread*> children;
+            children.reserve(static_cast<std::size_t>(count));
+            const Nanos t0 = g.now();
+            for (int i = 0; i < count; ++i) {
+                children.push_back(&g.spawn([](Guest& cg) { cg.compute(2_us); },
+                                            place(i)));
+            }
+            spawn_total = g.now() - t0;
+            const Nanos t1 = g.now();
+            for (Thread* child : children) g.join(*child);
+            join_total = g.now() - t1;
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    return {spawn_total, join_total};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args(argc, argv);
+    const int max_threads = args.quick() ? 16 : 64;
+
+    std::printf("E3: distributed thread-group creation (virtual time)\n");
+
+    bench::section("(a) single-spawn latency by placement (4 kernels)");
+    {
+        Machine machine(smp::popcorn_config(16, 4));
+        auto& process = machine.create_process(0);
+        base::Summary same, remote;
+        process.spawn(
+            [&](Guest& g) {
+                for (int i = 0; i < 50; ++i) {
+                    Nanos t0 = g.now();
+                    auto& a = g.spawn([](Guest&) {}, 0);
+                    same.add(static_cast<double>(g.now() - t0));
+                    t0 = g.now();
+                    auto& b = g.spawn([](Guest&) {}, static_cast<topo::KernelId>(1 + i % 3));
+                    remote.add(static_cast<double>(g.now() - t0));
+                    g.join(a);
+                    g.join(b);
+                }
+            },
+            0);
+        machine.run();
+        process.check_all_joined();
+        Table table({"placement", "mean", "max"});
+        table.add_row({"same kernel (local clone)", fmt_ns((Nanos)same.mean()),
+                       fmt_ns((Nanos)same.max())});
+        table.add_row({"remote kernel (group join + remote clone)",
+                       fmt_ns((Nanos)remote.mean()), fmt_ns((Nanos)remote.max())});
+        table.print();
+    }
+
+    bench::section("(b) spawn storm: T threads, SMP vs distributed placement");
+    {
+        Table table({"T", "SMP (1 kernel)", "Popcorn local-only", "Popcorn spread",
+                     "spread/SMP"});
+        for (int t = 4; t <= max_threads; t *= 2) {
+            Machine smp_machine(smp::smp_config(16));
+            auto [smp_spawn, smp_join] =
+                spawn_storm(smp_machine, smp_machine.create_process(0), t,
+                            [](int) { return 0; });
+
+            Machine local_machine(smp::popcorn_config(16, 4));
+            auto [local_spawn, local_join] =
+                spawn_storm(local_machine, local_machine.create_process(0), t,
+                            [](int) { return 0; });
+
+            Machine spread_machine(smp::popcorn_config(16, 4));
+            auto [spread_spawn, spread_join] =
+                spawn_storm(spread_machine, spread_machine.create_process(0), t,
+                            [](int i) { return static_cast<topo::KernelId>(i % 4); });
+            (void)smp_join;
+            (void)local_join;
+            (void)spread_join;
+
+            table.add_row({fmt("%d", t), fmt_ns(smp_spawn), fmt_ns(local_spawn),
+                           fmt_ns(spread_spawn),
+                           fmt("%.2fx", static_cast<double>(spread_spawn) /
+                                            static_cast<double>(smp_spawn))});
+        }
+        table.print();
+        std::printf("\nRemote spawns pay one RPC each, but land threads on idle "
+                    "kernels; with 16 cores in 4 groups the spread group finishes "
+                    "its work sooner (see join totals below).\n");
+    }
+
+    bench::section("(c) end-to-end: spawn + compute + join-all, T threads");
+    {
+        Table table({"T", "SMP total", "Popcorn spread total", "speedup"});
+        for (int t = 4; t <= max_threads; t *= 2) {
+            auto run_total = [&](api::MachineConfig config, bool spread) {
+                Machine machine(config);
+                auto& process = machine.create_process(0);
+                Nanos total = 0;
+                const int nk = machine.nkernels();
+                process.spawn(
+                    [&, t, spread, nk](Guest& g) {
+                        const Nanos t0 = g.now();
+                        std::vector<Thread*> kids;
+                        for (int i = 0; i < t; ++i) {
+                            kids.push_back(&g.spawn(
+                                [](Guest& cg) { cg.compute(200_us); },
+                                spread ? static_cast<topo::KernelId>(i % nk) : 0));
+                        }
+                        for (Thread* kid : kids) g.join(*kid);
+                        total = g.now() - t0;
+                    },
+                    0);
+                machine.run();
+                process.check_all_joined();
+                return total;
+            };
+            const Nanos smp_total = run_total(smp::smp_config(16), false);
+            const Nanos popcorn_total = run_total(smp::popcorn_config(16, 4), true);
+            table.add_row({fmt("%d", t), fmt_ns(smp_total), fmt_ns(popcorn_total),
+                           fmt("%.2fx", static_cast<double>(smp_total) /
+                                            static_cast<double>(popcorn_total))});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Shared benchmark harness: flag parsing and paper-style table printing.
+//
+// Every bench binary regenerates one table/figure of the (reconstructed)
+// evaluation; see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured. All results are VIRTUAL time from the simulation
+// clock — deterministic for a given --seed.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rko/base/stats.hpp"
+#include "rko/base/units.hpp"
+
+namespace rko::bench {
+
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    }
+
+    long get_long(const char* name, long fallback) const {
+        const std::string prefix = std::string("--") + name + "=";
+        for (const auto& arg : args_) {
+            if (arg.rfind(prefix, 0) == 0) {
+                return std::strtol(arg.c_str() + prefix.size(), nullptr, 10);
+            }
+        }
+        return fallback;
+    }
+
+    bool has_flag(const char* name) const {
+        const std::string flag = std::string("--") + name;
+        for (const auto& arg : args_) {
+            if (arg == flag) return true;
+        }
+        return false;
+    }
+
+    /// Benches honour --quick to shrink sweeps (used by CI smoke runs).
+    bool quick() const { return has_flag("quick"); }
+    std::uint64_t seed() const {
+        return static_cast<std::uint64_t>(get_long("seed", 1));
+    }
+
+private:
+    std::vector<std::string> args_;
+};
+
+/// Fixed-width table printing, wide enough for "12.34 us"-style cells.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        print_row(headers_, widths);
+        std::string rule;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            rule += std::string(widths[c] + 2, '-');
+        }
+        std::printf("%s\n", rule.c_str());
+        for (const auto& row : rows_) print_row(row, widths);
+    }
+
+private:
+    static void print_row(const std::vector<std::string>& cells,
+                          const std::vector<std::size_t>& widths) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+inline std::string fmt(const char* format, ...) {
+    char buffer[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof buffer, format, args);
+    va_end(args);
+    return buffer;
+}
+
+inline std::string fmt_ns(Nanos ns) { return format_ns(ns); }
+
+inline std::string fmt_rate(double per_second) {
+    if (per_second >= 1e6) return fmt("%.2f M/s", per_second / 1e6);
+    if (per_second >= 1e3) return fmt("%.2f K/s", per_second / 1e3);
+    return fmt("%.1f /s", per_second);
+}
+
+inline void section(const char* title) {
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace rko::bench

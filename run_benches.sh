@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every bench binary (full sweeps) and captures the output.
+set -e
+for b in bench_messaging bench_migration bench_spawn bench_pagefault \
+         bench_mmap_scale bench_futex bench_apps bench_rebalance; do
+  echo "########## $b ##########"
+  ./build/bench/$b
+  echo
+done
+echo "########## bench_primitives (host wall time) ##########"
+./build/bench/bench_primitives --benchmark_min_time=0.05

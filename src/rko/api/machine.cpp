@@ -1,0 +1,76 @@
+#include "rko/api/machine.hpp"
+
+#include "rko/base/log.hpp"
+#include "rko/core/page_owner.hpp"
+
+namespace rko::api {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      topo_(config.ncores, config.nkernels),
+      phys_(config.nkernels, config.frames_per_kernel) {
+    RKO_ASSERT_MSG(config.nkernels <= 32,
+                   "holder masks are 32-bit; up to 32 kernels supported");
+    fabric_ = std::make_unique<msg::Fabric>(engine_, config_.costs, config_.nkernels,
+                                            config_.fabric);
+    kernels_.reserve(static_cast<std::size_t>(config_.nkernels));
+    for (topo::KernelId k = 0; k < config_.nkernels; ++k) {
+        kernels_.push_back(std::make_unique<kernel::Kernel>(
+            engine_, topo_, config_.costs, phys_, *fabric_, k));
+    }
+    for (auto& k : kernels_) {
+        k->pages().set_read_replication(config_.read_replication);
+        k->install_services([this](Tid tid) -> sim::Actor* {
+            Thread* thread = thread_of(tid);
+            return thread == nullptr ? nullptr : thread->actor();
+        });
+    }
+    fabric_->start_all();
+}
+
+Machine::~Machine() {
+    fabric_->request_stop_all();
+    engine_.run();
+    if (!fabric_->all_stopped()) {
+        RKO_WARN("machine torn down with live messaging actors");
+    }
+    // Threads (owned by processes) must be destroyed before the engine;
+    // processes_ members are destroyed before engine_ per declaration order
+    // ... which is the reverse: engine_ declared before processes_, so
+    // processes_ (and their actors) die first. Correct as declared.
+}
+
+kernel::Kernel& Machine::kernel(topo::KernelId id) {
+    RKO_ASSERT(id >= 0 && id < config_.nkernels);
+    return *kernels_[static_cast<std::size_t>(id)];
+}
+
+Process& Machine::create_process(topo::KernelId origin) {
+    RKO_ASSERT_MSG(sim::current_engine() == nullptr,
+                   "create_process is a host-side (boot) operation");
+    kernel::Kernel& k = kernel(origin);
+    const Pid pid = k.alloc_pid();
+    // Home the process: master site + empty thread group at the origin.
+    k.ensure_site(pid, origin);
+    k.site(pid).group().replica_mask |= 1u << origin;
+    processes_.push_back(std::make_unique<Process>(*this, pid, origin));
+    return *processes_.back();
+}
+
+Nanos Machine::run() { return engine_.run(); }
+
+Nanos Machine::run_until(Nanos deadline) { return engine_.run_until(deadline); }
+
+void Machine::register_thread(Tid tid, Thread* thread) {
+    RKO_ASSERT(!threads_.contains(tid));
+    threads_[tid] = thread;
+}
+
+void Machine::unregister_thread(Tid tid) { threads_.erase(tid); }
+
+Thread* Machine::thread_of(Tid tid) {
+    auto it = threads_.find(tid);
+    return it == threads_.end() ? nullptr : it->second;
+}
+
+} // namespace rko::api

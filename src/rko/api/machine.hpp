@@ -1,0 +1,94 @@
+// Public facade: a simulated multicore machine running the replicated-
+// kernel OS (or its SMP / multikernel configurations).
+//
+//   rko::api::MachineConfig cfg{.ncores = 16, .nkernels = 4};
+//   rko::api::Machine machine(cfg);
+//   auto& process = machine.create_process(0);
+//   process.spawn([](rko::api::Guest& g) { ... }, /*kernel=*/2);
+//   machine.run();
+//
+// nkernels == 1 is the SMP baseline: same code, but every core shares one
+// kernel's structures. See rko/mk for the Barrelfish-style shared-nothing
+// baseline built on top of this facade.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rko/api/process.hpp"
+#include "rko/kernel/kernel.hpp"
+#include "rko/mem/phys.hpp"
+#include "rko/msg/fabric.hpp"
+#include "rko/sim/engine.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::api {
+
+struct MachineConfig {
+    int ncores = 8;
+    int nkernels = 2;                      ///< 1 = SMP baseline
+    std::size_t frames_per_kernel = 16384; ///< 64 MiB of guest RAM per kernel
+    topo::CostModel costs;
+    msg::FabricConfig fabric;
+    std::uint64_t seed = 1;
+    /// Page-consistency ablation: true = MSI with reader replication
+    /// (the paper's protocol), false = migrate-on-any-fault (no Shared
+    /// state; see DESIGN.md §5).
+    bool read_replication = true;
+};
+
+class Machine {
+public:
+    explicit Machine(MachineConfig config);
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+    ~Machine();
+
+    const MachineConfig& config() const { return config_; }
+    sim::Engine& engine() { return engine_; }
+    const topo::Topology& topology() const { return topo_; }
+    const topo::CostModel& costs() const { return config_.costs; }
+    mem::PhysMem& phys() { return phys_; }
+    msg::Fabric& fabric() { return *fabric_; }
+    kernel::Kernel& kernel(topo::KernelId id);
+    int nkernels() const { return config_.nkernels; }
+    int ncores() const { return config_.ncores; }
+
+    /// Creates a process homed on `origin`. Host-side (boot) operation.
+    Process& create_process(topo::KernelId origin);
+
+    /// Runs the simulation until the event queue drains (all guest threads
+    /// finished and every service idle). Returns final virtual time.
+    Nanos run();
+    Nanos run_until(Nanos deadline);
+
+    /// Virtual time now.
+    Nanos now() const { return engine_.now(); }
+
+    // --- Aggregates for benches ---
+    std::uint64_t total_messages() const { return fabric_->total_messages(); }
+    std::uint64_t total_message_bytes() const { return fabric_->total_bytes(); }
+
+    // --- Internal (used by Process/Thread) ---
+    void register_thread(Tid tid, Thread* thread);
+    void unregister_thread(Tid tid);
+    Thread* thread_of(Tid tid);
+
+private:
+    MachineConfig config_;
+    sim::Engine engine_;
+    topo::Topology topo_;
+    mem::PhysMem phys_;
+    std::unique_ptr<msg::Fabric> fabric_;
+    std::vector<std::unique_ptr<kernel::Kernel>> kernels_;
+    // threads_ is declared before processes_ deliberately: ~Thread (owned
+    // by a Process) unregisters itself here, so the registry must outlive
+    // the processes.
+    std::map<Tid, Thread*> threads_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    bool stopped_ = false;
+};
+
+} // namespace rko::api

@@ -1,0 +1,210 @@
+// Process, Thread, and Guest: the task-based, Linux-like programming model
+// the replicated-kernel OS presents (paper §III: applications are unaware
+// the OS underneath is distributed).
+//
+// Guest code is an ordinary C++ callable taking a Guest&. It addresses
+// memory through guest virtual addresses (mmap/read/write), synchronizes
+// with futexes (plus mutex/barrier conveniences built on them, as glibc
+// does), spawns threads on any kernel, and may migrate itself between
+// kernels. Thread joins use CLEARTID-style ctid words + futex wake, like
+// glibc's pthread_join.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rko/core/migration.hpp"
+#include "rko/mem/mmu.hpp"
+#include "rko/mem/types.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/task/task.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::api {
+
+class Machine;
+class Process;
+class Thread;
+class Guest;
+
+using GuestFn = std::function<void(Guest&)>;
+
+/// Handle to one guest thread (the continuously-executing entity; the
+/// per-kernel task records come and go as it migrates).
+class Thread {
+public:
+    Thread(Machine& machine, Process& process, Tid tid, topo::KernelId start_kernel,
+           GuestFn fn, mem::Vaddr ctid);
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+    ~Thread();
+
+    Tid tid() const { return tid_; }
+    bool finished() const;
+    int exit_status() const { return exit_status_; }
+    bool segfaulted() const { return segfaulted_; }
+    mem::Vaddr ctid() const { return ctid_; }
+    sim::Actor* actor() { return actor_.get(); }
+    topo::KernelId current_kernel() const { return kernel_id_; }
+
+private:
+    friend class Guest;
+    friend class Process;
+
+    void body();
+
+    Machine& machine_;
+    Process& process_;
+    Tid tid_;
+    topo::KernelId kernel_id_;
+    GuestFn fn_;
+    mem::Vaddr ctid_;
+    std::unique_ptr<mem::Mmu> mmu_;
+    std::unique_ptr<sim::Actor> actor_;
+    task::Task* task_ = nullptr;
+    int exit_status_ = 0;
+    bool segfaulted_ = false;
+};
+
+class Process {
+public:
+    Process(Machine& machine, Pid pid, topo::KernelId origin);
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+    ~Process();
+
+    Pid pid() const { return pid_; }
+    topo::KernelId origin() const { return origin_; }
+    Machine& machine() { return machine_; }
+
+    /// Spawns a guest thread on `where`. From host context this is the
+    /// boot path (direct instantiation); from guest context it runs the
+    /// distributed spawn protocol on the caller's actor.
+    Thread& spawn(GuestFn fn, topo::KernelId where);
+
+    /// Asserts every spawned thread has finished; call after Machine::run().
+    void check_all_joined() const;
+
+    /// Reclaims the dead process's machine-wide resources (all page frames
+    /// at every kernel, replica sites). Host-side; every thread must have
+    /// finished. The origin keeps the master record for post-mortem
+    /// inspection. Idempotent.
+    void destroy();
+    bool destroyed() const { return destroyed_; }
+
+    const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
+
+private:
+    friend class Guest;
+    friend class Thread;
+
+    Thread& spawn_common(GuestFn fn, topo::KernelId where, Guest* parent);
+    mem::Vaddr alloc_ctid();
+
+    Machine& machine_;
+    Pid pid_;
+    topo::KernelId origin_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    mem::Vaddr ctid_base_;
+    std::uint64_t ctid_next_ = 0;
+    bool destroyed_ = false;
+};
+
+/// The thread-self interface guest code programs against. Every method
+/// runs on the calling thread's actor and charges honest virtual time.
+class Guest {
+public:
+    Guest(Machine& machine, Thread& thread);
+
+    // --- Identity ---
+    Tid tid() const { return thread_.tid_; }
+    Pid pid() const;
+    topo::KernelId kernel() const { return thread_.kernel_id_; }
+    Nanos now() const;
+    Machine& machine() { return machine_; }
+
+    // --- Memory ---
+    /// Anonymous shared-within-process mapping; 0 on failure.
+    mem::Vaddr mmap(std::uint64_t length,
+                    std::uint32_t prot = mem::kProtRead | mem::kProtWrite);
+    int munmap(mem::Vaddr addr, std::uint64_t length);
+    int mprotect(mem::Vaddr addr, std::uint64_t length, std::uint32_t prot);
+    /// Sets (new_brk != 0) or queries (new_brk == 0) the program break.
+    mem::Vaddr brk(mem::Vaddr new_brk = 0);
+    /// Grows the heap by `delta` bytes; returns the old break, or 0 on
+    /// failure (like sbrk returning -1).
+    mem::Vaddr sbrk(std::int64_t delta);
+
+    template <typename T>
+    T read(mem::Vaddr addr) {
+        return thread_.mmu_->read<T>(addr);
+    }
+    template <typename T>
+    void write(mem::Vaddr addr, const T& value) {
+        thread_.mmu_->write<T>(addr, value);
+    }
+    void read_bytes(mem::Vaddr addr, std::byte* out, std::size_t n) {
+        thread_.mmu_->read_bytes(addr, out, n);
+    }
+    void write_bytes(mem::Vaddr addr, const std::byte* src, std::size_t n) {
+        thread_.mmu_->write_bytes(addr, src, n);
+    }
+    /// Atomic guest RMW (see Mmu::rmw_u32); returns the old value.
+    std::uint32_t rmw_u32(mem::Vaddr addr,
+                          const std::function<std::uint32_t(std::uint32_t)>& fn) {
+        return thread_.mmu_->rmw_u32(addr, fn);
+    }
+    /// Compare-and-swap; returns the old value (success iff old == expect).
+    std::uint32_t cas_u32(mem::Vaddr addr, std::uint32_t expect, std::uint32_t desired);
+
+    // --- Synchronization ---
+    int futex_wait(mem::Vaddr uaddr, std::uint32_t val);
+    /// Timed wait: returns 0 on wake, EAGAIN on value mismatch, ETIMEDOUT
+    /// if `timeout` elapses (spurious wakeups possible, as with futexes).
+    int futex_wait_for(mem::Vaddr uaddr, std::uint32_t val, Nanos timeout);
+    int futex_wake(mem::Vaddr uaddr, std::uint32_t max_wake);
+    /// Drepper-style futex mutex over one u32 (0 free / 1 locked / 2 contended).
+    void mutex_lock(mem::Vaddr addr);
+    void mutex_unlock(mem::Vaddr addr);
+    /// Sense-reversing futex barrier over two u32 words at addr (count, gen).
+    void barrier_wait(mem::Vaddr addr, std::uint32_t nthreads);
+
+    // --- Threads & placement ---
+    Thread& spawn(GuestFn fn, topo::KernelId where);
+    /// Blocks until `thread` exits (ctid futex protocol, like pthread_join).
+    void join(Thread& thread);
+    /// Migrates this thread to `dest`; returns the phase breakdown.
+    core::MigrationBreakdown migrate(topo::KernelId dest);
+    void yield();
+    /// Models `ns` of pure user-mode computation (preemptible per quantum).
+    void compute(Nanos ns);
+
+    // --- Introspection (SSI) ---
+    std::uint32_t global_task_count();
+    /// Machine-wide task listing for this process ("ps").
+    std::vector<core::TaskInfo> ps();
+    topo::KernelId least_loaded_kernel();
+
+    /// Settles the MMU's batched per-access charges so now() deltas around
+    /// the next operation are exact (benchmarking helper).
+    void flush_timing();
+
+private:
+    friend class Thread;
+    friend class Process;
+
+    kernel::Kernel& k();
+    task::Task& t();
+    void bind(topo::KernelId kernel_id);
+
+    Machine& machine_;
+    Thread& thread_;
+};
+
+} // namespace rko::api

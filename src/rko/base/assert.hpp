@@ -1,0 +1,40 @@
+// Assertion machinery. RKO_ASSERT is always on (the simulator's invariants
+// are cheap relative to simulated work and a silent protocol violation is
+// far more expensive to debug than the check).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rko::base {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+    std::fprintf(stderr, "rko: assertion failed: %s\n  at %s:%d\n", expr, file, line);
+    if (msg != nullptr && msg[0] != '\0') {
+        std::fprintf(stderr, "  note: %s\n", msg);
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace rko::base
+
+#define RKO_ASSERT(expr)                                                        \
+    do {                                                                        \
+        if (!(expr)) [[unlikely]] {                                             \
+            ::rko::base::assert_fail(#expr, __FILE__, __LINE__, "");            \
+        }                                                                       \
+    } while (0)
+
+#define RKO_ASSERT_MSG(expr, msg)                                               \
+    do {                                                                        \
+        if (!(expr)) [[unlikely]] {                                             \
+            ::rko::base::assert_fail(#expr, __FILE__, __LINE__, (msg));         \
+        }                                                                       \
+    } while (0)
+
+// Marks protocol states that must be unreachable if the state machine is
+// implemented correctly.
+#define RKO_UNREACHABLE(msg)                                                    \
+    ::rko::base::assert_fail("unreachable", __FILE__, __LINE__, (msg))

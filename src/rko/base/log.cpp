@@ -1,0 +1,48 @@
+#include "rko/base/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rko::base {
+namespace {
+
+LogLevel g_level = [] {
+    const char* env = std::getenv("RKO_LOG");
+    if (env == nullptr) return LogLevel::kOff;
+    if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    return LogLevel::kOff;
+}();
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_at(LogLevel level, const char* fmt, ...) {
+    std::fprintf(stderr, "[rko %-5s] ", level_name(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace rko::base

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default (benchmarks are chatty enough);
+// enable with rko::base::set_log_level or the RKO_LOG environment variable
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <cstdarg>
+
+namespace rko::base {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log statement; evaluated only when the level is enabled.
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+} // namespace rko::base
+
+#define RKO_LOG(level, ...)                                                     \
+    do {                                                                        \
+        if (::rko::base::log_enabled(level)) [[unlikely]] {                     \
+            ::rko::base::log_at(level, __VA_ARGS__);                            \
+        }                                                                       \
+    } while (0)
+
+#define RKO_TRACE(...) RKO_LOG(::rko::base::LogLevel::kTrace, __VA_ARGS__)
+#define RKO_DEBUG(...) RKO_LOG(::rko::base::LogLevel::kDebug, __VA_ARGS__)
+#define RKO_INFO(...) RKO_LOG(::rko::base::LogLevel::kInfo, __VA_ARGS__)
+#define RKO_WARN(...) RKO_LOG(::rko::base::LogLevel::kWarn, __VA_ARGS__)
+#define RKO_ERROR(...) RKO_LOG(::rko::base::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+// Every randomized component takes an explicit seed so whole-machine runs
+// are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/base/assert.hpp"
+
+namespace rko::base {
+
+/// xoshiro256** by Blackman & Vigna; small, fast, and good enough for
+/// workload generation (not cryptographic).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // SplitMix64 expansion of the seed into the full state, per the
+        // xoshiro authors' recommendation.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        RKO_ASSERT(bound > 0);
+        // Lemire's multiply-shift rejection-free-enough reduction; the bias
+        // for our bounds (<< 2^32) is negligible for workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        RKO_ASSERT(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    bool chance(double p) { return uniform() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace rko::base

@@ -1,0 +1,153 @@
+#include "rko/base/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "rko/base/assert.hpp"
+
+namespace rko::base {
+
+void Summary::add(double x) {
+    ++count_;
+    total_ += x;
+    if (count_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void Summary::merge(const Summary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void Summary::reset() { *this = Summary{}; }
+
+double Summary::variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+int Histogram::bucket_index(Nanos value) {
+    if (value < 1) value = 1;
+    const auto v = static_cast<std::uint64_t>(value);
+    const int log2 = 63 - std::countl_zero(v);
+    // Sub-bucket from the bits just below the leading one.
+    const int sub = log2 == 0
+                        ? 0
+                        : static_cast<int>((v >> std::max(0, log2 - 2)) & (kSubBuckets - 1));
+    const int index = log2 * kSubBuckets + sub;
+    return std::min(index, kBuckets - 1);
+}
+
+Nanos Histogram::bucket_upper(int index) {
+    const int log2 = index / kSubBuckets;
+    const int sub = index % kSubBuckets;
+    const auto base = static_cast<std::uint64_t>(1) << log2;
+    return static_cast<Nanos>(base + (base / kSubBuckets) * static_cast<std::uint64_t>(sub + 1));
+}
+
+void Histogram::add(Nanos value) {
+    summary_.add(static_cast<double>(value));
+    ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+}
+
+void Histogram::merge(const Histogram& other) {
+    summary_.merge(other.summary_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+Nanos Histogram::percentile(double q) const {
+    RKO_ASSERT(q >= 0.0 && q <= 100.0);
+    const std::uint64_t n = summary_.count();
+    if (n == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q / 100.0 * static_cast<double>(n)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[static_cast<std::size_t>(i)];
+        if (seen >= target && seen > 0) return std::min<Nanos>(bucket_upper(i), max());
+    }
+    return max();
+}
+
+std::string Histogram::to_string() const {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "n=%llu mean=%s p50=%s p99=%s max=%s",
+                  static_cast<unsigned long long>(count()),
+                  format_ns(static_cast<Nanos>(mean())).c_str(),
+                  format_ns(percentile(50)).c_str(), format_ns(percentile(99)).c_str(),
+                  format_ns(max()).c_str());
+    return buf;
+}
+
+void Counters::bump(const std::string& name, std::uint64_t delta) {
+    for (auto& [key, value] : entries_) {
+        if (key == name) {
+            value += delta;
+            return;
+        }
+    }
+    entries_.emplace_back(name, delta);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+    for (const auto& [key, value] : entries_) {
+        if (key == name) return value;
+    }
+    return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::sorted() const {
+    auto copy = entries_;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+}
+
+void Counters::reset() { entries_.clear(); }
+
+} // namespace rko::base
+
+namespace rko {
+
+std::string format_ns(Nanos ns) {
+    char buf[64];
+    const double v = static_cast<double>(ns);
+    if (ns < 0) {
+        std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+    } else if (ns < 1000) {
+        std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+    } else if (ns < 1000 * 1000) {
+        std::snprintf(buf, sizeof buf, "%.2f us", v / 1e3);
+    } else if (ns < 1000LL * 1000 * 1000) {
+        std::snprintf(buf, sizeof buf, "%.2f ms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.2f s", v / 1e9);
+    }
+    return buf;
+}
+
+} // namespace rko

@@ -1,0 +1,82 @@
+// Measurement accumulators used by benchmarks and protocol instrumentation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rko/base/units.hpp"
+
+namespace rko::base {
+
+/// Streaming summary statistics (Welford's online algorithm).
+class Summary {
+public:
+    void add(double x);
+    void merge(const Summary& other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double total() const { return total_; }
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double total_ = 0.0;
+};
+
+/// Log-spaced latency histogram covering [1 ns, ~9.2 s) with 4 sub-buckets
+/// per power of two; supports approximate percentiles. Good enough for the
+/// microsecond-scale distributions the benchmarks report.
+class Histogram {
+public:
+    void add(Nanos value);
+    void merge(const Histogram& other);
+    void reset();
+
+    std::uint64_t count() const { return summary_.count(); }
+    double mean() const { return summary_.mean(); }
+    Nanos min() const { return static_cast<Nanos>(summary_.min()); }
+    Nanos max() const { return static_cast<Nanos>(summary_.max()); }
+
+    /// Approximate percentile (q in [0, 100]); returns an upper bound of the
+    /// bucket containing the q-th sample.
+    Nanos percentile(double q) const;
+
+    /// One-line rendering: "n=1000 mean=1.24us p50=1.18us p99=4.2us max=9us".
+    std::string to_string() const;
+
+private:
+    static constexpr int kSubBuckets = 4;
+    static constexpr int kBuckets = 63 * kSubBuckets;
+
+    static int bucket_index(Nanos value);
+    static Nanos bucket_upper(int index);
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    Summary summary_;
+};
+
+/// Monotonically growing named counter set; used to report protocol event
+/// counts (messages sent, faults served, invalidations, ...).
+class Counters {
+public:
+    void bump(const std::string& name, std::uint64_t delta = 1);
+    std::uint64_t get(const std::string& name) const;
+    std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+    void reset();
+
+private:
+    std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+} // namespace rko::base

@@ -1,0 +1,23 @@
+// Virtual-time units. The whole simulator measures time in integer
+// nanoseconds of *virtual* time; wall-clock time never appears in results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rko {
+
+/// Virtual time in nanoseconds since simulation start.
+using Nanos = std::int64_t;
+
+namespace time_literals {
+constexpr Nanos operator""_ns(unsigned long long v) { return static_cast<Nanos>(v); }
+constexpr Nanos operator""_us(unsigned long long v) { return static_cast<Nanos>(v) * 1000; }
+constexpr Nanos operator""_ms(unsigned long long v) { return static_cast<Nanos>(v) * 1000 * 1000; }
+constexpr Nanos operator""_s(unsigned long long v) { return static_cast<Nanos>(v) * 1000 * 1000 * 1000; }
+} // namespace time_literals
+
+/// Renders a duration with an adaptive unit, e.g. "1.24 us", "3.50 ms".
+std::string format_ns(Nanos ns);
+
+} // namespace rko

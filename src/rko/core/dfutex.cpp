@@ -1,0 +1,207 @@
+#include "rko/core/dfutex.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "rko/core/page_owner.hpp"
+#include "rko/kernel/kernel.hpp"
+
+namespace rko::core {
+
+void DFutex::install() {
+    k_.node().register_handler(
+        msg::MsgType::kFutexWait, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) { on_futex_wait(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kFutexWake, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) { on_futex_wake(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kFutexGrant, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) { on_futex_grant(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kFutexCancel, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) { on_futex_cancel(node, std::move(m)); });
+}
+
+std::size_t DFutex::queued_waiters() const {
+    std::size_t total = 0;
+    for (const auto& bucket : table_) total += bucket.queue.size();
+    return total;
+}
+
+Nanos DFutex::bucket_wait_time() const {
+    Nanos total = 0;
+    for (const auto& bucket : table_) total += bucket.lock.wait_time();
+    return total;
+}
+
+std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
+                                 topo::KernelId waiter_kernel, mem::Vaddr uaddr,
+                                 std::uint32_t val) {
+    RKO_ASSERT(site.is_origin());
+    const mem::Vaddr page = mem::page_floor(uaddr);
+    Bucket& bucket = bucket_of(pid, uaddr);
+
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        // Make sure this kernel can read the word, *then* re-check its
+        // mapping under the bucket lock: any globally-completed write either
+        // updated our frame or invalidated it first.
+        const std::byte* frame = k_.pages().ensure_readable(site, page);
+        if (frame == nullptr) return kEfault; // unmapped: cannot sleep on it
+
+        bucket.lock.lock();
+        const mem::Pte* pte = site.space().page_table().find(page);
+        if (pte == nullptr || !pte->allows(mem::kProtRead)) {
+            bucket.lock.unlock();
+            continue; // invalidated under us; refetch and retry
+        }
+        std::uint32_t current;
+        std::memcpy(&current,
+                    k_.phys().frame_ptr(pte->paddr) + (uaddr & mem::kPageMask),
+                    sizeof current);
+        if (current != val) {
+            bucket.lock.unlock();
+            return kEagain;
+        }
+        bucket.queue.push_back(Waiter{pid, tid, waiter_kernel, uaddr});
+        bucket.lock.unlock();
+        return 0;
+    }
+    return kEagain;
+}
+
+std::uint32_t DFutex::origin_wake(ProcessSite& site, Pid pid, mem::Vaddr uaddr,
+                                  std::uint32_t max_wake) {
+    RKO_ASSERT(site.is_origin());
+    Bucket& bucket = bucket_of(pid, uaddr);
+    std::vector<Waiter> to_wake;
+
+    bucket.lock.lock();
+    for (auto it = bucket.queue.begin();
+         it != bucket.queue.end() && to_wake.size() < max_wake;) {
+        if (it->pid == pid && it->uaddr == uaddr) {
+            to_wake.push_back(*it);
+            it = bucket.queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    bucket.lock.unlock();
+
+    for (const Waiter& waiter : to_wake) deliver_grant(waiter);
+    return static_cast<std::uint32_t>(to_wake.size());
+}
+
+void DFutex::deliver_grant(const Waiter& waiter) {
+    if (waiter.kernel == k_.id()) {
+        task::Task* t = k_.find_task(waiter.tid);
+        if (t != nullptr) k_.sched().wake(*t);
+        return;
+    }
+    ++remote_grants_;
+    k_.node().send(waiter.kernel,
+                   msg::make_message(msg::MsgType::kFutexGrant, msg::MsgKind::kOneway,
+                                     FutexGrantMsg{waiter.pid, waiter.tid}));
+}
+
+bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
+    Bucket& bucket = bucket_of(pid, uaddr);
+    bucket.lock.lock();
+    for (auto it = bucket.queue.begin(); it != bucket.queue.end(); ++it) {
+        if (it->pid == pid && it->tid == tid && it->uaddr == uaddr) {
+            bucket.queue.erase(it);
+            bucket.lock.unlock();
+            return true;
+        }
+    }
+    bucket.lock.unlock();
+    return false;
+}
+
+int DFutex::wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
+                 std::uint32_t val, Nanos timeout) {
+    ++waits_;
+    std::int32_t result;
+    if (site.is_origin()) {
+        result = origin_wait(site, t.pid, t.tid, k_.id(), uaddr, val);
+    } else {
+        auto reply = k_.node().rpc(
+            site.origin(),
+            msg::make_message(msg::MsgType::kFutexWait, msg::MsgKind::kRequest,
+                              FutexWaitReq{t.pid, t.tid, uaddr, val, k_.id()}));
+        result = reply->payload_as<FutexWaitResp>().result;
+    }
+    if (result != 0) return result;
+
+    // Queued at the origin: sleep until a grant wakes us. A grant that
+    // raced ahead is banked as wake_pending by the scheduler.
+    if (timeout < 0) {
+        k_.sched().block_and_wait(t);
+        return 0;
+    }
+    if (k_.sched().block_and_wait_for(t, timeout)) return 0;
+
+    // Timed out: withdraw the queue entry at the origin. If the entry is
+    // already gone a grant is in flight; report a normal wake (the banked
+    // wake_pending becomes a legal spurious wakeup later).
+    bool removed;
+    if (site.is_origin()) {
+        removed = origin_cancel(t.pid, t.tid, uaddr);
+    } else {
+        auto reply = k_.node().rpc(
+            site.origin(),
+            msg::make_message(msg::MsgType::kFutexCancel, msg::MsgKind::kRequest,
+                              FutexCancelReq{t.pid, t.tid, uaddr}));
+        removed = reply->payload_as<FutexCancelResp>().removed;
+    }
+    return removed ? kEtimedout : 0;
+}
+
+int DFutex::wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
+                 std::uint32_t max_wake) {
+    ++wakes_;
+    if (site.is_origin()) {
+        return static_cast<int>(origin_wake(site, t.pid, uaddr, max_wake));
+    }
+    auto reply = k_.node().rpc(
+        site.origin(), msg::make_message(msg::MsgType::kFutexWake, msg::MsgKind::kRequest,
+                                         FutexWakeReq{t.pid, uaddr, max_wake}));
+    return static_cast<int>(reply->payload_as<FutexWakeResp>().woken);
+}
+
+void DFutex::on_futex_wait(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<FutexWaitReq>();
+    FutexWaitResp resp{kEfault};
+    if (k_.has_site(req.pid)) {
+        resp.result = origin_wait(k_.site(req.pid), req.pid, req.tid,
+                                  req.waiter_kernel, req.uaddr, req.val);
+    }
+    node.reply(*m,
+               msg::make_message(msg::MsgType::kFutexWait, msg::MsgKind::kReply, resp));
+}
+
+void DFutex::on_futex_wake(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<FutexWakeReq>();
+    FutexWakeResp resp{0};
+    if (k_.has_site(req.pid)) {
+        resp.woken = origin_wake(k_.site(req.pid), req.pid, req.uaddr, req.max_wake);
+    }
+    node.reply(*m,
+               msg::make_message(msg::MsgType::kFutexWake, msg::MsgKind::kReply, resp));
+}
+
+void DFutex::on_futex_cancel(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<FutexCancelReq>();
+    FutexCancelResp resp{origin_cancel(req.pid, req.tid, req.uaddr)};
+    node.reply(*m, msg::make_message(msg::MsgType::kFutexCancel, msg::MsgKind::kReply,
+                                     resp));
+}
+
+void DFutex::on_futex_grant(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& grant = m->payload_as<FutexGrantMsg>();
+    task::Task* t = k_.find_task(grant.tid);
+    if (t != nullptr) k_.sched().wake(*t);
+}
+
+} // namespace rko::core

@@ -1,0 +1,103 @@
+// Distributed futex (paper §IV-D): pthread-style synchronization across
+// kernel boundaries.
+//
+// Each kernel owns a futex table serving the processes whose *origin* it
+// is — the origin kernel is the futex server for its processes, exactly as
+// in Popcorn. In the SMP baseline (one kernel) the single table is shared
+// by every process on the machine, reproducing the global-futex-hash
+// contention of SMP Linux.
+//
+// The wait-side race (value changes between the caller's check and the
+// enqueue) is closed by re-reading the value at the origin under the bucket
+// lock from a locally-valid copy of the page: any write that completed
+// globally either updated that frame or invalidated it first (forcing a
+// retry), so check+enqueue is atomic with respect to wakes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "rko/core/process.hpp"
+#include "rko/core/wire.hpp"
+#include "rko/msg/node.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::core {
+
+inline constexpr int kEagain = 11;
+inline constexpr int kEfault = 14;
+inline constexpr int kEtimedout = 110;
+
+class DFutex {
+public:
+    static constexpr std::size_t kBuckets = 256;
+
+    explicit DFutex(kernel::Kernel& k) : k_(k) {}
+
+    /// Registers kFutexWait (blocking), kFutexWake / kFutexGrant (leaf).
+    void install();
+
+    // --- Syscall paths (current task's actor) ---
+    /// 0 = woken after queueing; kEagain = *uaddr != val; kEtimedout =
+    /// `timeout` (>= 0) elapsed first. A negative timeout waits forever.
+    /// Timeouts may produce spurious wakeups on other waits if a grant
+    /// races the cancellation, exactly as the futex contract allows.
+    int wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr, std::uint32_t val,
+             Nanos timeout = -1);
+    /// Number of waiters woken (machine-wide).
+    int wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
+             std::uint32_t max_wake);
+
+    std::uint64_t waits() const { return waits_; }
+    std::uint64_t wakes() const { return wakes_; }
+    std::uint64_t remote_grants() const { return remote_grants_; }
+    Nanos bucket_wait_time() const;
+    /// Waiters currently parked in this kernel's table (diagnostics).
+    std::size_t queued_waiters() const;
+
+private:
+    struct Waiter {
+        Pid pid;
+        Tid tid;
+        topo::KernelId kernel;
+        mem::Vaddr uaddr;
+    };
+
+    struct Bucket {
+        sim::SpinLock lock;
+        std::deque<Waiter> queue;
+    };
+
+    Bucket& bucket_of(Pid pid, mem::Vaddr uaddr) {
+        const std::uint64_t h =
+            (static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ULL) ^ (uaddr >> 2);
+        return table_[h % kBuckets];
+    }
+
+    // Origin-side operations (task actor or kworker).
+    std::int32_t origin_wait(ProcessSite& site, Pid pid, Tid tid,
+                             topo::KernelId waiter_kernel, mem::Vaddr uaddr,
+                             std::uint32_t val);
+    std::uint32_t origin_wake(ProcessSite& site, Pid pid, mem::Vaddr uaddr,
+                              std::uint32_t max_wake);
+    /// Removes a timed-out waiter; false if it was already granted.
+    bool origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr);
+    void deliver_grant(const Waiter& waiter);
+
+    void on_futex_wait(msg::Node& node, msg::MessagePtr m);
+    void on_futex_wake(msg::Node& node, msg::MessagePtr m);
+    void on_futex_grant(msg::Node& node, msg::MessagePtr m);
+    void on_futex_cancel(msg::Node& node, msg::MessagePtr m);
+
+    kernel::Kernel& k_;
+    std::array<Bucket, kBuckets> table_;
+    std::uint64_t waits_ = 0;
+    std::uint64_t wakes_ = 0;
+    std::uint64_t remote_grants_ = 0;
+};
+
+} // namespace rko::core

@@ -1,0 +1,109 @@
+#include "rko/core/migration.hpp"
+
+#include "rko/core/thread_group.hpp"
+#include "rko/kernel/kernel.hpp"
+
+namespace rko::core {
+
+void Migration::install() {
+    const auto handler = [this](msg::Node& node, msg::MessagePtr m) {
+        on_migrate(node, std::move(m));
+    };
+    k_.node().register_handler(msg::MsgType::kMigrate, msg::HandlerClass::kLeaf, handler);
+    k_.node().register_handler(msg::MsgType::kMigrateBack, msg::HandlerClass::kLeaf,
+                               handler);
+}
+
+bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
+                            MigrationBreakdown* breakdown) {
+    RKO_ASSERT(t.actor == &k_.engine().current());
+    if (dest == k_.id()) return false;
+    ++out_;
+    ProcessSite& site = k_.site(t.pid);
+    const Nanos t0 = k_.engine().now();
+
+    // --- Phase 1: checkpoint. Pack the architectural context and leave the
+    // scheduler. The context bytes are synthesized here (the guest state
+    // lives on the fiber); packing cost = one pass over the save area.
+    task::ThreadContext ctx{};
+    ctx.rip = 0x401000 + static_cast<std::uint64_t>(t.tid);
+    ctx.fs_base = 0x7f0000000000ULL + static_cast<std::uint64_t>(t.tid) * 0x1000;
+    for (std::size_t i = 0; i < ctx.gpr.size(); ++i) {
+        ctx.gpr[i] = static_cast<std::uint64_t>(t.tid) * 31 + i;
+    }
+    sim::current_actor().sleep_for(k_.costs().copy_cost(sizeof ctx));
+    k_.sched().depart(t);
+    const Nanos t1 = k_.engine().now();
+
+    // --- Phase 2: transfer + remote instantiation.
+    const bool back = dest == t.origin;
+    auto reply = k_.node().rpc(
+        dest, msg::make_message(back ? msg::MsgType::kMigrateBack : msg::MsgType::kMigrate,
+                                msg::MsgKind::kRequest,
+                                MigrateReq{t.pid, t.tid, t.origin, k_.id(), ctx}));
+    RKO_ASSERT_MSG(reply->payload_as<MigrateResp>().ok, "destination rejected migration");
+    const Nanos t2 = k_.engine().now();
+    if (back) ++back_;
+
+    // --- Source-side cleanup: the origin keeps a shadow for the group;
+    // intermediate kernels drop the record entirely.
+    ProcessSite& src_site = site;
+    if (k_.id() == t.origin) {
+        t.state = task::TaskState::kShadow;
+        t.actor = nullptr;
+        t.core = -1;
+    } else {
+        src_site.local_tasks().erase(t.tid);
+        t.state = task::TaskState::kExited; // record retired; entity lives on
+        t.actor = nullptr;
+    }
+
+    latency_.add(t2 - t0);
+    if (breakdown != nullptr) {
+        breakdown->checkpoint = t1 - t0;
+        breakdown->transfer = t2 - t1;
+        breakdown->total = t2 - t0;
+        // resume is filled by the api layer once a core is re-acquired.
+    }
+    return true;
+}
+
+void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<MigrateReq>();
+    ++in_;
+
+    task::Task* t = k_.find_task(req.tid);
+    if (t != nullptr) {
+        // Back-migration (or revisit): reactivate the dormant record.
+        RKO_ASSERT(t->state == task::TaskState::kShadow ||
+                   t->state == task::TaskState::kExited);
+        t->shadow = false;
+        t->state = task::TaskState::kNew;
+        t->core = -1;
+        t->wake_pending = false;
+        t->actor = k_.resolve_actor(req.tid);
+        k_.site(req.pid).local_tasks()[req.tid] = t;
+    } else {
+        task::Task& fresh =
+            k_.groups().instantiate_local(req.pid, req.tid, req.origin, "migrated");
+        t = &fresh;
+    }
+    // Unpacking the context costs one pass over the save area.
+    sim::current_actor().sleep_for(k_.costs().copy_cost(sizeof req.ctx));
+
+    // Tell the origin where the thread lives now (one-way; ordering with
+    // the thread's own exit is per-channel FIFO from this kernel).
+    if (k_.id() != req.origin) {
+        k_.node().send(req.origin,
+                       msg::make_message(msg::MsgType::kGroupUpdate, msg::MsgKind::kOneway,
+                                         GroupUpdateMsg{req.pid, req.tid,
+                                                        GroupUpdateKind::kLocation,
+                                                        k_.id()}));
+    } else {
+        k_.site(req.pid).group().location[req.tid] = k_.id();
+    }
+
+    node.reply(*m, msg::make_message(m->hdr.type, msg::MsgKind::kReply, MigrateResp{true}));
+}
+
+} // namespace rko::core

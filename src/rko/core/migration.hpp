@@ -1,0 +1,61 @@
+// Thread context migration (paper §IV-B).
+//
+// A running thread checkpoints its architectural context (registers, FPU
+// state, TLS pointer), ships it to the destination kernel in a kMigrate
+// message, and resumes there. A shadow task remains at the origin kernel
+// (back-migration reactivates it); task records on intermediate kernels are
+// reclaimed when the thread moves on. Address-space state moves lazily:
+// the destination faults pages and VMAs over as the thread touches them.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/base/stats.hpp"
+#include "rko/core/process.hpp"
+#include "rko/core/wire.hpp"
+#include "rko/msg/node.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::core {
+
+/// Phase breakdown of one migration, reported by bench_migration (E2).
+struct MigrationBreakdown {
+    Nanos checkpoint = 0; ///< context pack + scheduler departure
+    Nanos transfer = 0;   ///< request send -> remote instantiation done
+    Nanos resume = 0;     ///< reply receipt -> running on a dest core
+    Nanos total = 0;
+};
+
+class Migration {
+public:
+    explicit Migration(kernel::Kernel& k) : k_(k) {}
+
+    /// Registers kMigrate/kMigrateBack (leaf at the destination).
+    void install();
+
+    /// Migrates the current task to `dest`; runs on the task's actor.
+    /// On return the thread is instantiated (but not yet scheduled) at
+    /// `dest`; the api layer rebinds the MMU and acquires a core there.
+    /// Returns false if dest == current kernel (no-op).
+    bool migrate_out(task::Task& t, topo::KernelId dest,
+                     MigrationBreakdown* breakdown = nullptr);
+
+    std::uint64_t migrations_out() const { return out_; }
+    std::uint64_t migrations_in() const { return in_; }
+    std::uint64_t back_migrations() const { return back_; }
+    const base::Histogram& latency() const { return latency_; }
+
+private:
+    void on_migrate(msg::Node& node, msg::MessagePtr m);
+
+    kernel::Kernel& k_;
+    std::uint64_t out_ = 0;
+    std::uint64_t in_ = 0;
+    std::uint64_t back_ = 0;
+    base::Histogram latency_;
+};
+
+} // namespace rko::core

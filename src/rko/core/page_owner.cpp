@@ -1,0 +1,686 @@
+#include "rko/core/page_owner.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "rko/base/log.hpp"
+#include "rko/kernel/kernel.hpp"
+
+namespace rko::core {
+
+namespace {
+
+struct ReadGuard {
+    explicit ReadGuard(sim::RwLock& l) : lock(l) { lock.lock_shared(); }
+    ~ReadGuard() { lock.unlock_shared(); }
+    sim::RwLock& lock;
+};
+struct WriteGuard {
+    explicit WriteGuard(sim::RwLock& l) : lock(l) { lock.lock(); }
+    ~WriteGuard() { lock.unlock(); }
+    sim::RwLock& lock;
+};
+
+std::uint32_t effective_prot(std::uint32_t vma_prot, bool writable) {
+    return writable ? vma_prot : (vma_prot & ~mem::kProtWrite);
+}
+
+} // namespace
+
+void PageOwner::install() {
+    k_.node().register_handler(
+        msg::MsgType::kPageFault, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) { on_page_fault(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kPageFetch, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) { on_page_fetch(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kPageInvalidate, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_page_invalidate(node, std::move(m));
+        });
+    k_.node().register_handler(
+        msg::MsgType::kPageInstalled, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_page_installed(node, std::move(m));
+        });
+}
+
+// ---------------------------------------------------------------------------
+// Local holder operations (this kernel gives up or shares its copy).
+// ---------------------------------------------------------------------------
+
+bool PageOwner::local_fetch(ProcessSite& site, mem::Vaddr page, bool downgrade,
+                            std::byte* out) {
+    WriteGuard guard(site.space().mmap_lock());
+    const mem::Pte* pte = site.space().page_table().find(page);
+    if (pte == nullptr || !pte->present) return false;
+    // Downgrade BEFORE capturing the bytes: a local writer slipping one
+    // more store in after the copy would diverge from the shipped data.
+    // The protect+bump pair must not be separated by a yield (stale-TLB
+    // hazard, see local_invalidate).
+    bool downgraded = false;
+    if (downgrade && (pte->prot & mem::kProtWrite) != 0) {
+        site.space().page_table().protect(page, pte->prot & ~mem::kProtWrite);
+        site.space().bump_tlb_generation();
+        downgraded = true;
+    }
+    std::memcpy(out, k_.phys().frame_ptr(pte->paddr), mem::kPageSize);
+    sim::current_actor().sleep_for(k_.costs().page_copy);
+    if (downgraded) sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+    return true;
+}
+
+bool PageOwner::local_invalidate(ProcessSite& site, mem::Vaddr page, bool want_data,
+                                 std::byte* out, bool* data_included) {
+    WriteGuard guard(site.space().mmap_lock());
+    const mem::Pte* pte = site.space().page_table().find(page);
+    RKO_TRACE("%lld invalidate k=%d page=%llx present=%d",
+              static_cast<long long>(k_.engine().now()), k_.id(),
+              static_cast<unsigned long long>(page),
+              static_cast<int>(pte != nullptr && pte->present));
+    if (pte == nullptr || !pte->present) return false;
+    // INVARIANT: the PTE clear and the TLB-generation bump must land in the
+    // same no-yield window — any sleep in between (the data copy, the frame
+    // free's allocator time) would let a local task's soft-TLB serve a
+    // stale writable pointer into the frame being reclaimed. The bytes are
+    // captured AFTER revocation, so no local store can race past the copy.
+    const mem::Pte old = site.space().page_table().clear(page);
+    site.space().bump_tlb_generation();
+    if (want_data) {
+        std::memcpy(out, k_.phys().frame_ptr(old.paddr), mem::kPageSize);
+        sim::current_actor().sleep_for(k_.costs().page_copy);
+        *data_included = true;
+    }
+    k_.frames().free(old.paddr);
+    sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// The origin-side transaction.
+// ---------------------------------------------------------------------------
+
+FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
+                                          std::uint32_t access,
+                                          topo::KernelId requester,
+                                          PageFaultResp& out) {
+    RKO_ASSERT(site.is_origin());
+    const std::uint64_t vpn = mem::vpn_of(page);
+    const bool want_write = (access & mem::kProtWrite) != 0;
+    // Ablation switch: without read replication every fault transfers
+    // exclusive ownership (the PTE itself is still mapped per `access`).
+    const bool take_exclusive = want_write || !read_replication_;
+
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::uint64_t epoch0 = site.vma_epoch;
+
+        // Validate against the master VMA tree.
+        {
+            ReadGuard guard(site.space().mmap_lock());
+            const mem::Vma* vma = site.space().vmas().find(page);
+            if (vma == nullptr || (vma->prot & access) != access) {
+                out.status = FaultStatus::kSegv;
+                return out.status;
+            }
+        }
+
+        auto& shard = site.dir_shard(vpn);
+        shard.lock.lock();
+        if (site.vma_epoch != epoch0) {
+            // A destructive VMA op completed since validation; re-validate.
+            shard.lock.unlock();
+            continue;
+        }
+        auto it = shard.entries.find(vpn);
+        if (it == shard.entries.end()) {
+            // First touch machine-wide: the requester allocates a zero page.
+            // The entry is born busy; it commits when the install confirms.
+            PageDirEntry entry;
+            if (take_exclusive) {
+                entry.state = PageDirEntry::State::kExclusive;
+                entry.owner = requester;
+            } else {
+                entry.state = PageDirEntry::State::kShared;
+                entry.sharers = 1u << requester;
+            }
+            PageDirEntry busy_marker = entry;
+            busy_marker.busy = true;
+            shard.entries.emplace(vpn, busy_marker);
+            shard.pending[vpn] = entry;
+            shard.lock.unlock();
+            out.status = FaultStatus::kOk;
+            out.zero_fill = true;
+            out.data_included = false;
+            out.upgrade = false;
+            return out.status;
+        }
+
+        PageDirEntry& entry = it->second;
+        RKO_TRACE("%lld txn page=%llx access=%u req=%d state=%d owner=%d sharers=%x busy=%d",
+                  static_cast<long long>(k_.engine().now()),
+                  static_cast<unsigned long long>(page), access, requester,
+                  static_cast<int>(entry.state), entry.owner, entry.sharers,
+                  static_cast<int>(entry.busy));
+        if (entry.busy) {
+            // Another transaction owns the entry; wait for any release and
+            // re-look-up (the entry may have been erased meanwhile).
+            shard.lock.unlock();
+            shard.busy_wait.wait(k_.engine());
+            continue;
+        }
+        entry.busy = true;
+        const PageDirEntry snapshot = entry;
+        shard.lock.unlock();
+
+        // --- Protocol work: no shard lock held across awaits. ---
+        out.zero_fill = false;
+        out.upgrade = false;
+        out.data_included = false;
+        PageDirEntry updated = snapshot;
+
+        if (!take_exclusive) {
+            if (snapshot.holds(requester)) {
+                // The requester lost its mapping without the directory
+                // noticing an ownership change (racing install); tell it to
+                // refault if it cannot recover locally.
+                out.upgrade = true;
+            } else if (snapshot.state == PageDirEntry::State::kShared) {
+                // Copy from the most convenient sharer.
+                if (snapshot.holds(k_.id())) {
+                    RKO_ASSERT(local_fetch(site, page, false, out.data.data()));
+                } else {
+                    const auto source = static_cast<topo::KernelId>(
+                        std::countr_zero(snapshot.sharers));
+                    ++fetches_;
+                    auto reply = k_.node().rpc(
+                        source,
+                        msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
+                                          PageFetchReq{site.pid(), page, false}));
+                    const auto& fetched = reply->payload_as<PageFetchResp>();
+                    RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-transaction");
+                    out.data = fetched.data;
+                }
+                out.data_included = true;
+                updated.sharers = snapshot.sharers | (1u << requester);
+            } else {
+                // Exclusive elsewhere: downgrade the owner, go Shared.
+                if (snapshot.owner == k_.id()) {
+                    RKO_ASSERT(local_fetch(site, page, true, out.data.data()));
+                } else {
+                    ++fetches_;
+                    auto reply = k_.node().rpc(
+                        snapshot.owner,
+                        msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
+                                          PageFetchReq{site.pid(), page, true}));
+                    const auto& fetched = reply->payload_as<PageFetchResp>();
+                    RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-transaction");
+                    out.data = fetched.data;
+                }
+                out.data_included = true;
+                updated.state = PageDirEntry::State::kShared;
+                updated.sharers = (1u << snapshot.owner) | (1u << requester);
+                updated.owner = -1;
+            }
+        } else {
+            // WRITE: invalidate every other copy; take the bytes with us.
+            const bool requester_holds = snapshot.holds(requester);
+            const std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
+            bool have_data = false;
+            for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
+                const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
+                ++invalidations_;
+                if (holder == k_.id()) {
+                    bool included = false;
+                    const bool had = local_invalidate(site, page, !have_data,
+                                                      out.data.data(), &included);
+                    have_data |= (had && included);
+                } else {
+                    auto reply = k_.node().rpc(
+                        holder, msg::make_message(
+                                    msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
+                                    PageInvalidateReq{site.pid(), page, !have_data}));
+                    const auto& inv = reply->payload_as<PageInvalidateResp>();
+                    if (inv.had_page && inv.data_included) {
+                        out.data = inv.data;
+                        have_data = true;
+                    }
+                }
+            }
+            if (requester_holds) {
+                out.upgrade = true;
+            } else if (have_data) {
+                out.data_included = true;
+            } else {
+                // Every listed holder had already dropped the page — only
+                // possible transiently; hand out a fresh zero page.
+                out.zero_fill = true;
+            }
+            updated.state = PageDirEntry::State::kExclusive;
+            updated.owner = requester;
+            updated.sharers = 0;
+        }
+
+        // --- Park the post-transaction state; busy stays set until the
+        // requester's install commits (commit_install).
+        shard.lock.lock();
+        RKO_ASSERT_MSG(shard.entries.contains(vpn),
+                       "directory entry vanished while busy (revoke must queue)");
+        updated.busy = false;
+        shard.pending[vpn] = updated;
+        shard.lock.unlock();
+        out.status = FaultStatus::kOk;
+        return out.status;
+    }
+    out.status = FaultStatus::kRetry;
+    return out.status;
+}
+
+void PageOwner::commit_install(ProcessSite& site, mem::Vaddr page,
+                               topo::KernelId requester, bool ok) {
+    const std::uint64_t vpn = mem::vpn_of(page);
+    auto& shard = site.dir_shard(vpn);
+    shard.lock.lock();
+    auto pending_it = shard.pending.find(vpn);
+    RKO_ASSERT_MSG(pending_it != shard.pending.end(), "commit without pending state");
+    PageDirEntry updated = pending_it->second;
+    shard.pending.erase(pending_it);
+    auto it = shard.entries.find(vpn);
+    RKO_ASSERT(it != shard.entries.end() && it->second.busy);
+
+    if (ok) {
+        it->second = updated; // updated.busy is already false
+    } else {
+        // The requester abandoned the install (racing munmap): remove it
+        // from the holder set; an empty holder set retires the entry.
+        if (updated.state == PageDirEntry::State::kExclusive) {
+            if (updated.owner == requester) {
+                shard.entries.erase(it);
+            } else {
+                it->second = updated;
+            }
+        } else {
+            updated.sharers &= ~(1u << requester);
+            if (updated.sharers == 0) {
+                shard.entries.erase(it);
+            } else {
+                it->second = updated;
+            }
+        }
+    }
+    shard.busy_wait.notify_all();
+    shard.lock.unlock();
+    RKO_TRACE("%lld commit page=%llx req=%d ok=%d",
+              static_cast<long long>(k_.engine().now()),
+              static_cast<unsigned long long>(page), requester, static_cast<int>(ok));
+}
+
+// ---------------------------------------------------------------------------
+// Requester side.
+// ---------------------------------------------------------------------------
+
+bool PageOwner::install_locally(ProcessSite& site, const mem::Vma& vma,
+                                mem::Vaddr page, std::uint32_t access,
+                                const PageFaultResp& resp) {
+    const bool want_write = (access & mem::kProtWrite) != 0;
+    WriteGuard guard(site.space().mmap_lock());
+
+    if (resp.upgrade) {
+        // We already hold current bytes; WIDEN the PTE to what this access
+        // needs. Never narrow here: another thread on this kernel may hold
+        // a TLB entry with the wider rights, and narrowing without a
+        // shootdown (generation bump) would let its cached translation
+        // disagree with the page table — the directory would then treat a
+        // still-written-to copy as read-only. (Narrowing is exclusively the
+        // job of the invalidate/downgrade paths, which bump the generation
+        // in the same no-yield window.)
+        mem::Pte* pte = site.space().page_table().find(page);
+        if (pte == nullptr || !pte->present) {
+            // Invalidated between the origin's decision and our install —
+            // refault and run the full transaction again.
+            return false;
+        }
+        site.space().page_table().protect(
+            page, pte->prot | effective_prot(vma.prot, want_write));
+        return true;
+    }
+
+    const mem::Paddr frame =
+        resp.zero_fill ? k_.frames().alloc_page_zeroed() : k_.frames().alloc();
+    if (frame == 0) return false; // OOM: surface as a failed fix => SEGV path
+    if (resp.data_included) {
+        std::memcpy(k_.phys().frame_ptr(frame), resp.data.data(), mem::kPageSize);
+        sim::current_actor().sleep_for(k_.costs().page_copy);
+    }
+    // Replace any stale mapping (should not exist; belt and braces). Clear
+    // and bump before the free can yield (see local_invalidate).
+    if (const mem::Pte* old = site.space().page_table().find(page);
+        old != nullptr && old->present) {
+        const mem::Pte cleared = site.space().page_table().clear(page);
+        site.space().bump_tlb_generation();
+        k_.frames().free(cleared.paddr);
+    }
+    site.space().page_table().map(page, frame, effective_prot(vma.prot, want_write));
+    return true;
+}
+
+mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
+                                         mem::Vaddr page, std::uint32_t access) {
+    PageFaultResp resp{};
+    if (site.is_origin()) {
+        ++local_faults_;
+        const FaultStatus status =
+            origin_transaction(site, page, access, k_.id(), resp);
+        if (status == FaultStatus::kSegv) return mem::Mmu::FaultResult::kSegv;
+        if (status == FaultStatus::kRetry) return mem::Mmu::FaultResult::kFixed;
+        const bool installed = install_locally(site, vma, page, access, resp);
+        commit_install(site, page, k_.id(), installed);
+        return mem::Mmu::FaultResult::kFixed;
+    }
+
+    ++remote_faults_;
+    const Nanos t0 = k_.engine().now();
+    auto reply = k_.node().rpc(
+        site.origin(),
+        msg::make_message(msg::MsgType::kPageFault, msg::MsgKind::kRequest,
+                          PageFaultReq{site.pid(), page, access, k_.id()}));
+    remote_latency_.add(k_.engine().now() - t0);
+    const auto& fault_resp = reply->payload_as<PageFaultResp>();
+    if (fault_resp.status == FaultStatus::kSegv) return mem::Mmu::FaultResult::kSegv;
+    if (fault_resp.status == FaultStatus::kRetry) return mem::Mmu::FaultResult::kFixed;
+    const bool installed = install_locally(site, vma, page, access, fault_resp);
+    // Third leg: let the directory commit (or roll back) and release busy.
+    k_.node().send(site.origin(),
+                   msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,
+                                     PageInstalledMsg{site.pid(), page, k_.id(),
+                                                      installed}));
+    return mem::Mmu::FaultResult::kFixed;
+}
+
+std::byte* PageOwner::ensure_readable(ProcessSite& site, mem::Vaddr page) {
+    RKO_ASSERT(site.is_origin());
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        {
+            const mem::Pte* pte = site.space().page_table().find(page);
+            if (pte != nullptr && pte->allows(mem::kProtRead)) {
+                return k_.phys().frame_ptr(pte->paddr);
+            }
+        }
+        mem::Vma vma;
+        {
+            ReadGuard guard(site.space().mmap_lock());
+            const mem::Vma* found = site.space().vmas().find(page);
+            if (found == nullptr || (found->prot & mem::kProtRead) == 0) return nullptr;
+            vma = *found;
+        }
+        PageFaultResp resp{};
+        if (origin_transaction(site, page, mem::kProtRead, k_.id(), resp) !=
+            FaultStatus::kOk) {
+            return nullptr;
+        }
+        const bool installed = install_locally(site, vma, page, mem::kProtRead, resp);
+        commit_install(site, page, k_.id(), installed);
+    }
+    return nullptr;
+}
+
+std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
+                                      mem::Vaddr end) {
+    RKO_ASSERT(site.is_origin());
+    const std::uint64_t vpn_lo = mem::vpn_of(start);
+    const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
+    std::uint32_t revoked = 0;
+
+    for (auto& shard : site.dir_shards()) {
+        // Collect candidates under the lock, then transact one by one.
+        std::vector<std::uint64_t> vpns;
+        shard.lock.lock();
+        for (const auto& [vpn, entry] : shard.entries) {
+            if (vpn >= vpn_lo && vpn < vpn_hi) vpns.push_back(vpn);
+        }
+        shard.lock.unlock();
+
+        for (const std::uint64_t vpn : vpns) {
+            shard.lock.lock();
+            auto it = shard.entries.find(vpn);
+            while (it != shard.entries.end() && it->second.busy) {
+                shard.lock.unlock();
+                shard.busy_wait.wait(k_.engine());
+                shard.lock.lock();
+                it = shard.entries.find(vpn);
+            }
+            if (it == shard.entries.end()) {
+                shard.lock.unlock();
+                continue;
+            }
+            it->second.busy = true;
+            const std::uint32_t holders = it->second.holder_mask();
+            shard.lock.unlock();
+
+            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+            for (std::uint32_t mask = holders; mask != 0; mask &= mask - 1) {
+                const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
+                ++invalidations_;
+                if (holder == k_.id()) {
+                    bool included = false;
+                    std::array<std::byte, mem::kPageSize> discard;
+                    local_invalidate(site, page, false, discard.data(), &included);
+                } else {
+                    k_.node().rpc(
+                        holder, msg::make_message(
+                                    msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
+                                    PageInvalidateReq{site.pid(), page, false}));
+                }
+            }
+
+            shard.lock.lock();
+            shard.entries.erase(vpn);
+            shard.busy_wait.notify_all();
+            shard.lock.unlock();
+            ++revoked;
+        }
+    }
+    return revoked;
+}
+
+namespace {
+
+/// Claims the busy bit of `vpn`'s entry, waiting out other transactions.
+/// Returns false if the entry does not exist (nothing to do). On success
+/// the snapshot holds the pre-claim state and the entry is busy.
+bool claim_busy(sim::Engine& engine, ProcessSite::DirShard& shard, std::uint64_t vpn,
+                PageDirEntry* snapshot) {
+    shard.lock.lock();
+    auto it = shard.entries.find(vpn);
+    while (it != shard.entries.end() && it->second.busy) {
+        shard.lock.unlock();
+        shard.busy_wait.wait(engine);
+        shard.lock.lock();
+        it = shard.entries.find(vpn);
+    }
+    if (it == shard.entries.end()) {
+        shard.lock.unlock();
+        return false;
+    }
+    it->second.busy = true;
+    *snapshot = it->second;
+    shard.lock.unlock();
+    return true;
+}
+
+/// Collects the vpns in [lo, hi) present in the shard right now.
+std::vector<std::uint64_t> collect_vpns(ProcessSite::DirShard& shard,
+                                        std::uint64_t vpn_lo, std::uint64_t vpn_hi) {
+    std::vector<std::uint64_t> vpns;
+    shard.lock.lock();
+    for (const auto& [vpn, entry] : shard.entries) {
+        if (vpn >= vpn_lo && vpn < vpn_hi) vpns.push_back(vpn);
+    }
+    shard.lock.unlock();
+    return vpns;
+}
+
+} // namespace
+
+std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
+                                         mem::Vaddr end) {
+    RKO_ASSERT(site.is_origin());
+    const std::uint64_t vpn_lo = mem::vpn_of(start);
+    const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
+    std::uint32_t touched = 0;
+
+    for (auto& shard : site.dir_shards()) {
+        for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
+            PageDirEntry snapshot;
+            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+            PageDirEntry updated = snapshot;
+            if (snapshot.state == PageDirEntry::State::kExclusive) {
+                std::array<std::byte, mem::kPageSize> discard;
+                if (snapshot.owner == k_.id()) {
+                    local_fetch(site, page, /*downgrade=*/true, discard.data());
+                } else {
+                    ++fetches_;
+                    k_.node().rpc(snapshot.owner,
+                                  msg::make_message(msg::MsgType::kPageFetch,
+                                                    msg::MsgKind::kRequest,
+                                                    PageFetchReq{site.pid(), page, true}));
+                }
+                updated.state = PageDirEntry::State::kShared;
+                updated.sharers = 1u << snapshot.owner;
+                updated.owner = -1;
+            }
+            shard.lock.lock();
+            updated.busy = false;
+            shard.entries[vpn] = updated;
+            shard.busy_wait.notify_all();
+            shard.lock.unlock();
+            ++touched;
+        }
+    }
+    return touched;
+}
+
+std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
+                                         mem::Vaddr end) {
+    RKO_ASSERT(site.is_origin());
+    const std::uint64_t vpn_lo = mem::vpn_of(start);
+    const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
+    std::uint32_t touched = 0;
+
+    for (auto& shard : site.dir_shards()) {
+        for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
+            PageDirEntry snapshot;
+            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+            const bool origin_holds = snapshot.holds(k_.id());
+            std::array<std::byte, mem::kPageSize> data;
+            bool have_data = false;
+
+            // Invalidate every non-origin holder, grabbing the bytes if the
+            // origin has no copy of its own.
+            for (std::uint32_t mask = snapshot.holder_mask() & ~(1u << k_.id());
+                 mask != 0; mask &= mask - 1) {
+                const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
+                ++invalidations_;
+                auto reply = k_.node().rpc(
+                    holder, msg::make_message(
+                                msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
+                                PageInvalidateReq{site.pid(), page,
+                                                  !origin_holds && !have_data}));
+                const auto& inv = reply->payload_as<PageInvalidateResp>();
+                if (inv.had_page && inv.data_included) {
+                    data = inv.data;
+                    have_data = true;
+                }
+            }
+
+            bool keep = true;
+            {
+                WriteGuard guard(site.space().mmap_lock());
+                if (origin_holds) {
+                    site.space().page_table().protect(page, mem::kProtNone);
+                    site.space().bump_tlb_generation();
+                    sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+                } else if (have_data) {
+                    const mem::Paddr frame = k_.frames().alloc();
+                    RKO_ASSERT(frame != 0);
+                    std::memcpy(k_.phys().frame_ptr(frame), data.data(), mem::kPageSize);
+                    sim::current_actor().sleep_for(k_.costs().page_copy);
+                    site.space().page_table().map(page, frame, mem::kProtNone);
+                } else {
+                    keep = false; // every holder vanished: nothing to keep
+                }
+            }
+
+            shard.lock.lock();
+            if (keep) {
+                PageDirEntry updated;
+                updated.state = PageDirEntry::State::kExclusive;
+                updated.owner = k_.id();
+                updated.busy = false;
+                shard.entries[vpn] = updated;
+            } else {
+                shard.entries.erase(vpn);
+            }
+            shard.busy_wait.notify_all();
+            shard.lock.unlock();
+            ++touched;
+        }
+    }
+    return touched;
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers.
+// ---------------------------------------------------------------------------
+
+void PageOwner::on_page_fault(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<PageFaultReq>();
+    auto response = std::make_unique<msg::Message>();
+    response->hdr.type = msg::MsgType::kPageFault;
+    PageFaultResp resp{};
+    if (!k_.has_site(req.pid)) {
+        resp.status = FaultStatus::kSegv;
+    } else {
+        origin_transaction(k_.site(req.pid), req.va, req.access, req.requester, resp);
+    }
+    response->set_payload(resp);
+    node.reply(*m, std::move(response));
+}
+
+void PageOwner::on_page_fetch(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<PageFetchReq>();
+    auto response = std::make_unique<msg::Message>();
+    response->hdr.type = msg::MsgType::kPageFetch;
+    PageFetchResp resp{};
+    resp.ok = k_.has_site(req.pid) &&
+              local_fetch(k_.site(req.pid), req.va, req.downgrade, resp.data.data());
+    response->set_payload(resp);
+    node.reply(*m, std::move(response));
+}
+
+void PageOwner::on_page_installed(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& done = m->payload_as<PageInstalledMsg>();
+    RKO_ASSERT(k_.has_site(done.pid));
+    commit_install(k_.site(done.pid), done.va, done.requester, done.ok);
+}
+
+void PageOwner::on_page_invalidate(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<PageInvalidateReq>();
+    auto response = std::make_unique<msg::Message>();
+    response->hdr.type = msg::MsgType::kPageInvalidate;
+    PageInvalidateResp resp{};
+    resp.data_included = false;
+    resp.had_page =
+        k_.has_site(req.pid) &&
+        local_invalidate(k_.site(req.pid), req.va, req.want_data, resp.data.data(),
+                         &resp.data_included);
+    response->set_payload(resp);
+    node.reply(*m, std::move(response));
+}
+
+} // namespace rko::core

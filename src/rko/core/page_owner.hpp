@@ -1,0 +1,115 @@
+// Page-granularity ownership protocol (paper §IV-C).
+//
+// MSI-style, home-based: the process's origin kernel keeps a directory
+// entry per touched page recording who holds valid copies. Read faults
+// replicate (Shared); write faults invalidate every other copy and move
+// exclusive ownership to the writer. The result is sequential consistency
+// at page granularity across kernels, which is what the hardware gives a
+// thread group on one kernel.
+//
+// Transactions at the origin serialize per page with a busy bit (the shard
+// lock is never held across an await) and re-validate against the site's
+// vma_epoch so racing munmaps cannot resurrect dead pages.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/base/stats.hpp"
+#include "rko/core/process.hpp"
+#include "rko/mem/mmu.hpp"
+#include "rko/core/wire.hpp"
+#include "rko/msg/node.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::core {
+
+class PageOwner {
+public:
+    explicit PageOwner(kernel::Kernel& k) : k_(k) {}
+
+    /// Registers kPageFault (blocking), kPageFetch / kPageInvalidate (leaf).
+    void install();
+
+    /// Protocol ablation: when false, read faults also take exclusive
+    /// ownership (no Shared state — pages migrate on any fault, the
+    /// simplest DSM). Default true: MSI with reader replication.
+    void set_read_replication(bool enabled) { read_replication_ = enabled; }
+    bool read_replication() const { return read_replication_; }
+
+    /// Fault entry after VMA validation: obtain `access` rights to `page`
+    /// for this kernel and map it locally. Runs on the faulting task.
+    mem::Mmu::FaultResult acquire(ProcessSite& site, const mem::Vma& vma,
+                                  mem::Vaddr page, std::uint32_t access);
+
+    /// Ensures this (origin) kernel holds a readable copy of `page` —
+    /// used by the distributed futex to peek at user words. Returns the
+    /// host pointer to the local frame, or null if unmapped/SEGV.
+    std::byte* ensure_readable(ProcessSite& site, mem::Vaddr page);
+
+    /// Origin-side munmap support: invalidates every copy of every page in
+    /// [start, end) machine-wide and erases the directory entries (the data
+    /// is dead). Returns pages revoked. Caller holds the vma_op_lock.
+    std::uint32_t revoke_range(ProcessSite& site, mem::Vaddr start, mem::Vaddr end);
+
+    /// Origin-side mprotect support when write permission is removed:
+    /// strips the write bit from every holder's PTE and demotes Exclusive
+    /// entries to Shared. Data is preserved in place.
+    std::uint32_t downgrade_range(ProcessSite& site, mem::Vaddr start, mem::Vaddr end);
+
+    /// Origin-side mprotect support for PROT_NONE: pulls every page's bytes
+    /// home to an origin frame mapped with no access, so the data survives
+    /// a later mprotect back to accessibility.
+    std::uint32_t sequester_range(ProcessSite& site, mem::Vaddr start, mem::Vaddr end);
+
+    std::uint64_t local_faults() const { return local_faults_; }
+    std::uint64_t remote_faults() const { return remote_faults_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+    std::uint64_t fetches() const { return fetches_; }
+    const base::Histogram& remote_fault_latency() const { return remote_latency_; }
+
+private:
+    /// The heart of the protocol; runs at the origin (task or kworker).
+    /// On kOk the directory entry is left BUSY with the post-transaction
+    /// state parked in the shard's pending map; the requester must call
+    /// commit_install (locally or via kPageInstalled) after installing its
+    /// PTE. This three-phase shape makes directory state and requester PTEs
+    /// change atomically with respect to other transactions.
+    FaultStatus origin_transaction(ProcessSite& site, mem::Vaddr page,
+                                   std::uint32_t access, topo::KernelId requester,
+                                   PageFaultResp& out);
+
+    /// Commits (ok) or rolls back (!ok: requester removed from holders) the
+    /// pending state and releases the busy bit.
+    void commit_install(ProcessSite& site, mem::Vaddr page, topo::KernelId requester,
+                        bool ok);
+
+    /// Requester-side: installs the transaction result into the local
+    /// address space. Returns false if the local VMA vanished meanwhile.
+    bool install_locally(ProcessSite& site, const mem::Vma& vma, mem::Vaddr page,
+                         std::uint32_t access, const PageFaultResp& resp);
+
+    // Local holder ops, used both by leaf handlers (for remote requests)
+    // and directly when the origin itself is the holder.
+    bool local_fetch(ProcessSite& site, mem::Vaddr page, bool downgrade,
+                     std::byte* out);
+    bool local_invalidate(ProcessSite& site, mem::Vaddr page, bool want_data,
+                          std::byte* out, bool* data_included);
+
+    void on_page_fault(msg::Node& node, msg::MessagePtr m);
+    void on_page_fetch(msg::Node& node, msg::MessagePtr m);
+    void on_page_invalidate(msg::Node& node, msg::MessagePtr m);
+    void on_page_installed(msg::Node& node, msg::MessagePtr m);
+
+    kernel::Kernel& k_;
+    bool read_replication_ = true;
+    std::uint64_t local_faults_ = 0;
+    std::uint64_t remote_faults_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t fetches_ = 0;
+    base::Histogram remote_latency_;
+};
+
+} // namespace rko::core

@@ -1,0 +1,112 @@
+// Per-kernel, per-process state: the "process site".
+//
+// Every kernel hosting (or having hosted) a thread of process P keeps a
+// ProcessSite: an AddressSpace replica, the local member list, and — on the
+// origin kernel only — the master copies: the distributed-thread-group
+// record, the page-ownership directory, and the VMA-operation serializer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "rko/mem/addrspace.hpp"
+#include "rko/sim/sync.hpp"
+#include "rko/task/task.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::core {
+
+/// Who currently holds a valid copy of one page. Lives at the origin
+/// ("home") kernel; protected by its shard lock plus a per-entry busy bit
+/// that serializes multi-message protocol transactions without holding the
+/// shard lock across awaits.
+struct PageDirEntry {
+    enum class State : std::uint8_t { kExclusive, kShared };
+    State state = State::kExclusive;
+    topo::KernelId owner = -1;   ///< valid when kExclusive
+    std::uint32_t sharers = 0;   ///< bitmask of kernel ids when kShared
+    bool busy = false;           ///< a transaction owns this entry
+
+    bool holds(topo::KernelId k) const {
+        return state == State::kExclusive ? owner == k
+                                          : (sharers & (1u << k)) != 0;
+    }
+
+    /// All kernels holding a copy, as a mask.
+    std::uint32_t holder_mask() const {
+        return state == State::kExclusive ? (1u << owner) : sharers;
+    }
+};
+
+/// Origin-side record of the distributed thread group (paper §IV-A).
+struct ThreadGroup {
+    int alive = 0;
+    std::uint64_t spawned = 0;
+    std::map<Tid, topo::KernelId> location; ///< live members -> kernel
+    sim::WaitList exit_waiters;             ///< whole-process waiters
+    /// Every kernel that ever instantiated a replica site (targets for VMA
+    /// update broadcasts); includes the origin.
+    std::uint32_t replica_mask = 0;
+};
+
+class ProcessSite {
+public:
+    static constexpr int kDirShards = 16;
+
+    ProcessSite(Pid pid, topo::KernelId kernel, topo::KernelId origin)
+        : space_(pid, kernel, origin) {}
+    ProcessSite(const ProcessSite&) = delete;
+    ProcessSite& operator=(const ProcessSite&) = delete;
+
+    Pid pid() const { return space_.pid(); }
+    topo::KernelId kernel() const { return space_.kernel(); }
+    topo::KernelId origin() const { return space_.origin(); }
+    bool is_origin() const { return space_.is_origin(); }
+
+    mem::AddressSpace& space() { return space_; }
+    const mem::AddressSpace& space() const { return space_; }
+
+    /// Serializes whole VMA operations at the origin, *including* their
+    /// replica broadcasts (unlike mmap_lock, this may be held across
+    /// awaits; only tasks and kworkers ever take it).
+    sim::RwLock& vma_op_lock() { return vma_op_lock_; }
+
+    /// Epoch bumped by every completed munmap/mprotect at the origin; page
+    /// transactions re-validate against it (see PageOwner).
+    std::uint64_t vma_epoch = 0;
+
+    struct DirShard {
+        sim::SpinLock lock;
+        std::unordered_map<std::uint64_t, PageDirEntry> entries; ///< by vpn
+        /// Transactions in their install phase: the entry state to commit
+        /// once the requester confirms its PTE install (by vpn; at most one
+        /// per page because busy serializes transactions).
+        std::unordered_map<std::uint64_t, PageDirEntry> pending;
+        /// Busy-release broadcast: transactions blocked on a busy entry
+        /// wait here and re-look-up after every release. Shard-level (not
+        /// per-entry) so erasing an entry can never strand parked waiters.
+        sim::WaitList busy_wait;
+    };
+    DirShard& dir_shard(std::uint64_t vpn) {
+        return dir_[vpn % kDirShards];
+    }
+    std::array<DirShard, kDirShards>& dir_shards() { return dir_; }
+
+    /// Origin-only master record.
+    ThreadGroup& group() { return group_; }
+
+    /// Tasks of this process hosted on this kernel (including shadows).
+    std::map<Tid, task::Task*>& local_tasks() { return local_tasks_; }
+
+private:
+    mem::AddressSpace space_;
+    sim::RwLock vma_op_lock_;
+    std::array<DirShard, kDirShards> dir_;
+    ThreadGroup group_;
+    std::map<Tid, task::Task*> local_tasks_;
+};
+
+} // namespace rko::core

@@ -1,0 +1,138 @@
+#include "rko/core/ssi.hpp"
+
+#include "rko/kernel/kernel.hpp"
+
+namespace rko::core {
+
+void Ssi::install() {
+    k_.node().register_handler(
+        msg::MsgType::kTaskCensus, msg::HandlerClass::kInline,
+        [this](msg::Node& node, msg::MessagePtr m) { on_census(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kLoadReport, msg::HandlerClass::kInline,
+        [this](msg::Node& node, msg::MessagePtr m) { on_task_list(node, std::move(m)); });
+}
+
+CensusResp Ssi::local_census(Pid pid) const {
+    CensusResp resp{0, 0, 0};
+    // Count live (non-shadow) tasks hosted here; optionally scoped to pid.
+    // Shadows are placeholders for threads running elsewhere — counting
+    // them would double-count the single-system image.
+    kernel::Kernel& k = k_;
+    resp.nrunnable = static_cast<std::uint32_t>(k.sched().runnable());
+    resp.idle_cores = static_cast<std::uint32_t>(k.sched().idle_cores());
+    std::uint32_t count = 0;
+    if (pid == 0) {
+        count = static_cast<std::uint32_t>(k.live_task_count());
+    } else if (k.has_site(pid)) {
+        for (const auto& [tid, t] : k.site(pid).local_tasks()) {
+            if (t->state != task::TaskState::kExited &&
+                t->state != task::TaskState::kShadow) {
+                ++count;
+            }
+        }
+    }
+    resp.ntasks = count;
+    return resp;
+}
+
+std::uint32_t Ssi::global_task_count(Pid pid) {
+    std::uint32_t total = local_census(pid).ntasks;
+    msg::Message request;
+    request.hdr.type = msg::MsgType::kTaskCensus;
+    request.set_payload(CensusReq{pid});
+    auto replies = k_.node().rpc_all(k_.fabric().peers_of(k_.id()), request);
+    for (const auto& reply : replies) {
+        total += reply->payload_as<CensusResp>().ntasks;
+    }
+    return total;
+}
+
+std::vector<KernelLoad> Ssi::load_snapshot() {
+    std::vector<KernelLoad> loads;
+    const CensusResp mine = local_census(0);
+    loads.push_back(KernelLoad{k_.id(), mine.ntasks, mine.nrunnable, mine.idle_cores});
+
+    msg::Message request;
+    request.hdr.type = msg::MsgType::kTaskCensus;
+    request.set_payload(CensusReq{0});
+    const auto peers = k_.fabric().peers_of(k_.id());
+    auto replies = k_.node().rpc_all(peers, request);
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+        const auto& resp = replies[i]->payload_as<CensusResp>();
+        loads.push_back(KernelLoad{peers[i], resp.ntasks, resp.nrunnable,
+                                   resp.idle_cores});
+    }
+    return loads;
+}
+
+topo::KernelId Ssi::least_loaded_kernel() {
+    const auto loads = load_snapshot();
+    // Rotate the scan start so simultaneous queries spread over equally
+    // idle kernels instead of herding onto the lowest id.
+    const std::size_t start = rotor_++ % loads.size();
+    topo::KernelId best = k_.id();
+    std::uint32_t best_idle = 0;
+    std::uint32_t best_runnable = ~0u;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const KernelLoad& load = loads[(start + i) % loads.size()];
+        const bool better = load.idle_cores > best_idle ||
+                            (load.idle_cores == best_idle &&
+                             load.nrunnable < best_runnable);
+        if (better) {
+            best = load.kernel;
+            best_idle = load.idle_cores;
+            best_runnable = load.nrunnable;
+        }
+    }
+    return best;
+}
+
+TaskListResp Ssi::local_task_list(Pid pid) const {
+    TaskListResp resp{};
+    kernel::Kernel& k = k_;
+    k.for_each_task([&](const task::Task& t) {
+        if (pid != 0 && t.pid != pid) return;
+        if (t.state == task::TaskState::kExited ||
+            t.state == task::TaskState::kShadow) {
+            return;
+        }
+        if (resp.count >= TaskListResp::kMaxEntries) {
+            ++resp.truncated;
+            return;
+        }
+        resp.entries[resp.count++] =
+            TaskInfo{t.tid, t.pid, k.id(), static_cast<std::uint32_t>(t.state)};
+    });
+    return resp;
+}
+
+std::vector<TaskInfo> Ssi::ps(Pid pid) {
+    std::vector<TaskInfo> all;
+    const TaskListResp mine = local_task_list(pid);
+    for (std::uint32_t i = 0; i < mine.count; ++i) all.push_back(mine.entries[i]);
+
+    msg::Message request;
+    request.hdr.type = msg::MsgType::kLoadReport; // task-list request channel
+    request.set_payload(CensusReq{pid});
+    auto replies = k_.node().rpc_all(k_.fabric().peers_of(k_.id()), request);
+    for (const auto& reply : replies) {
+        const auto& list = reply->payload_as<TaskListResp>();
+        for (std::uint32_t i = 0; i < list.count; ++i) all.push_back(list.entries[i]);
+    }
+    return all;
+}
+
+void Ssi::on_census(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<CensusReq>();
+    node.reply(*m, msg::make_message(msg::MsgType::kTaskCensus, msg::MsgKind::kReply,
+                                     local_census(req.pid)));
+}
+
+void Ssi::on_task_list(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<CensusReq>();
+    node.reply(*m, msg::make_message(msg::MsgType::kLoadReport, msg::MsgKind::kReply,
+                                     local_task_list(req.pid)));
+}
+
+} // namespace rko::core

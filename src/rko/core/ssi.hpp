@@ -1,0 +1,58 @@
+// Single-system-image glue (paper §III): the distributed OS presents one
+// task namespace and one load picture to software that asks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rko/core/wire.hpp"
+#include "rko/msg/node.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::core {
+
+struct KernelLoad {
+    topo::KernelId kernel;
+    std::uint32_t ntasks;
+    std::uint32_t nrunnable;
+    std::uint32_t idle_cores;
+};
+
+class Ssi {
+public:
+    explicit Ssi(kernel::Kernel& k) : k_(k) {}
+
+    /// Registers kTaskCensus (inline).
+    void install();
+
+    /// Machine-wide task count for `pid` (0 = everything), gathered with a
+    /// census broadcast; runs on the calling task's actor.
+    std::uint32_t global_task_count(Pid pid);
+
+    /// Per-kernel load snapshot (census broadcast + local numbers).
+    std::vector<KernelLoad> load_snapshot();
+
+    /// The kernel with the most idle cores (rotating tie-break); the simple
+    /// migration policy bench_rebalance exercises.
+    topo::KernelId least_loaded_kernel();
+
+    /// Machine-wide task listing ("ps"): live tasks of `pid` (0 = all),
+    /// gathered from every kernel. Shadows and exited records are skipped —
+    /// each thread appears exactly once, wherever it currently runs.
+    std::vector<TaskInfo> ps(Pid pid = 0);
+
+private:
+    void on_census(msg::Node& node, msg::MessagePtr m);
+    void on_task_list(msg::Node& node, msg::MessagePtr m);
+    CensusResp local_census(Pid pid) const;
+    TaskListResp local_task_list(Pid pid) const;
+
+    kernel::Kernel& k_;
+    std::size_t rotor_ = 0; ///< tie-break rotation for least_loaded_kernel
+};
+
+} // namespace rko::core

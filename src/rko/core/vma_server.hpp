@@ -1,0 +1,74 @@
+// Distributed VMA consistency (paper §IV-C, "address space consistency").
+//
+// The origin kernel holds the master VMA tree. mmap/munmap/mprotect issued
+// anywhere execute at the origin (remote kernels RPC a kVmaOp); replicas
+// learn of mappings lazily (kVmaFetch on fault) but destructive changes
+// (munmap, mprotect) are pushed eagerly (kVmaUpdate broadcast, acked)
+// because a stale positive mapping would violate POSIX semantics.
+//
+// Locking: the whole operation serializes on the site's vma_op_lock (held
+// across the broadcast); tree mutation additionally takes the local
+// mmap_lock exclusively, and never across an await.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/core/process.hpp"
+#include "rko/core/wire.hpp"
+#include "rko/msg/node.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+
+namespace rko::core {
+
+class VmaServer {
+public:
+    explicit VmaServer(kernel::Kernel& k) : k_(k) {}
+
+    /// Registers kVmaOp (blocking), kVmaFetch (leaf), kVmaUpdate (leaf).
+    void install();
+
+    // --- Syscall paths (current task's actor) ---
+    /// Returns the mapped address, or 0 on failure (no gap / exhaustion).
+    mem::Vaddr mmap(ProcessSite& site, std::uint64_t length, std::uint32_t prot);
+    int munmap(ProcessSite& site, mem::Vaddr addr, std::uint64_t length);
+    int mprotect(ProcessSite& site, mem::Vaddr addr, std::uint64_t length,
+                 std::uint32_t prot);
+
+    /// Sets the program break. new_brk == 0 queries. Returns the resulting
+    /// break (old one on failure), Linux-style.
+    mem::Vaddr brk(ProcessSite& site, mem::Vaddr new_brk);
+
+    /// Fault support: finds the VMA covering `va` in the local replica,
+    /// fetching it from the origin on a miss. False => no such mapping.
+    bool ensure_vma(ProcessSite& site, mem::Vaddr va, mem::Vma* out);
+
+    std::uint64_t remote_ops() const { return remote_ops_; }
+    std::uint64_t local_ops() const { return local_ops_; }
+    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t update_broadcasts() const { return update_broadcasts_; }
+
+private:
+    // Origin-side implementations (task actor or kworker).
+    std::int64_t origin_mmap(ProcessSite& site, std::uint64_t length,
+                             std::uint32_t prot, mem::Vaddr* out_addr);
+    std::int64_t origin_destructive(ProcessSite& site, VmaOp op, mem::Vaddr addr,
+                                    std::uint64_t length, std::uint32_t prot);
+    mem::Vaddr origin_brk(ProcessSite& site, mem::Vaddr new_brk);
+    void broadcast_update(ProcessSite& site, VmaOp op, mem::Vaddr start,
+                          mem::Vaddr end, std::uint32_t prot);
+
+    void on_vma_op(msg::Node& node, msg::MessagePtr m);
+    void on_vma_fetch(msg::Node& node, msg::MessagePtr m);
+    void on_vma_update(msg::Node& node, msg::MessagePtr m);
+
+    kernel::Kernel& k_;
+    std::uint64_t remote_ops_ = 0;
+    std::uint64_t local_ops_ = 0;
+    std::uint64_t fetches_ = 0;
+    std::uint64_t update_broadcasts_ = 0;
+};
+
+} // namespace rko::core

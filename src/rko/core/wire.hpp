@@ -1,0 +1,211 @@
+// Wire payloads for the replicated-kernel protocols. All trivially
+// copyable; each struct corresponds to one MsgType (requests and replies).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "rko/mem/types.hpp"
+#include "rko/mem/vma.hpp"
+#include "rko/task/task.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::core {
+
+// --- VMA consistency (kVmaOp / kVmaFetch / kVmaUpdate) ---------------------
+
+enum class VmaOp : std::uint32_t { kMmap = 0, kMunmap, kMprotect, kBrk };
+
+struct VmaOpReq {
+    Pid pid;
+    VmaOp op;
+    mem::Vaddr addr;   ///< 0 for mmap = "kernel picks"
+    std::uint64_t length;
+    std::uint32_t prot;
+};
+
+struct VmaOpResp {
+    std::int64_t result; ///< 0 / -errno
+    mem::Vaddr addr;     ///< assigned address for mmap
+};
+
+struct VmaFetchReq {
+    Pid pid;
+    mem::Vaddr addr;
+};
+
+struct VmaFetchResp {
+    bool found;
+    mem::Vma vma;
+};
+
+struct VmaUpdateReq {
+    Pid pid;
+    VmaOp op;          ///< kMunmap = erase range, kMprotect = reprotect
+    mem::Vaddr start;
+    mem::Vaddr end;
+    std::uint32_t prot;
+};
+
+struct VmaUpdateResp {
+    std::uint32_t cleared_pages;
+};
+
+// --- Page-ownership protocol (kPageFault / kPageFetch / kPageInvalidate) ---
+
+enum class FaultStatus : std::uint32_t { kOk = 0, kSegv, kRetry };
+
+struct PageFaultReq {
+    Pid pid;
+    mem::Vaddr va;          ///< page-aligned
+    std::uint32_t access;   ///< mem::Prot bits
+    topo::KernelId requester;
+};
+
+struct PageFaultResp {
+    FaultStatus status;
+    bool data_included; ///< payload carries the page bytes
+    bool zero_fill;     ///< first touch: requester allocates a zero page
+    bool upgrade;       ///< requester already holds current bytes; flip to RW
+    std::array<std::byte, mem::kPageSize> data;
+};
+
+struct PageFetchReq {
+    Pid pid;
+    mem::Vaddr va;
+    bool downgrade; ///< holder drops write permission (Exclusive -> Shared)
+};
+
+struct PageFetchResp {
+    bool ok;
+    std::array<std::byte, mem::kPageSize> data;
+};
+
+struct PageInvalidateReq {
+    Pid pid;
+    mem::Vaddr va;
+    bool want_data; ///< holder must return its (possibly dirty) bytes
+};
+
+struct PageInvalidateResp {
+    bool had_page;
+    bool data_included;
+    std::array<std::byte, mem::kPageSize> data;
+};
+
+/// Third leg of a remote fault: the requester confirms (or abandons) its
+/// local install so the directory can commit and release the busy bit.
+struct PageInstalledMsg {
+    Pid pid;
+    mem::Vaddr va;
+    topo::KernelId requester;
+    bool ok;
+};
+
+// --- Distributed futex (kFutexWait / kFutexWake / kFutexGrant) -------------
+
+struct FutexWaitReq {
+    Pid pid;
+    Tid tid;
+    mem::Vaddr uaddr;
+    std::uint32_t val;
+    topo::KernelId waiter_kernel;
+};
+
+struct FutexWaitResp {
+    std::int32_t result; ///< 0 = queued, EAGAIN = value mismatch
+};
+
+struct FutexWakeReq {
+    Pid pid;
+    mem::Vaddr uaddr;
+    std::uint32_t max_wake;
+};
+
+struct FutexWakeResp {
+    std::uint32_t woken;
+};
+
+struct FutexGrantMsg {
+    Pid pid;
+    Tid tid;
+};
+
+struct FutexCancelReq {
+    Pid pid;
+    Tid tid;
+    mem::Vaddr uaddr;
+};
+
+struct FutexCancelResp {
+    bool removed; ///< false => a grant was already issued; expect a wake
+};
+
+// --- Thread groups & migration ---------------------------------------------
+
+struct CloneReq {
+    Pid pid;
+    Tid tid;
+    topo::KernelId origin;
+};
+
+struct CloneResp {
+    bool ok;
+};
+
+struct MigrateReq {
+    Pid pid;
+    Tid tid;
+    topo::KernelId origin;
+    topo::KernelId from;
+    task::ThreadContext ctx; ///< the architectural state being shipped
+};
+
+struct MigrateResp {
+    bool ok;
+};
+
+enum class GroupUpdateKind : std::uint32_t { kJoin = 0, kLocation };
+
+struct GroupUpdateMsg {
+    Pid pid;
+    Tid tid;
+    GroupUpdateKind kind;
+    topo::KernelId where;
+};
+
+struct TaskExitMsg {
+    Pid pid;
+    Tid tid;
+    std::int32_t status;
+};
+
+// --- Single-system image ----------------------------------------------------
+
+struct CensusReq {
+    Pid pid; ///< 0 = count all processes
+};
+
+struct CensusResp {
+    std::uint32_t ntasks;
+    std::uint32_t nrunnable;
+    std::uint32_t idle_cores;
+};
+
+/// One row of the machine-wide task listing (SSI "ps").
+struct TaskInfo {
+    Tid tid;
+    Pid pid;
+    topo::KernelId kernel;
+    std::uint32_t state; ///< task::TaskState
+};
+
+struct TaskListResp {
+    static constexpr std::uint32_t kMaxEntries = 120;
+    std::uint32_t count;    ///< entries filled
+    std::uint32_t truncated; ///< nonzero if more existed than fit
+    std::array<TaskInfo, kMaxEntries> entries;
+};
+
+} // namespace rko::core

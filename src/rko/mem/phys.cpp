@@ -1,0 +1,36 @@
+#include "rko/mem/phys.hpp"
+
+namespace rko::mem {
+
+PhysMem::PhysMem(int nkernels, std::size_t frames_per_kernel)
+    : nkernels_(nkernels), frames_per_kernel_(frames_per_kernel) {
+    RKO_ASSERT(nkernels >= 1 && frames_per_kernel >= 1);
+    partitions_.reserve(static_cast<std::size_t>(nkernels));
+    for (int k = 0; k < nkernels; ++k) {
+        // Value-initialized: frames start zeroed, like RAM after kernel boot
+        // scrubbing. Guest-visible zeroing cost is charged at allocation.
+        partitions_.push_back(
+            std::make_unique<std::byte[]>(frames_per_kernel * kPageSize));
+    }
+}
+
+std::byte* PhysMem::frame_ptr(Paddr paddr) {
+    const std::uint64_t global = global_index(paddr);
+    const auto kernel = static_cast<std::size_t>(global / frames_per_kernel_);
+    const std::uint64_t index = global % frames_per_kernel_;
+    return partitions_[kernel].get() + index * kPageSize;
+}
+
+const std::byte* PhysMem::frame_ptr(Paddr paddr) const {
+    return const_cast<PhysMem*>(this)->frame_ptr(paddr);
+}
+
+topo::KernelId PhysMem::home_of(Paddr paddr) const {
+    return static_cast<topo::KernelId>(global_index(paddr) / frames_per_kernel_);
+}
+
+std::size_t PhysMem::frame_index(Paddr paddr) const {
+    return static_cast<std::size_t>(global_index(paddr) % frames_per_kernel_);
+}
+
+} // namespace rko::mem

@@ -1,0 +1,41 @@
+// Shared memory-subsystem types: guest virtual/physical addresses, page
+// geometry, protection bits, process/thread ids.
+#pragma once
+
+#include <cstdint>
+
+namespace rko::mem {
+
+using Vaddr = std::uint64_t; ///< guest virtual address
+using Paddr = std::uint64_t; ///< guest physical address (0 = invalid)
+
+constexpr int kPageShift = 12;
+constexpr std::uint64_t kPageSize = 1ULL << kPageShift;
+constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+constexpr Vaddr page_floor(Vaddr a) { return a & ~kPageMask; }
+constexpr Vaddr page_ceil(Vaddr a) { return (a + kPageMask) & ~kPageMask; }
+constexpr std::uint64_t vpn_of(Vaddr a) { return a >> kPageShift; }
+
+/// Guest protection bits (VMA- and PTE-level).
+enum Prot : std::uint32_t {
+    kProtNone = 0,
+    kProtRead = 1u << 0,
+    kProtWrite = 1u << 1,
+    kProtExec = 1u << 2,
+};
+
+/// Default placement region for anonymous mappings (like Linux's mmap_base).
+constexpr Vaddr kMmapBase = 0x0000'7000'0000'0000ULL;
+constexpr Vaddr kMmapTop = 0x0000'7fff'ff00'0000ULL;
+/// Heap (brk) region.
+constexpr Vaddr kHeapBase = 0x0000'5555'0000'0000ULL;
+
+} // namespace rko::mem
+
+namespace rko {
+
+using Pid = std::int64_t; ///< global process id (also thread-group id)
+using Tid = std::int64_t; ///< global thread id
+
+} // namespace rko

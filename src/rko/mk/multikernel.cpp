@@ -1,0 +1,70 @@
+#include "rko/mk/multikernel.hpp"
+
+#include <cstring>
+
+namespace rko::mk {
+
+using namespace rko::time_literals;
+
+UrpcChannel::UrpcChannel(api::Machine& machine, std::size_t capacity)
+    : machine_(machine), capacity_(capacity) {
+    RKO_ASSERT(capacity_ > 0);
+}
+
+void UrpcChannel::send(api::Guest& g, const void* bytes, std::size_t n) {
+    RKO_ASSERT(n <= kSlotBytes);
+    // Poll while full: URPC senders spin on the ring head cache line.
+    while (ring_.size() >= capacity_) {
+        g.compute(200); // one poll round trip
+    }
+    Slot slot;
+    slot.size = n;
+    std::memcpy(slot.bytes.data(), bytes, n);
+    ring_.push_back(slot);
+    ++sent_;
+    // Publishing a cache-line message costs roughly one cross-core line
+    // transfer plus the write itself.
+    g.compute(machine_.costs().lock.handoff + machine_.costs().lock.uncontended);
+}
+
+std::size_t UrpcChannel::try_recv(api::Guest& g, void* out) {
+    // One poll of the ring head.
+    g.compute(machine_.costs().lock.uncontended);
+    if (ring_.empty()) return 0;
+    const Slot slot = ring_.front();
+    ring_.pop_front();
+    std::memcpy(out, slot.bytes.data(), slot.size);
+    g.compute(machine_.costs().lock.handoff); // pull the line across
+    return slot.size;
+}
+
+std::size_t UrpcChannel::recv(api::Guest& g, void* out) {
+    for (;;) {
+        const std::size_t n = try_recv(g, out);
+        if (n > 0) return n;
+        g.compute(200); // polling interval while empty
+    }
+}
+
+MultikernelApp::MultikernelApp(api::Machine& machine) : machine_(machine) {
+    domains_.resize(static_cast<std::size_t>(machine.nkernels()));
+    for (topo::KernelId k = 0; k < machine.nkernels(); ++k) {
+        domains_[static_cast<std::size_t>(k)] =
+            Domain{&machine.create_process(k), k};
+    }
+}
+
+UrpcChannel& MultikernelApp::channel(topo::KernelId src, topo::KernelId dst) {
+    const auto key = std::make_pair(src, dst);
+    auto it = channels_.find(key);
+    if (it == channels_.end()) {
+        it = channels_.emplace(key, std::make_unique<UrpcChannel>(machine_)).first;
+    }
+    return *it->second;
+}
+
+api::Thread& MultikernelApp::spawn(topo::KernelId k, api::GuestFn fn) {
+    return domain(k).process->spawn(std::move(fn), k);
+}
+
+} // namespace rko::mk

@@ -1,0 +1,104 @@
+// Barrelfish-style multikernel baseline.
+//
+// The abstract's comparison point: a pure multikernel scales like a
+// distributed system because *nothing* is shared — each kernel runs its own
+// applications in its own address spaces, and cross-kernel communication is
+// explicit message passing (Barrelfish's URPC: cache-line-sized messages
+// over shared-memory rings, polled in user space).
+//
+// This module builds that world on the same Machine substrate: one Domain
+// (process pinned to one kernel) per kernel, and UrpcChannel for explicit
+// inter-domain messages. There is no single system image: no thread
+// migration, no cross-kernel address-space consistency, no distributed
+// futex — the application must be written as a distributed program, which
+// is exactly the programmability cost the replicated-kernel design removes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "rko/api/machine.hpp"
+
+namespace rko::mk {
+
+/// A shared-nothing application domain: one process, pinned to one kernel.
+struct Domain {
+    api::Process* process = nullptr;
+    topo::KernelId kernel = -1;
+};
+
+/// Explicit cross-domain channel modeled on Barrelfish URPC: fixed-size
+/// (cache-line) slots moved through a shared ring; the receiver polls.
+/// Senders/receivers burn their core while polling, as URPC does.
+class UrpcChannel {
+public:
+    static constexpr std::size_t kSlotBytes = 64;
+
+    UrpcChannel(api::Machine& machine, std::size_t capacity = 256);
+
+    /// Sends one slot-sized message; blocks (polling) while the ring is
+    /// full. Charges the cache-line transfer cost.
+    void send(api::Guest& g, const void* bytes, std::size_t n);
+
+    /// Receives one message into `out` (≥ kSlotBytes); polls until one is
+    /// available. Returns the payload size.
+    std::size_t recv(api::Guest& g, void* out);
+
+    /// Non-blocking variant; returns 0 if the ring is empty.
+    std::size_t try_recv(api::Guest& g, void* out);
+
+    std::uint64_t sent() const { return sent_; }
+
+    template <typename T>
+    void send_value(api::Guest& g, const T& value) {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kSlotBytes);
+        send(g, &value, sizeof(T));
+    }
+
+    template <typename T>
+    T recv_value(api::Guest& g) {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kSlotBytes);
+        alignas(T) std::byte buffer[kSlotBytes];
+        const std::size_t n = recv(g, buffer);
+        RKO_ASSERT(n == sizeof(T));
+        T value;
+        std::memcpy(&value, buffer, sizeof(T));
+        return value;
+    }
+
+private:
+    struct Slot {
+        std::size_t size;
+        std::array<std::byte, kSlotBytes> bytes;
+    };
+
+    api::Machine& machine_;
+    std::size_t capacity_;
+    std::deque<Slot> ring_;
+    std::uint64_t sent_ = 0;
+};
+
+/// Builds one domain per kernel (a process homed and pinned there).
+class MultikernelApp {
+public:
+    explicit MultikernelApp(api::Machine& machine);
+
+    Domain& domain(topo::KernelId k) { return domains_[static_cast<std::size_t>(k)]; }
+    int ndomains() const { return static_cast<int>(domains_.size()); }
+
+    /// Channel from domain `src` to domain `dst` (created on demand).
+    UrpcChannel& channel(topo::KernelId src, topo::KernelId dst);
+
+    /// Spawns a worker thread inside domain `k` (always pinned to `k`).
+    api::Thread& spawn(topo::KernelId k, api::GuestFn fn);
+
+private:
+    api::Machine& machine_;
+    std::vector<Domain> domains_;
+    std::map<std::pair<topo::KernelId, topo::KernelId>, std::unique_ptr<UrpcChannel>>
+        channels_;
+};
+
+} // namespace rko::mk

@@ -1,0 +1,56 @@
+#include "rko/msg/channel.hpp"
+
+#include <utility>
+
+namespace rko::msg {
+
+Channel::Channel(sim::Engine& engine, const topo::CostModel& costs, KernelId src,
+                 KernelId dst, std::size_t capacity, std::function<void()> on_delivery)
+    : engine_(engine),
+      costs_(costs),
+      src_(src),
+      dst_(dst),
+      capacity_(capacity),
+      on_delivery_(std::move(on_delivery)) {
+    RKO_ASSERT(capacity_ > 0);
+}
+
+void Channel::send(MessagePtr message) {
+    sim::Actor& self = engine_.current();
+    RKO_ASSERT(message != nullptr);
+    message->hdr.src = src_;
+    message->hdr.dst = dst_;
+
+    // Backpressure: a full ring stalls the sender until the receiver drains
+    // a slot, exactly like spinning on a full shared-memory ring.
+    while (ring_.size() >= capacity_) {
+        const Nanos stalled_at = self.now();
+        senders_.wait(engine_);
+        backpressure_time_ += self.now() - stalled_at;
+    }
+
+    // Slot publish + payload copy happen on the sender's core.
+    const std::size_t bytes = message->wire_size();
+    self.sleep_for(costs_.msg_enqueue + costs_.copy_cost(bytes));
+
+    message->ready_at = self.now() + costs_.msg_wire_latency;
+    ++sent_;
+    bytes_ += bytes;
+    ring_.push_back(std::move(message));
+    if (on_delivery_) on_delivery_();
+}
+
+MessagePtr Channel::try_pop() {
+    if (ring_.empty()) return nullptr;
+    if (ring_.front()->ready_at > engine_.now()) return nullptr;
+    MessagePtr message = std::move(ring_.front());
+    ring_.pop_front();
+    senders_.notify_one();
+    return message;
+}
+
+Nanos Channel::head_ready_at() const {
+    return ring_.empty() ? -1 : ring_.front()->ready_at;
+}
+
+} // namespace rko::msg

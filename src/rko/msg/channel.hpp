@@ -1,0 +1,60 @@
+// One directed inter-kernel channel: a bounded ring of message slots with
+// sender backpressure, modeled slot-publish cost, payload copy bandwidth,
+// and optional wire latency. There is one channel per ordered kernel pair,
+// as in Popcorn's shared-memory messaging layer.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "rko/base/stats.hpp"
+#include "rko/msg/message.hpp"
+#include "rko/sim/sync.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::msg {
+
+class Channel {
+public:
+    /// `on_delivery` is the receiving kernel's doorbell: invoked after a
+    /// message becomes visible, with the time it became visible.
+    Channel(sim::Engine& engine, const topo::CostModel& costs, KernelId src,
+            KernelId dst, std::size_t capacity, std::function<void()> on_delivery);
+
+    KernelId src() const { return src_; }
+    KernelId dst() const { return dst_; }
+
+    /// Publishes a message. Charges the sending actor the slot-publish cost
+    /// plus the payload copy; blocks (backpressure) while the ring is full.
+    void send(MessagePtr message);
+
+    /// Pops the oldest message already visible at the current virtual time;
+    /// returns null if the channel is empty or the head is still in flight.
+    MessagePtr try_pop();
+
+    /// Virtual time when the head message becomes visible; -1 if empty.
+    Nanos head_ready_at() const;
+
+    bool empty() const { return ring_.empty(); }
+    std::size_t depth() const { return ring_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t bytes_sent() const { return bytes_; }
+    Nanos backpressure_time() const { return backpressure_time_; }
+
+private:
+    sim::Engine& engine_;
+    const topo::CostModel& costs_;
+    KernelId src_;
+    KernelId dst_;
+    std::size_t capacity_;
+    std::function<void()> on_delivery_;
+    std::deque<MessagePtr> ring_;
+    sim::WaitList senders_; ///< actors blocked on a full ring
+    std::uint64_t sent_ = 0;
+    std::uint64_t bytes_ = 0;
+    Nanos backpressure_time_ = 0;
+};
+
+} // namespace rko::msg

@@ -1,0 +1,80 @@
+#include "rko/msg/fabric.hpp"
+
+namespace rko::msg {
+
+Fabric::Fabric(sim::Engine& engine, const topo::CostModel& costs, int nkernels,
+               FabricConfig config) {
+    RKO_ASSERT(nkernels >= 1);
+    nodes_.reserve(static_cast<std::size_t>(nkernels));
+    for (KernelId k = 0; k < nkernels; ++k) {
+        nodes_.push_back(
+            std::make_unique<Node>(engine, costs, k, config.nworkers_per_node));
+    }
+    channels_.resize(static_cast<std::size_t>(nkernels) * static_cast<std::size_t>(nkernels));
+    for (KernelId src = 0; src < nkernels; ++src) {
+        for (KernelId dst = 0; dst < nkernels; ++dst) {
+            if (src == dst) continue;
+            Node* receiver = nodes_[static_cast<std::size_t>(dst)].get();
+            auto channel = std::make_unique<Channel>(
+                engine, costs, src, dst, config.channel_capacity,
+                [receiver] { receiver->doorbell(); });
+            receiver->attach_inbound(*channel);
+            nodes_[static_cast<std::size_t>(src)]->attach_outbound(dst, *channel);
+            channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nkernels) +
+                      static_cast<std::size_t>(dst)] = std::move(channel);
+        }
+    }
+}
+
+Node& Fabric::node(KernelId id) {
+    RKO_ASSERT(id >= 0 && id < nkernels());
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+Channel& Fabric::channel(KernelId src, KernelId dst) {
+    RKO_ASSERT(src != dst && src >= 0 && dst >= 0 && src < nkernels() && dst < nkernels());
+    return *channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nkernels()) +
+                      static_cast<std::size_t>(dst)];
+}
+
+std::vector<KernelId> Fabric::peers_of(KernelId self) const {
+    std::vector<KernelId> peers;
+    peers.reserve(nodes_.size() - 1);
+    for (KernelId k = 0; k < nkernels(); ++k) {
+        if (k != self) peers.push_back(k);
+    }
+    return peers;
+}
+
+void Fabric::start_all() {
+    for (auto& node : nodes_) node->start();
+}
+
+void Fabric::request_stop_all() {
+    for (auto& node : nodes_) node->request_stop();
+}
+
+bool Fabric::all_stopped() const {
+    for (const auto& node : nodes_) {
+        if (!node->stopped()) return false;
+    }
+    return true;
+}
+
+std::uint64_t Fabric::total_messages() const {
+    std::uint64_t total = 0;
+    for (const auto& channel : channels_) {
+        if (channel) total += channel->sent();
+    }
+    return total;
+}
+
+std::uint64_t Fabric::total_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& channel : channels_) {
+        if (channel) total += channel->bytes_sent();
+    }
+    return total;
+}
+
+} // namespace rko::msg

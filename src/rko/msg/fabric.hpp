@@ -1,0 +1,48 @@
+// The full inter-kernel interconnect: one Node per kernel and one directed
+// Channel per ordered kernel pair (the N×N mesh Popcorn lays out in shared
+// memory at boot).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rko/msg/channel.hpp"
+#include "rko/msg/node.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::msg {
+
+struct FabricConfig {
+    int nworkers_per_node = 4;       ///< kworker actors per kernel
+    std::size_t channel_capacity = 4096; ///< slots per directed channel
+};
+
+class Fabric {
+public:
+    Fabric(sim::Engine& engine, const topo::CostModel& costs, int nkernels,
+           FabricConfig config = {});
+    Fabric(const Fabric&) = delete;
+    Fabric& operator=(const Fabric&) = delete;
+
+    int nkernels() const { return static_cast<int>(nodes_.size()); }
+    Node& node(KernelId id);
+    Channel& channel(KernelId src, KernelId dst);
+
+    /// Every kernel id except `self`; the usual broadcast target list.
+    std::vector<KernelId> peers_of(KernelId self) const;
+
+    void start_all();
+    void request_stop_all();
+    bool all_stopped() const;
+
+    /// Aggregate message count across all channels.
+    std::uint64_t total_messages() const;
+    std::uint64_t total_bytes() const;
+
+private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    // channels_[src * n + dst]; null on the diagonal.
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace rko::msg

@@ -1,0 +1,246 @@
+#include "rko/msg/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rko/base/log.hpp"
+
+namespace rko::msg {
+
+Node::Node(sim::Engine& engine, const topo::CostModel& costs, KernelId id, int nworkers)
+    : engine_(engine), costs_(costs), id_(id) {
+    dispatcher_ = std::make_unique<sim::Actor>(
+        engine_, "k" + std::to_string(id) + "/dispatcher",
+        [this](sim::Actor& self) { dispatcher_body(self); });
+    spawn_workers(blocking_pool_, nworkers, "kworker");
+    // Leaf handlers only wait on short local locks, so a small pool keeps
+    // up; two avoids head-of-line blocking behind one slow lock.
+    spawn_workers(leaf_pool_, std::max(2, nworkers / 2), "kleaf");
+}
+
+Node::~Node() = default;
+
+void Node::spawn_workers(Pool& pool, int count, const char* tag) {
+    for (int w = 0; w < count; ++w) {
+        pool.workers.push_back(std::make_unique<sim::Actor>(
+            engine_, "k" + std::to_string(id_) + "/" + tag + std::to_string(w),
+            [this, &pool](sim::Actor& self) { worker_body(self, pool); }));
+    }
+}
+
+void Node::register_handler(MsgType type, HandlerClass handler_class, Handler handler) {
+    auto& entry = handlers_[static_cast<std::size_t>(type)];
+    RKO_ASSERT_MSG(!entry.registered, "handler registered twice");
+    entry = HandlerEntry{std::move(handler), handler_class, true};
+}
+
+void Node::attach_inbound(Channel& channel) {
+    RKO_ASSERT(channel.dst() == id_);
+    inbound_.push_back(&channel);
+}
+
+void Node::attach_outbound(KernelId dst, Channel& channel) {
+    RKO_ASSERT(channel.src() == id_ && channel.dst() == dst);
+    outbound_.emplace(dst, &channel);
+}
+
+void Node::start() {
+    dispatcher_->start();
+    for (auto& worker : blocking_pool_.workers) worker->start();
+    for (auto& worker : leaf_pool_.workers) worker->start();
+}
+
+void Node::request_stop() {
+    stop_requested_ = true;
+    dispatcher_->unpark();
+    blocking_pool_.idle.notify_all();
+    leaf_pool_.idle.notify_all();
+}
+
+bool Node::stopped() const {
+    if (!dispatcher_->finished()) return false;
+    const auto finished = [](const auto& w) { return w->finished(); };
+    return std::all_of(blocking_pool_.workers.begin(), blocking_pool_.workers.end(),
+                       finished) &&
+           std::all_of(leaf_pool_.workers.begin(), leaf_pool_.workers.end(), finished);
+}
+
+bool Node::is_leaf_worker(const sim::Actor* actor) const {
+    return std::any_of(leaf_pool_.workers.begin(), leaf_pool_.workers.end(),
+                       [actor](const auto& w) { return w.get() == actor; });
+}
+
+void Node::send(KernelId dst, MessagePtr message) {
+    RKO_ASSERT_MSG(dst != id_, "no loopback channel; callers must skip self");
+    auto it = outbound_.find(dst);
+    RKO_ASSERT_MSG(it != outbound_.end(), "no channel to destination kernel");
+    it->second->send(std::move(message));
+}
+
+MessagePtr Node::rpc(KernelId dst, MessagePtr request) {
+    sim::Actor& self = engine_.current();
+    // Inline handlers run on the dispatcher; leaf handlers on leaf workers.
+    // Neither may await a reply (the discipline in the file comment).
+    RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
+    RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
+
+    PendingReply slot;
+    slot.waiter = &self;
+    slot.outstanding = 1;
+    request->hdr.kind = MsgKind::kRequest;
+    request->hdr.ticket = next_ticket_++;
+    pending_.emplace(request->hdr.ticket, &slot);
+
+    send(dst, std::move(request));
+    while (slot.outstanding > 0) self.park();
+    RKO_ASSERT(slot.reply != nullptr);
+    return std::move(slot.reply);
+}
+
+std::vector<MessagePtr> Node::rpc_all(const std::vector<KernelId>& dsts,
+                                      const Message& request) {
+    sim::Actor& self = engine_.current();
+    RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
+    RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
+    std::vector<MessagePtr> replies(dsts.size());
+    if (dsts.empty()) return replies;
+
+    PendingReply slot;
+    slot.waiter = &self;
+    slot.outstanding = static_cast<int>(dsts.size());
+    slot.sink = &replies;
+
+    for (std::size_t i = 0; i < dsts.size(); ++i) {
+        auto copy = std::make_unique<Message>(request);
+        copy->hdr.kind = MsgKind::kRequest;
+        copy->hdr.ticket = next_ticket_++;
+        pending_.emplace(copy->hdr.ticket, &slot);
+        ticket_index_.emplace(copy->hdr.ticket, i);
+        send(dsts[i], std::move(copy));
+    }
+    while (slot.outstanding > 0) self.park();
+    return replies;
+}
+
+void Node::reply(const Message& request, MessagePtr response) {
+    RKO_ASSERT(request.hdr.kind == MsgKind::kRequest);
+    response->hdr.kind = MsgKind::kReply;
+    response->hdr.ticket = request.hdr.ticket;
+    send(request.hdr.src, std::move(response));
+}
+
+void Node::complete_reply(MessagePtr message) {
+    const std::uint64_t ticket = message->hdr.ticket;
+    auto it = pending_.find(ticket);
+    RKO_ASSERT_MSG(it != pending_.end(), "reply for unknown ticket");
+    PendingReply* slot = it->second;
+    pending_.erase(it);
+
+    if (slot->sink != nullptr) {
+        auto idx_it = ticket_index_.find(ticket);
+        RKO_ASSERT(idx_it != ticket_index_.end());
+        (*slot->sink)[idx_it->second] = std::move(message);
+        ticket_index_.erase(idx_it);
+    } else {
+        slot->reply = std::move(message);
+    }
+    if (--slot->outstanding == 0) slot->waiter->unpark();
+}
+
+MessagePtr Node::scan_inbound() {
+    if (inbound_.empty()) return nullptr;
+    for (std::size_t i = 0; i < inbound_.size(); ++i) {
+        Channel* channel = inbound_[(scan_cursor_ + i) % inbound_.size()];
+        if (MessagePtr m = channel->try_pop()) {
+            scan_cursor_ = (scan_cursor_ + i + 1) % inbound_.size();
+            return m;
+        }
+    }
+    return nullptr;
+}
+
+Nanos Node::earliest_pending() const {
+    Nanos earliest = -1;
+    for (const Channel* channel : inbound_) {
+        const Nanos at = channel->head_ready_at();
+        if (at >= 0 && (earliest < 0 || at < earliest)) earliest = at;
+    }
+    return earliest;
+}
+
+void Node::dispatcher_body(sim::Actor& self) {
+    for (;;) {
+        MessagePtr message = scan_inbound();
+        if (message == nullptr) {
+            const Nanos next = earliest_pending();
+            if (next < 0) {
+                if (stop_requested_) break;
+                dispatcher_idle_ = true;
+                self.park();
+                dispatcher_idle_ = false;
+                continue;
+            }
+            self.sleep_for(std::max<Nanos>(1, next - self.now()));
+            continue;
+        }
+        self.sleep_for(costs_.msg_dispatch);
+        route(std::move(message));
+    }
+}
+
+void Node::route(MessagePtr message) {
+    const auto type_index = static_cast<std::size_t>(message->hdr.type);
+    RKO_ASSERT(type_index < kNumMsgTypes);
+    ++dispatched_[type_index];
+    delivery_latency_.add(engine_.now() - message->ready_at);
+
+    if (message->hdr.kind == MsgKind::kReply) {
+        complete_reply(std::move(message));
+        return;
+    }
+    const HandlerEntry& entry = handlers_[type_index];
+    RKO_ASSERT_MSG(entry.registered, "message with no registered handler");
+    switch (entry.handler_class) {
+    case HandlerClass::kInline:
+        in_nb_handler_ = true;
+        entry.fn(*this, std::move(message));
+        in_nb_handler_ = false;
+        return;
+    case HandlerClass::kLeaf:
+        leaf_pool_.queue.push_back(std::move(message));
+        leaf_pool_.idle.notify_one();
+        return;
+    case HandlerClass::kBlocking:
+        blocking_pool_.queue.push_back(std::move(message));
+        blocking_pool_.idle.notify_one();
+        return;
+    }
+}
+
+void Node::worker_body(sim::Actor& self, Pool& pool) {
+    for (;;) {
+        if (pool.queue.empty()) {
+            if (stop_requested_) break;
+            pool.idle.wait(engine_);
+            continue;
+        }
+        MessagePtr message = std::move(pool.queue.front());
+        pool.queue.pop_front();
+        const HandlerEntry& entry =
+            handlers_[static_cast<std::size_t>(message->hdr.type)];
+        entry.fn(*this, std::move(message));
+        (void)self;
+    }
+}
+
+std::uint64_t Node::total_dispatched() const {
+    std::uint64_t total = 0;
+    for (const auto count : dispatched_) total += count;
+    return total;
+}
+
+void Node::doorbell() {
+    if (dispatcher_idle_) dispatcher_->unpark(costs_.msg_doorbell);
+}
+
+} // namespace rko::msg

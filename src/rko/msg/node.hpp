@@ -1,0 +1,152 @@
+// Per-kernel messaging endpoint.
+//
+// Each kernel owns a Node: N-1 inbound channels, one dispatcher actor that
+// demuxes arriving messages, a pool of kernel-worker actors for handlers
+// that may block, and a pending-reply table implementing RPC.
+//
+// Handler discipline (enforced with assertions, see DESIGN.md §6):
+//   - INLINE handlers run on the dispatcher. Pure local state updates: no
+//     locks that can park, no awaits. (Replies are always completed inline.)
+//   - LEAF handlers run on a dedicated leaf-worker pool. They may take
+//     local kernel locks (whose holders never await — see the lock rule)
+//     and reply(), but must never rpc().
+//   - BLOCKING handlers run on the kworker pool and may rpc(), but only to
+//     INLINE or LEAF handlers. Wait chains therefore have depth one, every
+//     chain terminates in a handler that only waits on local locks whose
+//     holders never await, and distributed deadlock is impossible by
+//     construction.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rko/base/stats.hpp"
+#include "rko/msg/channel.hpp"
+#include "rko/msg/message.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/sim/sync.hpp"
+
+namespace rko::msg {
+
+/// Where a handler is allowed to run and what it may do; see the file
+/// comment for the discipline each class implies.
+enum class HandlerClass { kInline, kLeaf, kBlocking };
+
+class Node {
+public:
+    using Handler = std::function<void(Node&, MessagePtr)>;
+
+    Node(sim::Engine& engine, const topo::CostModel& costs, KernelId id,
+         int nworkers);
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+    ~Node();
+
+    KernelId id() const { return id_; }
+    sim::Engine& engine() { return engine_; }
+    const topo::CostModel& costs() const { return costs_; }
+
+    /// Registers the handler for a message type. Must precede start().
+    void register_handler(MsgType type, HandlerClass handler_class, Handler handler);
+
+    /// Wires an inbound channel (called by Fabric) and returns the doorbell
+    /// the channel should ring on delivery.
+    void attach_inbound(Channel& channel);
+    void attach_outbound(KernelId dst, Channel& channel);
+
+    void start();
+
+    /// Asks the dispatcher and workers to finish once drained; actors
+    /// complete on a subsequent engine run.
+    void request_stop();
+    bool stopped() const;
+
+    // --- Sending (valid from any actor except where noted) ---
+
+    /// Fire-and-forget.
+    void send(KernelId dst, MessagePtr message);
+
+    /// Request/response; parks the caller until the reply arrives.
+    /// Must not be called from a non-blocking handler or the dispatcher.
+    MessagePtr rpc(KernelId dst, MessagePtr request);
+
+    /// Sends `response` as the reply to `request`.
+    void reply(const Message& request, MessagePtr response);
+
+    /// Sends `request` to every kernel in `dsts` and parks until all
+    /// replies arrive; returns them in dst order. The request is copied per
+    /// destination.
+    std::vector<MessagePtr> rpc_all(const std::vector<KernelId>& dsts,
+                                    const Message& request);
+
+    // --- Introspection ---
+    std::uint64_t dispatched(MsgType type) const {
+        return dispatched_[static_cast<std::size_t>(type)];
+    }
+    std::uint64_t total_dispatched() const;
+    const base::Histogram& delivery_latency() const { return delivery_latency_; }
+    bool in_nonblocking_handler() const { return in_nb_handler_; }
+
+    /// Rung by inbound channels when a message lands; wakes an idle
+    /// dispatcher after the modeled IPI latency.
+    void doorbell();
+
+private:
+    struct PendingReply {
+        sim::Actor* waiter = nullptr;
+        MessagePtr reply;
+        int outstanding = 1; ///< for rpc_all fan-in
+        std::vector<MessagePtr>* sink = nullptr;
+        std::size_t sink_index = 0;
+    };
+
+    struct Pool {
+        std::vector<std::unique_ptr<sim::Actor>> workers;
+        std::deque<MessagePtr> queue;
+        sim::WaitList idle;
+    };
+
+    void dispatcher_body(sim::Actor& self);
+    void worker_body(sim::Actor& self, Pool& pool);
+    MessagePtr scan_inbound();
+    Nanos earliest_pending() const;
+    void route(MessagePtr message);
+    void complete_reply(MessagePtr message);
+    bool is_leaf_worker(const sim::Actor* actor) const;
+    void spawn_workers(Pool& pool, int count, const char* tag);
+
+    sim::Engine& engine_;
+    const topo::CostModel& costs_;
+    KernelId id_;
+    bool stop_requested_ = false;
+
+    struct HandlerEntry {
+        Handler fn;
+        HandlerClass handler_class = HandlerClass::kInline;
+        bool registered = false;
+    };
+    std::array<HandlerEntry, kNumMsgTypes> handlers_{};
+
+    std::vector<Channel*> inbound_;
+    std::unordered_map<KernelId, Channel*> outbound_;
+    std::size_t scan_cursor_ = 0;
+
+    std::unique_ptr<sim::Actor> dispatcher_;
+    bool dispatcher_idle_ = false;
+    Pool blocking_pool_;
+    Pool leaf_pool_;
+    bool in_nb_handler_ = false;
+
+    std::uint64_t next_ticket_ = 1;
+    std::unordered_map<std::uint64_t, PendingReply*> pending_;
+    std::unordered_map<std::uint64_t, std::size_t> ticket_index_; // rpc_all fan-in order
+
+    std::array<std::uint64_t, kNumMsgTypes> dispatched_{};
+    base::Histogram delivery_latency_;
+};
+
+} // namespace rko::msg

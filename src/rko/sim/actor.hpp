@@ -1,0 +1,81 @@
+// Simulation actors: fibers with park/unpark semantics scheduled by Engine.
+//
+// Wake-up semantics follow java.util.concurrent.LockSupport: unpark() of a
+// running (or ready) actor banks a single permit that the next park()
+// consumes, so publish-then-park sequences have no lost-wakeup window even
+// if the notifier runs in between.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rko/base/units.hpp"
+#include "rko/sim/context.hpp"
+#include "rko/sim/engine.hpp"
+
+namespace rko::sim {
+
+class Actor {
+public:
+    enum class State { kNew, kReady, kRunning, kParked, kFinished };
+
+    static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+    Actor(Engine& engine, std::string name, std::function<void(Actor&)> body,
+          std::size_t stack_bytes = kDefaultStackBytes);
+    Actor(const Actor&) = delete;
+    Actor& operator=(const Actor&) = delete;
+    ~Actor();
+
+    Engine& engine() { return engine_; }
+    const std::string& name() const { return name_; }
+    State state() const { return state_; }
+    bool finished() const { return state_ == State::kFinished; }
+    Nanos now() const { return engine_.now(); }
+
+    /// Schedules the first execution of the body `delay` ns from now.
+    void start(Nanos delay = 0);
+
+    // --- Calls below are valid only from inside this actor's body ---
+
+    /// Advances this actor's virtual time by `d`; other actors run meanwhile.
+    void sleep_for(Nanos d);
+
+    /// Blocks until some other party calls unpark(). Consumes a banked
+    /// permit immediately if one is available.
+    void park();
+
+    /// Blocks up to `timeout`; returns true if unparked, false on timeout.
+    bool park_for(Nanos timeout);
+
+    // --- Calls below are valid from anywhere (engine or any actor) ---
+
+    /// Makes the actor runnable `delay` ns from now (or banks a permit if it
+    /// is not parked). Extra unparks while a permit is banked are lost, as
+    /// with LockSupport.
+    void unpark(Nanos delay = 0);
+
+    /// Parks the caller until this actor finishes (returns immediately if it
+    /// already has). Callable from a different actor only.
+    void join();
+
+private:
+    friend class Engine;
+
+    void run_body();
+    void switch_to_engine();
+
+    Engine& engine_;
+    std::string name_;
+    std::function<void(Actor&)> body_;
+    Context ctx_;
+    State state_ = State::kNew;
+    bool permit_ = false;
+    bool woken_ = false; // set by unpark for park_for's return value
+    std::uint64_t generation_ = 0;
+    std::vector<Actor*> join_waiters_;
+};
+
+} // namespace rko::sim

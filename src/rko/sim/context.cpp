@@ -1,0 +1,230 @@
+#include "rko/sim/context.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "rko/base/assert.hpp"
+
+#if defined(__x86_64__) && defined(__linux__)
+#define RKO_CTX_ASM 1
+#else
+#define RKO_CTX_ASM 0
+#include <ucontext.h>
+#endif
+
+// AddressSanitizer must be told about stack switches or it misattributes
+// frames across fibers (false stack-buffer-overflow reports, broken fake
+// stacks during exception unwinding).
+#if defined(__SANITIZE_ADDRESS__)
+#define RKO_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RKO_ASAN 1
+#endif
+#endif
+#ifndef RKO_ASAN
+#define RKO_ASAN 0
+#endif
+
+#if RKO_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
+namespace rko::sim {
+
+#if RKO_CTX_ASM
+
+extern "C" {
+// void rko_ctx_switch(void** save_sp, void* restore_sp)
+// Saves callee-saved state on the current stack, stores rsp into *save_sp,
+// installs restore_sp and resumes whatever was saved there. MXCSR and the
+// x87 control word are callee-saved under SysV, so they travel too.
+void rko_ctx_switch(void** save_sp, void* restore_sp);
+// First-resume target for a fresh context; expects the Context* in r12.
+void rko_ctx_trampoline();
+void rko_ctx_entry(Context* self);
+}
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl rko_ctx_switch\n"
+    ".type rko_ctx_switch,@function\n"
+    "rko_ctx_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size rko_ctx_switch,.-rko_ctx_switch\n"
+    ".align 16\n"
+    ".globl rko_ctx_trampoline\n"
+    ".type rko_ctx_trampoline,@function\n"
+    "rko_ctx_trampoline:\n"
+    "  movq %r12, %rdi\n"
+    "  callq rko_ctx_entry\n"
+    "  ud2\n"
+    ".size rko_ctx_trampoline,.-rko_ctx_trampoline\n");
+
+#endif // RKO_CTX_ASM
+
+} // namespace rko::sim
+
+#if RKO_CTX_ASM
+// Defined at global scope so the name matches the ::rko_ctx_entry friend
+// declaration in the header.
+extern "C" void rko_ctx_entry(rko::sim::Context* self) {
+    rko::sim::Context::trampoline(self);
+}
+#endif
+
+namespace rko::sim {
+
+namespace {
+
+constexpr std::size_t kPageSize = 4096;
+
+std::size_t round_up_page(std::size_t n) {
+    return (n + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+} // namespace
+
+Context::Context() = default;
+
+Context::Context(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)) {
+    stack_bytes_ = round_up_page(stack_bytes);
+    map_bytes_ = stack_bytes_ + kPageSize; // +1 guard page at the low end
+    void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    RKO_ASSERT_MSG(map != MAP_FAILED, "fiber stack mmap failed");
+    stack_base_ = map;
+    RKO_ASSERT(::mprotect(map, kPageSize, PROT_NONE) == 0);
+    asan_bottom_ = reinterpret_cast<std::uint8_t*>(map) + kPageSize;
+    asan_size_ = stack_bytes_;
+
+    auto* top = reinterpret_cast<std::uint8_t*>(map) + map_bytes_;
+    // Keep the top 16-byte aligned; the switch machinery relies on it to
+    // satisfy the SysV stack-alignment contract at the entry call.
+    top = reinterpret_cast<std::uint8_t*>(reinterpret_cast<std::uintptr_t>(top) & ~15ULL);
+
+#if RKO_CTX_ASM
+    // Initial frame, laid out exactly as rko_ctx_switch will consume it:
+    //   [mxcsr|fcw][r15][r14][r13][r12=this][rbx][rbp][ret=trampoline]
+    auto* slots = reinterpret_cast<void**>(top) - 8;
+    std::uint32_t mxcsr;
+    std::uint16_t fcw;
+    __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+    __asm__ volatile("fnstcw %0" : "=m"(fcw));
+    slots[0] = reinterpret_cast<void*>(static_cast<std::uintptr_t>(mxcsr) |
+                                       (static_cast<std::uintptr_t>(fcw) << 32));
+    slots[1] = nullptr;                         // r15
+    slots[2] = nullptr;                         // r14
+    slots[3] = nullptr;                         // r13
+    slots[4] = this;                            // r12 -> trampoline arg
+    slots[5] = nullptr;                         // rbx
+    slots[6] = nullptr;                         // rbp
+    slots[7] = reinterpret_cast<void*>(&rko_ctx_trampoline);
+    sp_ = slots;
+#else
+    auto* uc = new ucontext_t;
+    RKO_ASSERT(getcontext(uc) == 0);
+    uc->uc_stack.ss_sp = reinterpret_cast<std::uint8_t*>(map) + kPageSize;
+    uc->uc_stack.ss_size = stack_bytes_;
+    uc->uc_link = nullptr;
+    // Pointers do not fit in makecontext's int varargs portably; split.
+    const auto addr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(uc, reinterpret_cast<void (*)()>(&Context::trampoline_split), 2,
+                static_cast<unsigned>(addr & 0xffffffffu),
+                static_cast<unsigned>(addr >> 32));
+    sp_ = uc;
+#endif
+}
+
+Context::~Context() {
+#if !RKO_CTX_ASM
+    if (stack_base_ != nullptr) delete static_cast<ucontext_t*>(sp_);
+#endif
+    if (stack_base_ != nullptr) ::munmap(stack_base_, map_bytes_);
+}
+
+#if RKO_ASAN
+namespace {
+// The context a switch is leaving; lets a freshly-entered fiber report the
+// switcher's stack bounds back to ASan. Single host thread, so a global.
+Context* g_switch_source = nullptr;
+} // namespace
+#endif
+
+void Context::trampoline(Context* self) {
+#if RKO_ASAN
+    if (g_switch_source != nullptr) {
+        __sanitizer_finish_switch_fiber(nullptr, &g_switch_source->asan_bottom_,
+                                        &g_switch_source->asan_size_);
+    } else {
+        __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+    }
+#endif
+    self->entry_();
+    RKO_UNREACHABLE("context entry returned; actors must switch back to the engine");
+}
+
+#if !RKO_CTX_ASM
+void Context::trampoline_split(unsigned lo, unsigned hi) {
+    const auto addr = static_cast<std::uintptr_t>(lo) |
+                      (static_cast<std::uintptr_t>(hi) << 32);
+    trampoline(reinterpret_cast<Context*>(addr));
+}
+#endif
+
+void Context::switch_to(Context& from, Context& to) {
+#if RKO_ASAN
+    g_switch_source = &from;
+    __sanitizer_start_switch_fiber(&from.asan_fake_stack_, to.asan_bottom_,
+                                   to.asan_size_);
+#endif
+#if RKO_CTX_ASM
+    rko_ctx_switch(&from.sp_, to.sp_);
+#else
+    if (from.sp_ == nullptr) from.sp_ = new ucontext_t;
+    RKO_ASSERT(swapcontext(static_cast<ucontext_t*>(from.sp_),
+                           static_cast<ucontext_t*>(to.sp_)) == 0);
+#endif
+#if RKO_ASAN
+    // Resumed on `from`'s stack; tell ASan and record where we came from.
+    if (g_switch_source != nullptr && g_switch_source != &from) {
+        __sanitizer_finish_switch_fiber(from.asan_fake_stack_,
+                                        &g_switch_source->asan_bottom_,
+                                        &g_switch_source->asan_size_);
+    } else {
+        __sanitizer_finish_switch_fiber(from.asan_fake_stack_, nullptr, nullptr);
+    }
+#endif
+}
+
+} // namespace rko::sim

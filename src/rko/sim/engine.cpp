@@ -1,0 +1,69 @@
+#include "rko/sim/engine.hpp"
+
+#include "rko/sim/actor.hpp"
+
+namespace rko::sim {
+
+namespace {
+Engine* g_current_engine = nullptr;
+} // namespace
+
+Engine* current_engine() { return g_current_engine; }
+
+Actor& current_actor() {
+    RKO_ASSERT_MSG(g_current_engine != nullptr, "no engine is running");
+    return g_current_engine->current();
+}
+
+void Engine::schedule(Actor& actor, Nanos at, std::uint64_t generation) {
+    RKO_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    events_.push(Event{at, seq_++, &actor, generation});
+}
+
+// Drops events whose actor was rescheduled (newer generation) or finished.
+void Engine::purge_stale() {
+    while (!events_.empty()) {
+        const Event& ev = events_.top();
+        if (ev.generation == ev.actor->generation_ &&
+            ev.actor->state_ != Actor::State::kFinished) {
+            return;
+        }
+        events_.pop();
+    }
+}
+
+bool Engine::step() {
+    purge_stale();
+    if (events_.empty()) return false;
+    const Event ev = events_.top();
+    events_.pop();
+    Actor* actor = ev.actor;
+    RKO_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ++dispatches_;
+    current_ = actor;
+    Engine* const prev_engine = g_current_engine;
+    g_current_engine = this;
+    actor->state_ = Actor::State::kRunning;
+    Context::switch_to(main_ctx_, actor->ctx_);
+    g_current_engine = prev_engine;
+    current_ = nullptr;
+    return true;
+}
+
+Nanos Engine::run() {
+    while (step()) {
+    }
+    return now_;
+}
+
+Nanos Engine::run_until(Nanos deadline) {
+    for (;;) {
+        purge_stale();
+        if (events_.empty() || events_.top().at > deadline) break;
+        if (!step()) break;
+    }
+    return now_;
+}
+
+} // namespace rko::sim

@@ -1,0 +1,97 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a virtual clock and a min-heap of (time, seq) events, each
+// naming an Actor to resume. Exactly one actor executes at a time on the
+// single host thread; actors hand control back by sleeping, parking, or
+// finishing. Determinism: ties are broken by a monotonically increasing
+// sequence number, so a given program + seed always interleaves identically.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "rko/base/assert.hpp"
+#include "rko/base/units.hpp"
+#include "rko/sim/context.hpp"
+
+namespace rko::sim {
+
+class Actor;
+class Engine;
+
+/// The engine currently dispatching an actor on this host thread, or null.
+/// The simulation is single-threaded, so a plain global suffices; it lets
+/// primitives (locks, channels) find "the current actor" without threading
+/// an Engine& through every call site.
+Engine* current_engine();
+
+/// Shorthand: the actor executing right now (asserts one is).
+Actor& current_actor();
+
+class Engine {
+public:
+    Engine() = default;
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    Nanos now() const { return now_; }
+
+    /// The actor currently executing; asserts when called from the engine
+    /// (host) context.
+    Actor& current() {
+        RKO_ASSERT_MSG(current_ != nullptr, "not running inside an actor");
+        return *current_;
+    }
+    Actor* current_or_null() { return current_; }
+
+    /// Runs until the event queue drains. Returns the final virtual time.
+    Nanos run();
+
+    /// Runs until virtual time `deadline` (inclusive) or until idle;
+    /// advances the clock to `deadline` if it stops early for idleness is
+    /// NOT done — the clock reflects the last executed event.
+    Nanos run_until(Nanos deadline);
+
+    bool idle() const { return events_.empty(); }
+
+    /// Dispatches up to `n` events; returns how many actually ran. The
+    /// fine-grained driver used by host-time benchmarks of the engine.
+    int step_n(int n) {
+        int ran = 0;
+        while (ran < n && step()) ++ran;
+        return ran;
+    }
+
+    std::uint64_t dispatch_count() const { return dispatches_; }
+
+    // --- engine-internal interface used by Actor ---
+    void schedule(Actor& actor, Nanos at, std::uint64_t generation);
+    Context& main_context() { return main_ctx_; }
+
+private:
+    friend class Actor;
+
+    struct Event {
+        Nanos at;
+        std::uint64_t seq;
+        Actor* actor;
+        std::uint64_t generation;
+        bool operator>(const Event& other) const {
+            if (at != other.at) return at > other.at;
+            return seq > other.seq;
+        }
+    };
+
+    bool step();
+    void purge_stale();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+    Context main_ctx_;
+    Actor* current_ = nullptr;
+    Nanos now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatches_ = 0;
+};
+
+} // namespace rko::sim

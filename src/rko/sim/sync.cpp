@@ -1,0 +1,160 @@
+#include "rko/sim/sync.hpp"
+
+#include <algorithm>
+
+namespace rko::sim {
+
+void SpinLock::lock() {
+    Actor& self = current_actor();
+    ++acquisitions_;
+    if (owner_ == nullptr) {
+        // The acquire takes effect at call time; the atomic's latency is
+        // charged while the lock is already held, exactly like hardware
+        // (the winning RMW globally orders before the charge elapses).
+        owner_ = &self;
+        self.sleep_for(costs_.uncontended);
+        return;
+    }
+    RKO_ASSERT_MSG(owner_ != &self, "SpinLock is not recursive");
+    ++contended_;
+    const Nanos enqueued_at = self.now();
+    waiters_.push_back(&self);
+    self.park();
+    wait_time_ += self.now() - enqueued_at;
+    RKO_ASSERT(owner_ == &self);
+}
+
+bool SpinLock::try_lock() {
+    Actor& self = current_actor();
+    if (owner_ != nullptr) {
+        // A failed probe still pays for reading the (likely remote) line.
+        self.sleep_for(costs_.uncontended);
+        return false;
+    }
+    ++acquisitions_;
+    owner_ = &self;
+    self.sleep_for(costs_.uncontended);
+    return true;
+}
+
+void SpinLock::unlock() {
+    Actor& self = current_actor();
+    RKO_ASSERT_MSG(owner_ == &self, "unlock by non-owner");
+    if (waiters_.empty()) {
+        owner_ = nullptr;
+        return;
+    }
+    Actor* next = waiters_.front();
+    waiters_.pop_front();
+    // Ownership transfers immediately; the handoff delay models the line
+    // bouncing to the next core before it can proceed.
+    owner_ = next;
+    next->unpark(costs_.handoff);
+}
+
+bool SpinLock::held_by_current() const {
+    Engine* engine = current_engine();
+    return engine != nullptr && owner_ == engine->current_or_null();
+}
+
+void RwLock::lock_shared() {
+    Actor& self = current_actor();
+    if (writer_ == nullptr && waiters_.empty()) {
+        ++readers_;
+        self.sleep_for(costs_.uncontended);
+        return;
+    }
+    const Nanos enqueued_at = self.now();
+    waiters_.push_back(Waiter{&self, false});
+    self.park();
+    wait_time_ += self.now() - enqueued_at;
+}
+
+void RwLock::unlock_shared() {
+    RKO_ASSERT(readers_ > 0);
+    --readers_;
+    if (readers_ == 0) admit_front();
+}
+
+void RwLock::lock() {
+    Actor& self = current_actor();
+    if (writer_ == nullptr && readers_ == 0 && waiters_.empty()) {
+        writer_ = &self;
+        self.sleep_for(costs_.uncontended);
+        return;
+    }
+    const Nanos enqueued_at = self.now();
+    waiters_.push_back(Waiter{&self, true});
+    self.park();
+    wait_time_ += self.now() - enqueued_at;
+    RKO_ASSERT(writer_ == &self);
+}
+
+bool RwLock::try_lock() {
+    Actor& self = current_actor();
+    if (writer_ != nullptr || readers_ > 0 || !waiters_.empty()) {
+        self.sleep_for(costs_.uncontended);
+        return false;
+    }
+    writer_ = &self;
+    self.sleep_for(costs_.uncontended);
+    return true;
+}
+
+void RwLock::unlock() {
+    RKO_ASSERT(writer_ == current_engine()->current_or_null());
+    writer_ = nullptr;
+    admit_front();
+}
+
+// Admits the head of the queue: one writer, or a maximal batch of readers.
+void RwLock::admit_front() {
+    if (waiters_.empty() || writer_ != nullptr || readers_ > 0) return;
+    if (waiters_.front().writer) {
+        Waiter next = waiters_.front();
+        waiters_.pop_front();
+        writer_ = next.actor;
+        next.actor->unpark(costs_.handoff);
+        return;
+    }
+    while (!waiters_.empty() && !waiters_.front().writer) {
+        Waiter next = waiters_.front();
+        waiters_.pop_front();
+        ++readers_;
+        next.actor->unpark(costs_.handoff);
+    }
+}
+
+void WaitList::wait(Engine& engine) {
+    Actor& self = engine.current();
+    waiters_.push_back(&self);
+    self.park();
+}
+
+bool WaitList::wait_for(Engine& engine, Nanos timeout) {
+    Actor& self = engine.current();
+    waiters_.push_back(&self);
+    const bool notified = self.park_for(timeout);
+    if (!notified) {
+        // Timed out: remove ourselves so a future notify does not target us.
+        auto it = std::find(waiters_.begin(), waiters_.end(), &self);
+        if (it != waiters_.end()) waiters_.erase(it);
+    }
+    return notified;
+}
+
+bool WaitList::notify_one(Nanos delay) {
+    if (waiters_.empty()) return false;
+    Actor* actor = waiters_.front();
+    waiters_.pop_front();
+    actor->unpark(delay);
+    return true;
+}
+
+int WaitList::notify_all(Nanos delay) {
+    int woken = 0;
+    while (notify_one(delay)) ++woken;
+    return woken;
+}
+
+} // namespace rko::sim

@@ -1,0 +1,19 @@
+#include "rko/smp/smp.hpp"
+
+#include "rko/core/dfutex.hpp"
+
+namespace rko::smp {
+
+ContentionReport contention_report(api::Machine& machine) {
+    ContentionReport report;
+    for (topo::KernelId k = 0; k < machine.nkernels(); ++k) {
+        kernel::Kernel& kern = machine.kernel(k);
+        report.frame_allocator += kern.frames().lock().wait_time();
+        report.futex_buckets += kern.futex().bucket_wait_time();
+        report.runqueue += kern.sched().rq_lock_wait();
+        report.mmap_locks += kern.mmap_lock_wait_time();
+    }
+    return report;
+}
+
+} // namespace rko::smp

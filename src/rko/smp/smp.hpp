@@ -1,0 +1,64 @@
+// SMP Linux baseline configuration.
+//
+// The paper compares the replicated kernel against symmetric
+// shared-everything Linux. In this codebase SMP is the nkernels == 1
+// machine configuration: one kernel instance spans every core, so every
+// structure that is per-kernel in Popcorn becomes machine-global —
+//
+//   - one buddy frame allocator (Linux zone->lock),
+//   - one futex table (Linux global futex hash),
+//   - one runqueue lock,
+//   - one mmap_lock per process shared by all its threads on all cores,
+//
+// which are exactly the contention points the evaluation measures. This
+// header provides the canonical configuration plus helpers for reading the
+// contention counters the benches report.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/api/machine.hpp"
+
+namespace rko::smp {
+
+/// MachineConfig for the SMP baseline on `ncores` cores. Costs are shared
+/// with the replicated configuration so comparisons isolate the design,
+/// not the constants.
+inline api::MachineConfig smp_config(int ncores,
+                                     std::size_t total_frames = 1u << 16) {
+    api::MachineConfig config;
+    config.ncores = ncores;
+    config.nkernels = 1;
+    config.frames_per_kernel = total_frames;
+    return config;
+}
+
+/// Replicated-kernel configuration with the same total resources as
+/// smp_config(ncores, total_frames) split over `nkernels` kernels.
+inline api::MachineConfig popcorn_config(int ncores, int nkernels,
+                                         std::size_t total_frames = 1u << 16) {
+    api::MachineConfig config;
+    config.ncores = ncores;
+    config.nkernels = nkernels;
+    config.frames_per_kernel =
+        total_frames / static_cast<std::size_t>(nkernels);
+    return config;
+}
+
+/// Virtual time spent queueing on the shared kernel locks — the
+/// "contention bill" the paper's design removes. Aggregated across all
+/// kernels so it is meaningful for any configuration.
+struct ContentionReport {
+    Nanos frame_allocator = 0;
+    Nanos futex_buckets = 0;
+    Nanos runqueue = 0;
+    Nanos mmap_locks = 0;
+
+    Nanos total() const {
+        return frame_allocator + futex_buckets + runqueue + mmap_locks;
+    }
+};
+
+ContentionReport contention_report(api::Machine& machine);
+
+} // namespace rko::smp

@@ -1,0 +1,212 @@
+#include "rko/task/sched.hpp"
+
+#include <algorithm>
+
+#include "rko/base/assert.hpp"
+
+namespace rko::task {
+
+const char* task_state_name(TaskState state) {
+    switch (state) {
+    case TaskState::kNew: return "new";
+    case TaskState::kRunnable: return "runnable";
+    case TaskState::kRunning: return "running";
+    case TaskState::kBlocked: return "blocked";
+    case TaskState::kMigrating: return "migrating";
+    case TaskState::kShadow: return "shadow";
+    case TaskState::kExited: return "exited";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(sim::Engine& engine, const topo::CostModel& costs,
+                     std::vector<topo::CoreId> cores)
+    : engine_(engine), costs_(costs), ncores_(cores.size()), idle_(std::move(cores)) {
+    RKO_ASSERT(ncores_ >= 1);
+}
+
+void Scheduler::assign(Task& t, topo::CoreId core) {
+    t.core = core;
+    t.slice_start = engine_.now();
+    ++switches_;
+    if (t.actor != nullptr) t.actor->unpark(costs_.context_switch);
+}
+
+void Scheduler::release_core(Task& t) {
+    RKO_ASSERT_MSG(t.on_core(), "releasing a core the task does not own");
+    const topo::CoreId core = t.core;
+    t.core = -1;
+    if (!runq_.empty()) {
+        Task* next = runq_.front();
+        runq_.pop_front();
+        next->state = TaskState::kRunnable; // becomes kRunning on resume
+        assign(*next, core);
+    } else {
+        idle_.push_back(core);
+    }
+}
+
+void Scheduler::acquire(Task& t) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    rq_lock_.lock();
+    if (!idle_.empty()) {
+        const topo::CoreId core = idle_.back();
+        idle_.pop_back();
+        t.core = core;
+        t.slice_start = engine_.now();
+        ++switches_;
+        t.state = TaskState::kRunning;
+        rq_lock_.unlock();
+        sim::current_actor().sleep_for(costs_.context_switch);
+        return;
+    }
+    t.state = TaskState::kRunnable;
+    runq_.push_back(&t);
+    rq_lock_.unlock();
+    while (!t.on_core()) t.actor->park();
+    t.state = TaskState::kRunning;
+}
+
+void Scheduler::block_and_wait(Task& t) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    rq_lock_.lock();
+    if (t.wake_pending) {
+        // The wake raced ahead (e.g. a futex grant landed while we were
+        // still walking the wait path): consume it and keep the core.
+        t.wake_pending = false;
+        rq_lock_.unlock();
+        return;
+    }
+    t.state = TaskState::kBlocked;
+    release_core(t);
+    rq_lock_.unlock();
+    while (!t.on_core()) t.actor->park();
+    t.state = TaskState::kRunning;
+}
+
+bool Scheduler::block_and_wait_for(Task& t, Nanos timeout) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    RKO_ASSERT(timeout >= 0);
+    rq_lock_.lock();
+    if (t.wake_pending) {
+        t.wake_pending = false;
+        rq_lock_.unlock();
+        return true;
+    }
+    t.state = TaskState::kBlocked;
+    release_core(t);
+    rq_lock_.unlock();
+
+    const Nanos deadline = engine_.now() + timeout;
+    bool woken = true;
+    while (!t.on_core()) {
+        const Nanos remaining = deadline - engine_.now();
+        if (remaining > 0) {
+            t.actor->park_for(remaining);
+            continue;
+        }
+        // Deadline passed. If still blocked, withdraw from the wait and
+        // compete for a core; if a wake slipped in, fall through as woken.
+        rq_lock_.lock();
+        if (t.state == TaskState::kBlocked) {
+            woken = false;
+            if (!idle_.empty()) {
+                const topo::CoreId core = idle_.back();
+                idle_.pop_back();
+                t.core = core;
+                t.slice_start = engine_.now();
+                ++switches_;
+            } else {
+                t.state = TaskState::kRunnable;
+                runq_.push_back(&t);
+            }
+        }
+        rq_lock_.unlock();
+        // If queued, wait (untimed) for the core assignment.
+        while (!t.on_core()) t.actor->park();
+        break;
+    }
+    t.state = TaskState::kRunning;
+    return woken;
+}
+
+void Scheduler::wake(Task& t) {
+    rq_lock_.lock();
+    switch (t.state) {
+    case TaskState::kBlocked: {
+        if (!idle_.empty()) {
+            const topo::CoreId core = idle_.back();
+            idle_.pop_back();
+            t.state = TaskState::kRunnable;
+            assign(t, core);
+        } else {
+            t.state = TaskState::kRunnable;
+            runq_.push_back(&t);
+        }
+        break;
+    }
+    case TaskState::kRunning:
+    case TaskState::kRunnable:
+        // Wake raced ahead of (or duplicated with) the block; bank it.
+        t.wake_pending = true;
+        break;
+    case TaskState::kExited:
+    case TaskState::kShadow:
+        // Wakeups racing with exit/migration are dropped, as in Linux.
+        break;
+    case TaskState::kNew:
+    case TaskState::kMigrating:
+        t.wake_pending = true;
+        break;
+    }
+    rq_lock_.unlock();
+    sim::current_actor().sleep_for(costs_.sched_enqueue);
+}
+
+void Scheduler::yield(Task& t) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    rq_lock_.lock();
+    if (runq_.empty()) {
+        t.slice_start = engine_.now();
+        rq_lock_.unlock();
+        return;
+    }
+    t.state = TaskState::kRunnable;
+    const topo::CoreId core = t.core;
+    t.core = -1;
+    Task* next = runq_.front();
+    runq_.pop_front();
+    runq_.push_back(&t);
+    assign(*next, core);
+    rq_lock_.unlock();
+    while (!t.on_core()) t.actor->park();
+    t.state = TaskState::kRunning;
+}
+
+bool Scheduler::maybe_preempt(Task& t) {
+    if (engine_.now() - t.slice_start < costs_.timeslice) return false;
+    if (runq_.empty()) {
+        t.slice_start = engine_.now();
+        return false;
+    }
+    yield(t);
+    return true;
+}
+
+void Scheduler::depart(Task& t) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    rq_lock_.lock();
+    t.state = TaskState::kMigrating;
+    release_core(t);
+    rq_lock_.unlock();
+}
+
+void Scheduler::exit(Task& t) {
+    RKO_ASSERT(t.actor == &engine_.current());
+    rq_lock_.lock();
+    t.state = TaskState::kExited;
+    release_core(t);
+    rq_lock_.unlock();
+}
+
+} // namespace rko::task

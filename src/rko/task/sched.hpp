@@ -1,0 +1,87 @@
+// Per-kernel scheduler: per-kernel runqueue + idle-core pool.
+//
+// Scheduling is cooperative at simulation level: a task runs on its core
+// until it blocks, yields, migrates, or its timeslice expires at a
+// maybe_preempt() checkpoint (the api layer's compute() calls one per
+// quantum). The runqueue lock is a simulated SpinLock, so in SMP mode with
+// many cores the enqueue/dequeue serialization is visible in virtual time —
+// one of the shared-structure costs the paper's design addresses.
+//
+// Protocol (see Task.state):
+//   acquire(t)        first entry / re-entry after migration; may queue+park
+//   block_and_wait(t) give up the core, park until wake(t)
+//   wake(t)           make a blocked task runnable (idle core => direct assign)
+//   yield(t)          round-robin re-queue if someone is waiting
+//   maybe_preempt(t)  yield iff the timeslice expired and the queue is non-empty
+//   depart(t)/exit(t) give up the core permanently (migration / exit)
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "rko/base/stats.hpp"
+#include "rko/sim/sync.hpp"
+#include "rko/task/task.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::task {
+
+class Scheduler {
+public:
+    Scheduler(sim::Engine& engine, const topo::CostModel& costs,
+              std::vector<topo::CoreId> cores);
+
+    /// Takes a core for `t`, queueing and parking until one frees up.
+    /// Called on the task's own actor.
+    void acquire(Task& t);
+
+    /// Releases the core and parks until wake(t). If wake() already raced
+    /// ahead (wake_pending), returns immediately without parking.
+    void block_and_wait(Task& t);
+
+    /// Like block_and_wait but gives up after `timeout`; returns true if
+    /// woken, false on timeout. Either way the task owns a core again on
+    /// return (a timed-out task re-queues for one).
+    bool block_and_wait_for(Task& t, Nanos timeout);
+
+    /// Makes a blocked task runnable. Callable from any actor (futex grant
+    /// handlers, joiners' exit paths, timer expiry).
+    void wake(Task& t);
+
+    /// Cooperative round-robin yield; no-op when the runqueue is empty.
+    void yield(Task& t);
+
+    /// Yields iff t's slice expired and other tasks wait. Returns true if a
+    /// reschedule happened.
+    bool maybe_preempt(Task& t);
+
+    /// The task leaves this kernel (migration). Frees the core; the actor
+    /// does NOT park here — it proceeds into the migration protocol.
+    void depart(Task& t);
+
+    /// Terminal exit: frees the core and marks the task exited.
+    void exit(Task& t);
+
+    int ncores() const { return static_cast<int>(ncores_); }
+    int idle_cores() const { return static_cast<int>(idle_.size()); }
+    std::size_t runnable() const { return runq_.size(); }
+    std::uint64_t context_switches() const { return switches_; }
+    /// Queueing time on the runqueue lock (an SMP contention point).
+    Nanos rq_lock_wait() const { return rq_lock_.wait_time(); }
+    /// Total virtual time cores spent idle while work existed elsewhere is
+    /// not tracked here; benches compute utilization from task runtimes.
+
+private:
+    void release_core(Task& t);
+    void assign(Task& t, topo::CoreId core);
+
+    sim::Engine& engine_;
+    const topo::CostModel& costs_;
+    std::size_t ncores_;
+    sim::SpinLock rq_lock_; ///< models the runqueue lock (contention point)
+    std::deque<Task*> runq_;
+    std::vector<topo::CoreId> idle_;
+    std::uint64_t switches_ = 0;
+};
+
+} // namespace rko::task

@@ -1,0 +1,70 @@
+// Task control blocks.
+//
+// Mirrors the paper's model: each kernel keeps its own task_struct for every
+// thread it hosts. A thread that migrates away leaves a *shadow* task at
+// the origin (used for back-migration and group bookkeeping) and gets a
+// fresh task on the destination kernel. The continuously-executing entity
+// (the simulation actor and the guest code on its stack) is owned by the
+// api layer's Thread object and is re-pointed between task records as it
+// migrates — the protocol messages carry the architectural context
+// (registers, FPU state) for cost realism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rko/base/units.hpp"
+#include "rko/mem/types.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::task {
+
+enum class TaskState {
+    kNew,       ///< created, never scheduled
+    kRunnable,  ///< waiting for a core
+    kRunning,   ///< owns a core
+    kBlocked,   ///< waiting (futex, join, page fault service, ...)
+    kMigrating, ///< context in flight to another kernel
+    kShadow,    ///< origin-side placeholder for a thread running elsewhere
+    kExited,
+};
+
+const char* task_state_name(TaskState state);
+
+/// The architectural thread context shipped in a migration message —
+/// deliberately sized like a real x86-64 register file + XSAVE area so the
+/// transfer cost is honest.
+struct ThreadContext {
+    std::array<std::uint64_t, 16> gpr{};
+    std::uint64_t rip = 0;
+    std::uint64_t rflags = 0;
+    std::uint64_t fs_base = 0; ///< TLS pointer
+    std::array<std::byte, 832> xsave{};
+};
+static_assert(std::is_trivially_copyable_v<ThreadContext>);
+
+struct Task {
+    Tid tid = 0;
+    Pid pid = 0; ///< thread-group id (process)
+    topo::KernelId origin = 0;  ///< kernel where the process was created
+    topo::KernelId kernel = 0;  ///< kernel this task record belongs to
+    TaskState state = TaskState::kNew;
+    bool shadow = false;
+
+    /// Execution vehicle; null for shadows and exited tasks.
+    sim::Actor* actor = nullptr;
+
+    // --- scheduling (owned by this kernel's Scheduler) ---
+    topo::CoreId core = -1;       ///< -1 when not on a core
+    Nanos slice_start = 0;        ///< when the current timeslice began
+    bool wake_pending = false;    ///< wake() raced ahead of block_and_wait()
+
+    int exit_status = 0;
+    std::string name;
+
+    bool on_core() const { return core >= 0; }
+};
+
+} // namespace rko::task

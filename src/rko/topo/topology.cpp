@@ -1,0 +1,27 @@
+#include "rko/topo/topology.hpp"
+
+namespace rko::topo {
+
+Topology::Topology(int ncores, int nkernels) : ncores_(ncores), nkernels_(nkernels) {
+    RKO_ASSERT_MSG(ncores >= 1, "need at least one core");
+    RKO_ASSERT_MSG(nkernels >= 1 && nkernels <= ncores,
+                   "kernel count must be in [1, ncores]");
+    kernel_of_.resize(static_cast<std::size_t>(ncores));
+    cores_of_.resize(static_cast<std::size_t>(nkernels));
+    // Contiguous block partitioning, remainder cores spread over the first
+    // groups — mirrors how Popcorn assigns core ranges at kernel boot.
+    const int base = ncores / nkernels;
+    const int extra = ncores % nkernels;
+    CoreId next = 0;
+    for (KernelId k = 0; k < nkernels; ++k) {
+        const int span = base + (k < extra ? 1 : 0);
+        for (int i = 0; i < span; ++i) {
+            kernel_of_[static_cast<std::size_t>(next)] = k;
+            cores_of_[static_cast<std::size_t>(k)].push_back(next);
+            ++next;
+        }
+    }
+    RKO_ASSERT(next == ncores);
+}
+
+} // namespace rko::topo

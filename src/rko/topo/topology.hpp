@@ -1,0 +1,93 @@
+// Machine topology and virtual-time cost model.
+//
+// A Machine has `ncores` cores partitioned into `nkernels` contiguous core
+// groups; each group boots one kernel instance (SMP mode is the special
+// case nkernels == 1). The CostModel centralizes every virtual-time
+// constant; all defaults approximate a contemporary x86 server and can be
+// overridden per experiment (the benches expose the relevant knobs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rko/base/assert.hpp"
+#include "rko/base/units.hpp"
+#include "rko/sim/sync.hpp"
+
+namespace rko::topo {
+
+using CoreId = int;
+using KernelId = int;
+
+/// Every virtual-time constant in one place. Units: ns unless noted.
+struct CostModel {
+    // --- CPU / kernel entry ---
+    Nanos syscall_entry = 150;     ///< user->kernel->user round trip
+    Nanos trap = 900;              ///< page-fault trap + fixup bookkeeping
+    Nanos context_switch = 1200;   ///< full task switch incl. state save
+    Nanos sched_enqueue = 200;     ///< runqueue insert + bookkeeping
+    Nanos wakeup_ipi = 1000;       ///< cross-core rescheduling interrupt
+    Nanos thread_clone = 9000;     ///< task_struct + stack setup (clone path)
+
+    // --- Locks (see sim::LockCosts) ---
+    sim::LockCosts lock{20, 80};
+
+    // --- Memory ---
+    Nanos mem_access = 2;          ///< one guest load/store, TLB hit
+    Nanos charge_quantum = 2000;   ///< per-access costs flushed in this quantum
+    Nanos tlb_fill = 120;          ///< software walk + fill on TLB miss
+    Nanos tlb_shootdown = 1800;    ///< IPI + remote flush, per target core
+    Nanos page_zero = 450;         ///< clearing a fresh 4 KiB frame
+    Nanos page_copy = 350;         ///< local 4 KiB copy (cache-warm)
+    Nanos frame_alloc_path = 180;  ///< buddy allocator bookkeeping per op
+
+    // --- Inter-kernel messaging ---
+    Nanos msg_enqueue = 250;       ///< marshal + ring-slot publish
+    Nanos msg_doorbell = 1300;     ///< IPI to a sleeping dispatcher
+    Nanos msg_dispatch = 300;      ///< demux + handler table lookup
+    Nanos msg_wire_latency = 0;    ///< extra one-way latency (emulated fabrics)
+    double bytes_per_ns = 12.0;    ///< copy bandwidth for payloads (~12 GB/s)
+
+    // --- Scheduling policy ---
+    Nanos timeslice = 4 * 1000 * 1000; ///< 4 ms round-robin slice
+
+    /// Time to move `bytes` through a channel or a memcpy at model bandwidth.
+    Nanos copy_cost(std::size_t bytes) const {
+        return static_cast<Nanos>(static_cast<double>(bytes) / bytes_per_ns);
+    }
+};
+
+/// Static core-to-kernel partitioning.
+class Topology {
+public:
+    Topology(int ncores, int nkernels);
+
+    int ncores() const { return ncores_; }
+    int nkernels() const { return nkernels_; }
+
+    KernelId kernel_of(CoreId core) const {
+        RKO_ASSERT(core >= 0 && core < ncores_);
+        return kernel_of_[static_cast<std::size_t>(core)];
+    }
+
+    const std::vector<CoreId>& cores_of(KernelId kernel) const {
+        RKO_ASSERT(kernel >= 0 && kernel < nkernels_);
+        return cores_of_[static_cast<std::size_t>(kernel)];
+    }
+
+    int cores_per_kernel(KernelId kernel) const {
+        return static_cast<int>(cores_of(kernel).size());
+    }
+
+    /// Relative distance between kernels, multiplying msg_wire_latency; the
+    /// default is uniform 1 (single machine, symmetric interconnect).
+    int distance(KernelId a, KernelId b) const { return a == b ? 0 : 1; }
+
+private:
+    int ncores_;
+    int nkernels_;
+    std::vector<KernelId> kernel_of_;
+    std::vector<std::vector<CoreId>> cores_of_;
+};
+
+} // namespace rko::topo

@@ -1,0 +1,104 @@
+// Integration tests over the E7 application kernels: the workloads must
+// produce correct results on every configuration (SMP, replicated kernels
+// at several partitionings), for both the DSM-aware and naive variants —
+// these runs double as end-to-end stress tests of the consistency
+// protocols under real sharing patterns.
+#include <gtest/gtest.h>
+
+#include "../bench/apps.hpp"
+
+namespace rko {
+namespace {
+
+using api::Machine;
+
+struct Apps : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Apps, IsSortGatherCorrectEverywhere) {
+    const auto [cores, kernels] = GetParam();
+    apps::IsConfig config;
+    config.nthreads = cores;
+    config.nkeys = 1 << 12;
+    config.buckets = 64;
+    config.compute_per_key = 2;
+    Machine machine(kernels == 1 ? smp::smp_config(cores)
+                                 : smp::popcorn_config(cores, kernels));
+    const Nanos makespan = apps::is_sort(machine, config); // asserts sortedness
+    EXPECT_GT(makespan, 0);
+}
+
+TEST_P(Apps, CgSweepRunsEverywhere) {
+    const auto [cores, kernels] = GetParam();
+    apps::CgConfig config;
+    config.nthreads = cores;
+    config.n = 1 << 12;
+    config.iterations = 3;
+    config.compute_per_cell = 10;
+    Machine machine(kernels == 1 ? smp::smp_config(cores)
+                                 : smp::popcorn_config(cores, kernels));
+    EXPECT_GT(apps::cg_sweep(machine, config), 0);
+}
+
+TEST_P(Apps, ChurnRunsEverywhere) {
+    const auto [cores, kernels] = GetParam();
+    apps::ChurnConfig config;
+    config.nworkers = cores;
+    config.iterations = 5;
+    Machine machine(kernels == 1 ? smp::smp_config(cores)
+                                 : smp::popcorn_config(cores, kernels));
+    EXPECT_GT(apps::churn(machine, config), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Apps,
+    testing::Values(std::make_pair(4, 1), std::make_pair(4, 2),
+                    std::make_pair(8, 2), std::make_pair(8, 4),
+                    std::make_pair(16, 4), std::make_pair(16, 8)),
+    [](const testing::TestParamInfo<std::pair<int, int>>& param_info) {
+        return "cores" + std::to_string(param_info.param.first) + "_kernels" +
+               std::to_string(param_info.param.second);
+    });
+
+TEST(AppsNaive, ScatterVariantStillCorrectAcrossKernels) {
+    // The naive scatter is slow by design but must stay CORRECT: it is the
+    // strongest consistency-protocol stress we have (random remote writes).
+    apps::IsConfig config;
+    config.nthreads = 8;
+    config.nkeys = 1 << 12;
+    config.buckets = 64;
+    config.variant = apps::IsVariant::kNaiveScatter;
+    config.compute_per_key = 0;
+    Machine machine(smp::popcorn_config(8, 4));
+    EXPECT_GT(apps::is_sort(machine, config), 0);
+}
+
+TEST(AppsNaive, GatherBeatsNaiveScatterAcrossKernels) {
+    auto run_variant = [](apps::IsVariant variant) {
+        apps::IsConfig config;
+        config.nthreads = 8;
+        config.nkeys = 1 << 12;
+        config.buckets = 64;
+        config.variant = variant;
+        config.compute_per_key = 2;
+        Machine machine(smp::popcorn_config(8, 4));
+        return apps::is_sort(machine, config);
+    };
+    const Nanos gather = run_variant(apps::IsVariant::kGather);
+    const Nanos naive = run_variant(apps::IsVariant::kNaiveScatter);
+    EXPECT_LT(gather, naive); // page-ownership ping-pong must cost more
+}
+
+TEST(AppsDeterminism, SameSeedSameMakespan) {
+    auto run_once = [] {
+        apps::IsConfig config;
+        config.nthreads = 8;
+        config.nkeys = 1 << 12;
+        config.buckets = 64;
+        Machine machine(smp::popcorn_config(8, 4));
+        return apps::is_sort(machine, config);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace rko

@@ -1,0 +1,155 @@
+// Unit tests for rko/base: RNG determinism, statistics, histograms, logging.
+#include <gtest/gtest.h>
+
+#include "rko/base/rng.hpp"
+#include "rko/base/stats.hpp"
+#include "rko/base/units.hpp"
+
+namespace rko::base {
+namespace {
+
+using namespace rko::time_literals;
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Summary, BasicMoments) {
+    Summary s;
+    for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.total(), 15.0);
+    EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+    Summary a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 50; i < 120; ++i) {
+        b.add(i * 1.5);
+        all.add(i * 1.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+    Summary a, empty;
+    a.add(4.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
+TEST(Histogram, PercentilesBracketSamples) {
+    Histogram h;
+    for (Nanos v = 1; v <= 1000; ++v) h.add(v);
+    EXPECT_EQ(h.count(), 1000u);
+    // Log-bucketed percentiles are approximate: within one bucket (25%).
+    EXPECT_GE(h.percentile(50), 450);
+    EXPECT_LE(h.percentile(50), 700);
+    EXPECT_GE(h.percentile(99), 900);
+    EXPECT_LE(h.percentile(99), 1000);
+    EXPECT_EQ(h.percentile(100), 1000);
+}
+
+TEST(Histogram, MinMaxMeanExact) {
+    Histogram h;
+    h.add(10);
+    h.add(1000);
+    h.add(100);
+    EXPECT_EQ(h.min(), 10);
+    EXPECT_EQ(h.max(), 1000);
+    EXPECT_NEAR(h.mean(), 370.0, 1e-9);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+    Histogram a, b;
+    a.add(5);
+    b.add(50);
+    b.add(500);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 5);
+    EXPECT_EQ(a.max(), 500);
+}
+
+TEST(Counters, BumpAndRead) {
+    Counters c;
+    c.bump("faults");
+    c.bump("faults", 4);
+    c.bump("msgs", 2);
+    EXPECT_EQ(c.get("faults"), 5u);
+    EXPECT_EQ(c.get("msgs"), 2u);
+    EXPECT_EQ(c.get("absent"), 0u);
+    EXPECT_EQ(c.sorted().size(), 2u);
+}
+
+TEST(FormatNs, AdaptiveUnits) {
+    EXPECT_EQ(format_ns(12), "12 ns");
+    EXPECT_EQ(format_ns(1500), "1.50 us");
+    EXPECT_EQ(format_ns(2'500'000), "2.50 ms");
+    EXPECT_EQ(format_ns(3'000'000'000LL), "3.00 s");
+}
+
+TEST(TimeLiterals, Conversions) {
+    EXPECT_EQ(1_us, 1000);
+    EXPECT_EQ(2_ms, 2'000'000);
+    EXPECT_EQ(1_s, 1'000'000'000);
+}
+
+} // namespace
+} // namespace rko::base

@@ -1,0 +1,485 @@
+// Protocol-level tests of the core/ services through the public API:
+// brk semantics, futex timeouts and cancellation races, SSI listings,
+// VMA-server edge cases, sequestered (PROT_NONE) data survival, and
+// thread-group bookkeeping across migrations.
+#include <gtest/gtest.h>
+
+#include "rko/api/machine.hpp"
+#include "rko/core/dfutex.hpp"
+#include "rko/core/migration.hpp"
+#include "rko/core/page_owner.hpp"
+#include "rko/core/ssi.hpp"
+#include "rko/core/thread_group.hpp"
+#include "rko/core/vma_server.hpp"
+#include "rko/smp/smp.hpp"
+
+namespace rko {
+namespace {
+
+using namespace rko::time_literals;
+using api::Guest;
+using api::Machine;
+using api::Thread;
+using mem::kPageSize;
+using mem::Vaddr;
+
+Machine make_machine(int cores = 8, int kernels = 4) {
+    return Machine(smp::popcorn_config(cores, kernels));
+}
+
+TEST(Brk, GrowWriteShrinkFault) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr base = g.brk();
+            EXPECT_EQ(base, mem::kHeapBase);
+            // Grow by 3 pages and use the memory.
+            const Vaddr old_brk = g.sbrk(3 * kPageSize);
+            EXPECT_EQ(old_brk, base);
+            g.write<std::uint64_t>(base, 0x1111);
+            g.write<std::uint64_t>(base + 2 * kPageSize, 0x2222);
+            EXPECT_EQ(g.read<std::uint64_t>(base), 0x1111u);
+            // Shrink to one page: the tail must fault afterwards.
+            EXPECT_EQ(g.brk(base + kPageSize), base + kPageSize);
+            EXPECT_EQ(g.read<std::uint64_t>(base), 0x1111u); // kept
+            (void)g.read<std::uint64_t>(base + 2 * kPageSize);
+            ADD_FAILURE() << "read past the shrunk break did not fault";
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_TRUE(process.threads()[0]->segfaulted());
+}
+
+TEST(Brk, RemoteKernelGrowsThroughOrigin) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    bool ok = false;
+    process.spawn(
+        [&](Guest& g) {
+            // Running on kernel 2; brk is served by the origin's VMA server.
+            const Vaddr old_brk = g.sbrk(2 * kPageSize);
+            ASSERT_NE(old_brk, 0u);
+            g.write<int>(old_brk + kPageSize, 77);
+            ok = g.read<int>(old_brk + kPageSize) == 77;
+        },
+        2);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_TRUE(ok);
+    // The requesting kernel counts the op as remote (RPC'd to the origin).
+    EXPECT_GT(machine.kernel(2).vma().remote_ops(), 0u);
+}
+
+TEST(Brk, QueryDoesNotMove) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr a = g.brk();
+            const Vaddr b = g.brk();
+            EXPECT_EQ(a, b);
+        },
+        1);
+    machine.run();
+    process.check_all_joined();
+}
+
+TEST(FutexTimeout, ExpiresWhenNobodyWakes) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    int result = -1;
+    Nanos waited = 0;
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr word = g.mmap(kPageSize);
+            const Nanos t0 = g.now();
+            result = g.futex_wait_for(word, 0, 2_ms);
+            waited = g.now() - t0;
+        },
+        1); // remote waiter: timeout must cancel at the origin
+    machine.run();
+    process.check_all_joined();
+    EXPECT_EQ(result, core::kEtimedout);
+    EXPECT_GE(waited, 2_ms);
+    // The origin's queue must be clean afterwards.
+    EXPECT_EQ(machine.kernel(0).futex().queued_waiters(), 0u);
+}
+
+TEST(FutexTimeout, WakeBeforeDeadlineReturnsZero) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    int result = -1;
+    Vaddr word = 0;
+    auto& sleeper = process.spawn(
+        [&](Guest& g) {
+            word = g.mmap(kPageSize);
+            result = g.futex_wait_for(word, 0, 50_ms);
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            while (word == 0) g.yield();
+            g.compute(300_us);
+            g.futex_wake(word, 1);
+            g.join(sleeper);
+        },
+        2);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_EQ(result, 0);
+}
+
+TEST(FutexTimeout, ValueMismatchStillEagain) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    int result = -1;
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr word = g.mmap(kPageSize);
+            g.write<std::uint32_t>(word, 5);
+            result = g.futex_wait_for(word, 4, 1_ms);
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_EQ(result, core::kEagain);
+}
+
+TEST(FutexTimeout, TimedMutexStillMutuallyExcludes) {
+    // Mix timed and untimed waiters on one contended mutex; the counter
+    // must still be exact (spurious wakeups allowed, lost updates not).
+    Machine machine = make_machine(8, 4);
+    auto& process = machine.create_process(0);
+    Vaddr lock_word = 0, counter = 0;
+    constexpr int kThreads = 6, kIters = 20;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            lock_word = g.mmap(kPageSize);
+            counter = g.mmap(kPageSize);
+        },
+        0);
+    for (int i = 0; i < kThreads; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                for (int n = 0; n < kIters; ++n) {
+                    // Timed lock: retry loop with small timeouts.
+                    std::uint32_t c = g.cas_u32(lock_word, 0, 1);
+                    while (c != 0) {
+                        if (c == 2 || g.cas_u32(lock_word, 1, 2) != 0) {
+                            g.futex_wait_for(lock_word, 2, 30_us);
+                        }
+                        c = g.cas_u32(lock_word, 0, 2);
+                    }
+                    const auto v = g.read<std::uint32_t>(counter);
+                    g.compute(1_us);
+                    g.write<std::uint32_t>(counter, v + 1);
+                    const auto old = g.rmw_u32(lock_word, [](std::uint32_t) { return 0u; });
+                    if (old == 2) g.futex_wake(lock_word, 1);
+                }
+            },
+            static_cast<topo::KernelId>(i % 4));
+    }
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            // Wait for everyone by polling the global count via ps().
+            while (g.ps().size() > 2) g.compute(100_us);
+            EXPECT_EQ(g.read<std::uint32_t>(counter), kThreads * kIters);
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+}
+
+TEST(Ssi, PsListsEveryThreadOnce) {
+    Machine machine = make_machine(8, 4);
+    auto& process = machine.create_process(0);
+    Vaddr gate = 0;
+    std::vector<core::TaskInfo> listing;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            gate = g.mmap(kPageSize);
+            while (g.read<std::uint32_t>(gate) == 0) g.futex_wait(gate, 0);
+        },
+        0);
+    std::vector<Thread*> held;
+    for (int k = 1; k < 4; ++k) {
+        held.push_back(&process.spawn(
+            [&](Guest& g) {
+                while (gate == 0) g.yield();
+                while (g.read<std::uint32_t>(gate) == 0) g.futex_wait(gate, 0);
+            },
+            static_cast<topo::KernelId>(k)));
+    }
+    process.spawn(
+        [&](Guest& g) {
+            while (gate == 0) g.yield();
+            g.compute(1_ms);
+            listing = g.ps();
+            g.rmw_u32(gate, [](std::uint32_t) { return 1u; });
+            g.futex_wake(gate, 64);
+        },
+        3);
+    machine.run();
+    process.check_all_joined();
+    ASSERT_EQ(listing.size(), 5u); // init + 3 held + lister
+    std::set<Tid> tids;
+    std::set<topo::KernelId> kernels;
+    for (const auto& info : listing) {
+        EXPECT_TRUE(tids.insert(info.tid).second) << "duplicate tid in ps()";
+        kernels.insert(info.kernel);
+        EXPECT_EQ(info.pid, process.pid());
+    }
+    EXPECT_EQ(kernels.size(), 4u); // one on each kernel
+}
+
+TEST(Ssi, PsSeesMigratedThreadAtNewKernel) {
+    Machine machine = make_machine(8, 4);
+    auto& process = machine.create_process(0);
+    topo::KernelId seen_at = -1;
+    Tid mover_tid = 0;
+    Vaddr gate = 0;
+    auto& mover = process.spawn(
+        [&](Guest& g) {
+            gate = g.mmap(kPageSize);
+            mover_tid = g.tid();
+            g.migrate(2);
+            while (g.read<std::uint32_t>(gate) == 0) g.futex_wait(gate, 0);
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            while (gate == 0) g.yield();
+            g.compute(1_ms);
+            for (const auto& info : g.ps()) {
+                if (info.tid == mover_tid) seen_at = info.kernel;
+            }
+            g.rmw_u32(gate, [](std::uint32_t) { return 1u; });
+            g.futex_wake(gate, 8);
+            g.join(mover);
+        },
+        1);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_EQ(seen_at, 2);
+}
+
+TEST(VmaEdge, MmapZeroLengthFails) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    process.spawn(
+        [&](Guest& g) {
+            EXPECT_EQ(g.mmap(0), 0u);
+            EXPECT_NE(g.munmap(kPageSize + 1, kPageSize), 0); // unaligned
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+}
+
+TEST(VmaEdge, PartialMunmapSplitsAndKeepsNeighbours) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr buf = g.mmap(6 * kPageSize);
+            for (int p = 0; p < 6; ++p) {
+                g.write<int>(buf + static_cast<Vaddr>(p) * kPageSize, p);
+            }
+            EXPECT_EQ(g.munmap(buf + 2 * kPageSize, 2 * kPageSize), 0);
+            EXPECT_EQ(g.read<int>(buf), 0);
+            EXPECT_EQ(g.read<int>(buf + 5 * kPageSize), 5);
+        },
+        1); // from a replica kernel: exercises remote op + broadcast
+    machine.run();
+    process.check_all_joined();
+}
+
+TEST(VmaEdge, ProtNoneSequestersAndRestores) {
+    // Data under PROT_NONE must survive and come back with mprotect(RW) —
+    // including copies that lived on remote kernels when sequestered.
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& writer = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(2 * kPageSize);
+            g.write<std::uint64_t>(buf, 0xfeed);
+            g.write<std::uint64_t>(buf + kPageSize, 0xbeef);
+        },
+        2); // the data's only copies live on kernel 2
+    process.spawn(
+        [&](Guest& g) {
+            g.join(writer);
+            EXPECT_EQ(g.mprotect(buf, 2 * kPageSize, mem::kProtNone), 0);
+            EXPECT_EQ(g.mprotect(buf, 2 * kPageSize,
+                                 mem::kProtRead | mem::kProtWrite),
+                      0);
+            EXPECT_EQ(g.read<std::uint64_t>(buf), 0xfeedu);
+            EXPECT_EQ(g.read<std::uint64_t>(buf + kPageSize), 0xbeefu);
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+}
+
+TEST(ThreadGroupEdge, GroupAliveCountTracksMigrations) {
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    process.spawn(
+        [&](Guest& g) {
+            g.migrate(1);
+            g.migrate(3);
+            g.migrate(0);
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    const auto& group = machine.kernel(0).site(process.pid()).group();
+    EXPECT_EQ(group.alive, 0);
+    EXPECT_EQ(group.spawned, 1u);
+    EXPECT_TRUE(group.location.empty());
+}
+
+TEST(ThreadGroupEdge, SpawnFromMigratedThread) {
+    // A thread that migrated away from the origin spawns a child: the
+    // group join must route back to the origin correctly.
+    Machine machine = make_machine();
+    auto& process = machine.create_process(0);
+    int child_kernel = -1;
+    process.spawn(
+        [&](Guest& g) {
+            g.migrate(2);
+            auto& child = g.spawn(
+                [&](Guest& cg) { child_kernel = cg.kernel(); }, 3);
+            g.join(child);
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_EQ(child_kernel, 3);
+    EXPECT_EQ(machine.kernel(0).site(process.pid()).group().alive, 0);
+}
+
+TEST(MigrationEdge, RapidPingPongKeepsDataIntact) {
+    Machine machine = make_machine(4, 2);
+    auto& process = machine.create_process(0);
+    bool ok = true;
+    process.spawn(
+        [&](Guest& g) {
+            const Vaddr buf = g.mmap(kPageSize);
+            for (int i = 0; i < 30; ++i) {
+                g.write<int>(buf, i);
+                g.migrate(g.kernel() == 0 ? 1 : 0);
+                if (g.read<int>(buf) != i) ok = false;
+            }
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_TRUE(ok);
+}
+
+TEST(MessagingAccounting, RemoteFaultsProduceThreeLegs) {
+    // One remote write fault = request + reply + installed-commit.
+    Machine machine = make_machine(4, 2);
+    auto& process = machine.create_process(0);
+    auto& writer = process.spawn(
+        [&](Guest& g) {
+            const Vaddr buf = g.mmap(kPageSize);
+            g.write<int>(buf, 1);
+            g.write<Vaddr>(buf + 8, buf);
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(writer);
+            (void)g.read<int>(mem::kMmapBase); // one remote read fault
+        },
+        1);
+    machine.run();
+    process.check_all_joined();
+    EXPECT_GE(machine.kernel(0).node().dispatched(msg::MsgType::kPageFault), 1u);
+    EXPECT_GE(machine.kernel(0).node().dispatched(msg::MsgType::kPageInstalled), 1u);
+}
+
+
+TEST(Teardown, DestroyReclaimsEveryFrameMachineWide) {
+    Machine machine(smp::popcorn_config(8, 4, 1u << 13));
+    std::vector<std::size_t> baseline;
+    for (int k = 0; k < 4; ++k) {
+        baseline.push_back(machine.kernel(k).frames().free_frames());
+    }
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& writer = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(32 * kPageSize);
+            g.sbrk(8 * kPageSize);
+            for (int p = 0; p < 32; ++p) {
+                g.write<std::uint64_t>(buf + static_cast<Vaddr>(p) * kPageSize, p);
+            }
+        },
+        0);
+    for (int k = 1; k < 4; ++k) {
+        process.spawn(
+            [&](Guest& g) {
+                g.join(writer);
+                std::uint64_t sum = 0;
+                for (int p = 0; p < 32; ++p) {
+                    sum += g.read<std::uint64_t>(buf + static_cast<Vaddr>(p) * kPageSize);
+                }
+                g.write<std::uint64_t>(buf + static_cast<Vaddr>(g.kernel()) * kPageSize,
+                                       sum);
+            },
+            static_cast<topo::KernelId>(k));
+    }
+    machine.run();
+    process.check_all_joined();
+
+    process.destroy();
+    // Every frame on every kernel must be back (copies, ctid pages, heap).
+    for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(machine.kernel(k).frames().free_frames(),
+                  baseline[static_cast<std::size_t>(k)])
+            << "kernel " << k << " leaked frames";
+    }
+    // Replica sites dropped; the origin keeps the master record.
+    EXPECT_TRUE(machine.kernel(0).has_site(process.pid()));
+    for (int k = 1; k < 4; ++k) {
+        EXPECT_FALSE(machine.kernel(k).has_site(process.pid()));
+    }
+    process.destroy(); // idempotent
+}
+
+TEST(Teardown, SecondProcessUnaffectedByFirstDestroy) {
+    Machine machine(smp::popcorn_config(8, 4));
+    auto& doomed = machine.create_process(0);
+    auto& survivor = machine.create_process(1);
+    Vaddr survivor_buf = 0;
+    doomed.spawn(
+        [&](Guest& g) {
+            const Vaddr buf = g.mmap(8 * kPageSize);
+            g.write<int>(buf, 1);
+        },
+        2);
+    survivor.spawn(
+        [&](Guest& g) {
+            survivor_buf = g.mmap(kPageSize);
+            g.write<int>(survivor_buf, 99);
+        },
+        2);
+    machine.run();
+    doomed.destroy();
+    // The survivor's memory must still be intact and usable.
+    survivor.spawn(
+        [&](Guest& g) { EXPECT_EQ(g.read<int>(survivor_buf), 99); }, 3);
+    machine.run();
+    survivor.check_all_joined();
+}
+
+} // namespace
+} // namespace rko

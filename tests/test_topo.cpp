@@ -1,0 +1,88 @@
+// Unit tests for the topology model and cost-model arithmetic.
+#include <gtest/gtest.h>
+
+#include "rko/topo/topology.hpp"
+
+namespace rko::topo {
+namespace {
+
+TEST(Topology, EvenPartitioning) {
+    Topology topo(16, 4);
+    EXPECT_EQ(topo.ncores(), 16);
+    EXPECT_EQ(topo.nkernels(), 4);
+    for (KernelId k = 0; k < 4; ++k) {
+        EXPECT_EQ(topo.cores_per_kernel(k), 4);
+    }
+    EXPECT_EQ(topo.kernel_of(0), 0);
+    EXPECT_EQ(topo.kernel_of(3), 0);
+    EXPECT_EQ(topo.kernel_of(4), 1);
+    EXPECT_EQ(topo.kernel_of(15), 3);
+}
+
+TEST(Topology, RemainderSpreadOverFirstKernels) {
+    Topology topo(10, 3); // 4 + 3 + 3
+    EXPECT_EQ(topo.cores_per_kernel(0), 4);
+    EXPECT_EQ(topo.cores_per_kernel(1), 3);
+    EXPECT_EQ(topo.cores_per_kernel(2), 3);
+    int total = 0;
+    for (KernelId k = 0; k < 3; ++k) total += topo.cores_per_kernel(k);
+    EXPECT_EQ(total, 10);
+}
+
+TEST(Topology, EveryCoreBelongsToExactlyOneKernel) {
+    Topology topo(13, 5);
+    std::vector<int> seen(13, 0);
+    for (KernelId k = 0; k < 5; ++k) {
+        for (const CoreId core : topo.cores_of(k)) {
+            EXPECT_EQ(topo.kernel_of(core), k);
+            ++seen[static_cast<std::size_t>(core)];
+        }
+    }
+    for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Topology, SingleKernelOwnsAll) {
+    Topology topo(8, 1);
+    EXPECT_EQ(topo.cores_per_kernel(0), 8);
+    for (CoreId c = 0; c < 8; ++c) EXPECT_EQ(topo.kernel_of(c), 0);
+}
+
+TEST(Topology, OneCorePerKernel) {
+    Topology topo(4, 4);
+    for (KernelId k = 0; k < 4; ++k) EXPECT_EQ(topo.cores_per_kernel(k), 1);
+}
+
+TEST(Topology, DistanceIsZeroSelfOneOtherwise) {
+    Topology topo(8, 4);
+    EXPECT_EQ(topo.distance(2, 2), 0);
+    EXPECT_EQ(topo.distance(0, 3), 1);
+    EXPECT_EQ(topo.distance(3, 0), 1);
+}
+
+TEST(CostModel, CopyCostScalesWithBytes) {
+    CostModel costs;
+    EXPECT_EQ(costs.copy_cost(0), 0);
+    const Nanos one_page = costs.copy_cost(4096);
+    const Nanos two_pages = costs.copy_cost(8192);
+    EXPECT_GT(one_page, 0);
+    EXPECT_EQ(two_pages, 2 * one_page);
+    // ~12 GB/s default: a 4 KiB page in roughly a third of a microsecond.
+    EXPECT_NEAR(static_cast<double>(one_page), 4096.0 / 12.0, 2.0);
+}
+
+TEST(CostModel, DefaultsAreSane) {
+    CostModel costs;
+    // Relative-order sanity: these orderings are what the protocol costs
+    // rely on (e.g. a trap is much cheaper than a context switch pair, a
+    // TLB fill cheaper than a shootdown).
+    EXPECT_LT(costs.mem_access, costs.tlb_fill);
+    EXPECT_LT(costs.tlb_fill, costs.tlb_shootdown);
+    EXPECT_LT(costs.lock.uncontended, costs.lock.handoff);
+    EXPECT_LT(costs.syscall_entry, costs.trap);
+    EXPECT_LT(costs.msg_dispatch, costs.msg_doorbell);
+    EXPECT_GT(costs.thread_clone, costs.context_switch);
+    EXPECT_GT(costs.timeslice, costs.context_switch * 100);
+}
+
+} // namespace
+} // namespace rko::topo
