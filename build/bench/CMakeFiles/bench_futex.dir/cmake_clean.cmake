@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_futex.dir/bench_futex.cpp.o"
+  "CMakeFiles/bench_futex.dir/bench_futex.cpp.o.d"
+  "bench_futex"
+  "bench_futex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_futex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

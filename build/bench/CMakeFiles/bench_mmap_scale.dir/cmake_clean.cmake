@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmap_scale.dir/bench_mmap_scale.cpp.o"
+  "CMakeFiles/bench_mmap_scale.dir/bench_mmap_scale.cpp.o.d"
+  "bench_mmap_scale"
+  "bench_mmap_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmap_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

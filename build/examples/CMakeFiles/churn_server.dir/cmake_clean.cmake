@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_server.dir/churn_server.cpp.o"
+  "CMakeFiles/churn_server.dir/churn_server.cpp.o.d"
+  "churn_server"
+  "churn_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalancing_service.dir/rebalancing_service.cpp.o"
+  "CMakeFiles/rebalancing_service.dir/rebalancing_service.cpp.o.d"
+  "rebalancing_service"
+  "rebalancing_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalancing_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

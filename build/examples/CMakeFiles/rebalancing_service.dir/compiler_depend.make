@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rebalancing_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rebalancing_service.
+# This may be replaced when dependencies are built.

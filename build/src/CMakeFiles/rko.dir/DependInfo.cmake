@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rko/api/machine.cpp" "src/CMakeFiles/rko.dir/rko/api/machine.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/api/machine.cpp.o.d"
+  "/root/repo/src/rko/api/process.cpp" "src/CMakeFiles/rko.dir/rko/api/process.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/api/process.cpp.o.d"
+  "/root/repo/src/rko/base/log.cpp" "src/CMakeFiles/rko.dir/rko/base/log.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/base/log.cpp.o.d"
+  "/root/repo/src/rko/base/stats.cpp" "src/CMakeFiles/rko.dir/rko/base/stats.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/base/stats.cpp.o.d"
+  "/root/repo/src/rko/core/dfutex.cpp" "src/CMakeFiles/rko.dir/rko/core/dfutex.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/dfutex.cpp.o.d"
+  "/root/repo/src/rko/core/migration.cpp" "src/CMakeFiles/rko.dir/rko/core/migration.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/migration.cpp.o.d"
+  "/root/repo/src/rko/core/page_owner.cpp" "src/CMakeFiles/rko.dir/rko/core/page_owner.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/page_owner.cpp.o.d"
+  "/root/repo/src/rko/core/ssi.cpp" "src/CMakeFiles/rko.dir/rko/core/ssi.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/ssi.cpp.o.d"
+  "/root/repo/src/rko/core/thread_group.cpp" "src/CMakeFiles/rko.dir/rko/core/thread_group.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/thread_group.cpp.o.d"
+  "/root/repo/src/rko/core/vma_server.cpp" "src/CMakeFiles/rko.dir/rko/core/vma_server.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/core/vma_server.cpp.o.d"
+  "/root/repo/src/rko/kernel/kernel.cpp" "src/CMakeFiles/rko.dir/rko/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/kernel/kernel.cpp.o.d"
+  "/root/repo/src/rko/mem/frame_alloc.cpp" "src/CMakeFiles/rko.dir/rko/mem/frame_alloc.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mem/frame_alloc.cpp.o.d"
+  "/root/repo/src/rko/mem/mmu.cpp" "src/CMakeFiles/rko.dir/rko/mem/mmu.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mem/mmu.cpp.o.d"
+  "/root/repo/src/rko/mem/pagetable.cpp" "src/CMakeFiles/rko.dir/rko/mem/pagetable.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mem/pagetable.cpp.o.d"
+  "/root/repo/src/rko/mem/phys.cpp" "src/CMakeFiles/rko.dir/rko/mem/phys.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mem/phys.cpp.o.d"
+  "/root/repo/src/rko/mem/vma.cpp" "src/CMakeFiles/rko.dir/rko/mem/vma.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mem/vma.cpp.o.d"
+  "/root/repo/src/rko/mk/multikernel.cpp" "src/CMakeFiles/rko.dir/rko/mk/multikernel.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/mk/multikernel.cpp.o.d"
+  "/root/repo/src/rko/msg/channel.cpp" "src/CMakeFiles/rko.dir/rko/msg/channel.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/msg/channel.cpp.o.d"
+  "/root/repo/src/rko/msg/fabric.cpp" "src/CMakeFiles/rko.dir/rko/msg/fabric.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/msg/fabric.cpp.o.d"
+  "/root/repo/src/rko/msg/message.cpp" "src/CMakeFiles/rko.dir/rko/msg/message.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/msg/message.cpp.o.d"
+  "/root/repo/src/rko/msg/node.cpp" "src/CMakeFiles/rko.dir/rko/msg/node.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/msg/node.cpp.o.d"
+  "/root/repo/src/rko/sim/actor.cpp" "src/CMakeFiles/rko.dir/rko/sim/actor.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/sim/actor.cpp.o.d"
+  "/root/repo/src/rko/sim/context.cpp" "src/CMakeFiles/rko.dir/rko/sim/context.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/sim/context.cpp.o.d"
+  "/root/repo/src/rko/sim/engine.cpp" "src/CMakeFiles/rko.dir/rko/sim/engine.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/sim/engine.cpp.o.d"
+  "/root/repo/src/rko/sim/sync.cpp" "src/CMakeFiles/rko.dir/rko/sim/sync.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/sim/sync.cpp.o.d"
+  "/root/repo/src/rko/smp/smp.cpp" "src/CMakeFiles/rko.dir/rko/smp/smp.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/smp/smp.cpp.o.d"
+  "/root/repo/src/rko/task/sched.cpp" "src/CMakeFiles/rko.dir/rko/task/sched.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/task/sched.cpp.o.d"
+  "/root/repo/src/rko/topo/topology.cpp" "src/CMakeFiles/rko.dir/rko/topo/topology.cpp.o" "gcc" "src/CMakeFiles/rko.dir/rko/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/rko_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_base.cpp" "tests/CMakeFiles/rko_tests.dir/test_base.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_base.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/rko_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rko_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/rko_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_msg.cpp" "tests/CMakeFiles/rko_tests.dir/test_msg.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_msg.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/rko_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/rko_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/rko_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/rko_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/rko_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/rko_tests.dir/test_topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rko.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

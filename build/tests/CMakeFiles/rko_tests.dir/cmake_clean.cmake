@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rko_tests.dir/test_apps.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_apps.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_base.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_base.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_core.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_mem.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_mem.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_msg.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_msg.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_property.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_sched.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_sched.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_system.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_system.cpp.o.d"
+  "CMakeFiles/rko_tests.dir/test_topo.cpp.o"
+  "CMakeFiles/rko_tests.dir/test_topo.cpp.o.d"
+  "rko_tests"
+  "rko_tests.pdb"
+  "rko_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rko_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
