@@ -13,6 +13,7 @@
 // motivation.
 #include "apps.hpp"
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/mk/multikernel.hpp"
 
 namespace {
@@ -70,6 +71,7 @@ int kernels_for(int cores) { return std::max(1, cores / 4); }
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_apps");
     const bool quick = args.quick();
 
     std::printf("E7: application benchmarks (virtual time; lower is better)\n");
@@ -88,6 +90,10 @@ int main(int argc, char** argv) {
             table.add_row({fmt("%d", cores), fmt_ns(smp_time), fmt_ns(pop_time),
                            fmt("%.2f", static_cast<double>(pop_time) /
                                            static_cast<double>(smp_time))});
+            report.add_gauge(fmt("is.%d.smp_ns", cores),
+                             static_cast<double>(smp_time));
+            report.add_gauge(fmt("is.%d.popcorn_ns", cores),
+                             static_cast<double>(pop_time));
         }
         table.print();
     }
@@ -107,6 +113,10 @@ int main(int argc, char** argv) {
             table.add_row({fmt("%d", cores), fmt_ns(smp_time), fmt_ns(pop_time),
                            fmt("%.2f", static_cast<double>(pop_time) /
                                            static_cast<double>(smp_time))});
+            report.add_gauge(fmt("cg.%d.smp_ns", cores),
+                             static_cast<double>(smp_time));
+            report.add_gauge(fmt("cg.%d.popcorn_ns", cores),
+                             static_cast<double>(pop_time));
         }
         table.print();
     }
@@ -127,6 +137,12 @@ int main(int argc, char** argv) {
                            fmt_ns(mk_time),
                            fmt("%.2fx", static_cast<double>(smp_time) /
                                             static_cast<double>(pop_time))});
+            report.add_gauge(fmt("churn.%d.smp_ns", cores),
+                             static_cast<double>(smp_time));
+            report.add_gauge(fmt("churn.%d.popcorn_ns", cores),
+                             static_cast<double>(pop_time));
+            report.add_gauge(fmt("churn.%d.multikernel_ns", cores),
+                             static_cast<double>(mk_time));
         }
         table.print();
         std::printf("\nExpected: compute/memory-bound apps within ~10%% of SMP "

@@ -9,6 +9,7 @@
 //       global table vs. per-origin tables (the contention the paper
 //       removes).
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/dfutex.hpp"
 #include "rko/smp/smp.hpp"
@@ -138,6 +139,7 @@ std::pair<double, Nanos> independent_processes(api::MachineConfig config,
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_futex");
     const int reps = args.quick() ? 20 : 100;
     const int iters = args.quick() ? 30 : 150;
 
@@ -146,10 +148,15 @@ int main(int argc, char** argv) {
     bench::section("(a) wake-to-resume latency");
     {
         Table table({"sleeper", "waker", "latency"});
-        table.add_row({"k0", "k0 (same kernel)", fmt_ns(wake_latency(0, 0, reps))});
-        table.add_row({"k0", "k1 (wake RPC to origin)", fmt_ns(wake_latency(0, 1, reps))});
-        table.add_row({"k1", "k0 (grant message out)", fmt_ns(wake_latency(1, 0, reps))});
-        table.add_row({"k1", "k2 (both remote)", fmt_ns(wake_latency(1, 2, reps))});
+        const auto row = [&](const char* sleeper, const char* waker, const char* key,
+                             Nanos ns) {
+            table.add_row({sleeper, waker, fmt_ns(ns)});
+            report.add_gauge(std::string("wake.") + key, static_cast<double>(ns));
+        };
+        row("k0", "k0 (same kernel)", "local_ns", wake_latency(0, 0, reps));
+        row("k0", "k1 (wake RPC to origin)", "remote_waker_ns", wake_latency(0, 1, reps));
+        row("k1", "k0 (grant message out)", "remote_sleeper_ns", wake_latency(1, 0, reps));
+        row("k1", "k2 (both remote)", "both_remote_ns", wake_latency(1, 2, reps));
         table.print();
     }
 
@@ -162,6 +169,8 @@ int main(int argc, char** argv) {
                 contended_mutex(smp::popcorn_config(16, 4), t, iters, true);
             table.add_row({fmt("%d", t), fmt_rate(smp_rate), fmt_rate(pop_rate),
                            fmt("%.2fx", pop_rate / smp_rate)});
+            report.add_gauge(fmt("mutex.%d.smp_acq_per_s", t), smp_rate);
+            report.add_gauge(fmt("mutex.%d.popcorn_acq_per_s", t), pop_rate);
         }
         table.print();
         std::printf("\nCross-kernel waiters pay grant messages: Popcorn is "
@@ -181,6 +190,8 @@ int main(int argc, char** argv) {
             table.add_row({fmt("%d", p), fmt_rate(smp_rate), fmt_ns(smp_wait),
                            fmt_rate(pop_rate), fmt_ns(pop_wait),
                            fmt("%.2fx", pop_rate / smp_rate)});
+            report.add_gauge(fmt("procs.%d.smp_ops_per_s", p), smp_rate);
+            report.add_gauge(fmt("procs.%d.popcorn_ops_per_s", p), pop_rate);
         }
         table.print();
         std::printf("\nExpected: per-kernel structures (futex table, runqueue) "

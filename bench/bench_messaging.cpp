@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/msg/fabric.hpp"
 #include "rko/sim/actor.hpp"
 #include "rko/topo/topology.hpp"
@@ -133,6 +134,7 @@ Nanos run_pairs(int pairs, int iters_per_pair, std::size_t payload_bytes,
 
 int main(int argc, char** argv) {
     const rko::bench::Args args(argc, argv);
+    rko::bench::Reporter report(args, "bench_messaging");
     const int iters = args.quick() ? 200 : 2000;
 
     std::printf("E1: inter-kernel messaging microbenchmarks (virtual time)\n");
@@ -144,6 +146,8 @@ int main(int argc, char** argv) {
             Nanos rtt = 0;
             run_pingpong(iters, size, &rtt);
             table.add_row({fmt("%zu B", size), fmt_ns(rtt), fmt_ns(rtt / 2)});
+            report.add_gauge(fmt("pingpong.%zuB.rtt_ns", size),
+                             static_cast<double>(rtt));
         }
         table.print();
     }
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
             const double mps = static_cast<double>(iters * 4) / seconds;
             table.add_row({fmt("%zu B", size), fmt_rate(mps),
                            fmt("%.1f", mps * static_cast<double>(size) / 1e6)});
+            report.add_gauge(fmt("stream.%zuB.msgs_per_s", size), mps);
         }
         table.print();
     }
@@ -192,6 +197,7 @@ int main(int argc, char** argv) {
             fabric.request_stop_all();
             engine.run();
             table.add_row({fmt_ns(wire), fmt_ns((Nanos)rtt.mean())});
+            report.add_gauge(fmt("wire.%lldns.rtt_ns", (long long)wire), rtt.mean());
         }
         table.print();
     }
@@ -208,6 +214,8 @@ int main(int argc, char** argv) {
             if (pairs == 1) base_rate = rate;
             table.add_row({fmt("%d", pairs), fmt_ns(rtt), fmt_rate(rate),
                            fmt("%.2fx", rate / base_rate)});
+            report.add_gauge(fmt("pairs.%d.rtt_ns", pairs), static_cast<double>(rtt));
+            report.add_gauge(fmt("pairs.%d.rpc_per_s", pairs), rate);
         }
         table.print();
         std::printf("\nExpected shape: RTT flat, throughput ~linear in pairs "

@@ -9,6 +9,7 @@
 //   (c) comparison anchors: migration vs. spawning a fresh thread locally
 //       and remotely.
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/migration.hpp"
 #include "rko/core/page_owner.hpp"
@@ -25,12 +26,12 @@ using bench::fmt_ns;
 using bench::Table;
 
 struct Phases {
-    base::Summary checkpoint, transfer, resume, total;
+    base::Histogram checkpoint, transfer, resume, total;
     void add(const core::MigrationBreakdown& b) {
-        checkpoint.add(static_cast<double>(b.checkpoint));
-        transfer.add(static_cast<double>(b.transfer));
-        resume.add(static_cast<double>(b.resume));
-        total.add(static_cast<double>(b.total));
+        checkpoint.add(b.checkpoint);
+        transfer.add(b.transfer);
+        resume.add(b.resume);
+        total.add(b.total);
     }
 };
 
@@ -38,6 +39,7 @@ struct Phases {
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_migration");
     const int reps = args.quick() ? 20 : 200;
 
     std::printf("E2: thread migration latency breakdown (virtual time)\n");
@@ -60,16 +62,24 @@ int main(int argc, char** argv) {
         machine.run();
         process.check_all_joined();
 
-        Table table({"phase", "first visit", "revisit mean"});
-        table.add_row({"checkpoint + depart", fmt_ns((Nanos)first.checkpoint.mean()),
-                       fmt_ns((Nanos)revisit.checkpoint.mean())});
-        table.add_row({"transfer + instantiate", fmt_ns((Nanos)first.transfer.mean()),
-                       fmt_ns((Nanos)revisit.transfer.mean())});
-        table.add_row({"resume (core acquire)", fmt_ns((Nanos)first.resume.mean()),
-                       fmt_ns((Nanos)revisit.resume.mean())});
-        table.add_row({"TOTAL", fmt_ns((Nanos)first.total.mean()),
-                       fmt_ns((Nanos)revisit.total.mean())});
+        std::printf("revisit samples per phase: %llu\n",
+                    static_cast<unsigned long long>(revisit.total.count()));
+        Table table({"phase", "first visit", "revisit mean", "revisit p50",
+                     "revisit p99"});
+        const auto row = [&](const char* label, const char* key,
+                             const base::Histogram& f, const base::Histogram& r) {
+            table.add_row({label, fmt_ns((Nanos)f.mean()), fmt_ns((Nanos)r.mean()),
+                           fmt_ns(r.percentile(50)), fmt_ns(r.percentile(99))});
+            report.add_histogram(std::string("phase.first.") + key, f);
+            report.add_histogram(std::string("phase.revisit.") + key, r);
+        };
+        row("checkpoint + depart", "checkpoint_ns", first.checkpoint,
+            revisit.checkpoint);
+        row("transfer + instantiate", "transfer_ns", first.transfer, revisit.transfer);
+        row("resume (core acquire)", "resume_ns", first.resume, revisit.resume);
+        row("TOTAL", "total_ns", first.total, revisit.total);
         table.print();
+        report.merge(machine.collect_metrics());
     }
 
     bench::section("(b) post-migration working-set re-establishment");
@@ -104,6 +114,10 @@ int main(int argc, char** argv) {
             process.check_all_joined();
             table.add_row({fmt("%d pages", pages), fmt_ns(migrate_cost),
                            fmt_ns(retouch_cost), fmt_ns(retouch_cost / pages)});
+            report.add_gauge(fmt("workset.%d.migrate_ns", pages),
+                             static_cast<double>(migrate_cost));
+            report.add_gauge(fmt("workset.%d.retouch_ns", pages),
+                             static_cast<double>(retouch_cost));
         }
         table.print();
         std::printf("\nMigration itself is O(context); the address space follows "
@@ -144,6 +158,9 @@ int main(int argc, char** argv) {
         row("spawn (remote kernel)", remote_spawn);
         row("migrate (to other kernel)", migration);
         table.print();
+        report.add_summary("anchor.spawn_local_ns", local_spawn);
+        report.add_summary("anchor.spawn_remote_ns", remote_spawn);
+        report.add_summary("anchor.migrate_ns", migration);
     }
 
     bench::section("(d) migration latency distribution");
@@ -162,6 +179,7 @@ int main(int argc, char** argv) {
         base::Histogram all = hist0;
         all.merge(hist1);
         std::printf("%s\n", all.to_string().c_str());
+        report.add_histogram("pingpong.latency_ns", all);
     }
     return 0;
 }

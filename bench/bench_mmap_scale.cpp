@@ -16,6 +16,7 @@
 // Each worker loops: mmap 8 pages, touch each, munmap. Reported: aggregate
 // ops/s vs. thread count, plus the lock-contention bill.
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/dfutex.hpp"
 #include "rko/mk/multikernel.hpp"
@@ -95,6 +96,7 @@ Result run_single_process(api::MachineConfig config, int workers, int iters) {
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_mmap_scale");
     const int iters = args.quick() ? 10 : 60;
     const int ncores = static_cast<int>(args.get_long("cores", 32));
     const int nkernels = static_cast<int>(args.get_long("kernels", 8));
@@ -116,6 +118,14 @@ int main(int argc, char** argv) {
                  fmt_ns(smp_result.contention), fmt_rate(pop_result.ops_per_sec),
                  fmt_ns(pop_result.contention),
                  fmt("%.2fx", pop_result.ops_per_sec / smp_result.ops_per_sec)});
+            report.add_gauge(fmt("multiproc.%d.smp_ops_per_s", t),
+                             smp_result.ops_per_sec);
+            report.add_gauge(fmt("multiproc.%d.popcorn_ops_per_s", t),
+                             pop_result.ops_per_sec);
+            report.add_gauge(fmt("multiproc.%d.smp_lock_wait_ns", t),
+                             static_cast<double>(smp_result.contention));
+            report.add_gauge(fmt("multiproc.%d.popcorn_lock_wait_ns", t),
+                             static_cast<double>(pop_result.contention));
         }
         table.print();
         std::printf("\nExpected: SMP flattens as the shared allocator/runqueue "
@@ -134,6 +144,10 @@ int main(int argc, char** argv) {
                 {fmt("%d", t), fmt_rate(smp_result.ops_per_sec),
                  fmt_rate(pop_result.ops_per_sec),
                  fmt("%.2fx", pop_result.ops_per_sec / smp_result.ops_per_sec)});
+            report.add_gauge(fmt("singleproc.%d.smp_ops_per_s", t),
+                             smp_result.ops_per_sec);
+            report.add_gauge(fmt("singleproc.%d.popcorn_ops_per_s", t),
+                             pop_result.ops_per_sec);
         }
         table.print();
         std::printf("\nExpected: both serialize on per-process structures "

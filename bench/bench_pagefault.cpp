@@ -11,6 +11,7 @@
 //   (e) page-migration throughput vs. working-set size (streaming a
 //       region's ownership from one kernel to another).
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/page_owner.hpp"
 #include "rko/smp/smp.hpp"
@@ -42,6 +43,7 @@ Nanos timed(Guest& g, Fn&& fn) {
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_pagefault");
     const int reps = args.quick() ? 16 : 128;
 
     std::printf("E4: page-fault / consistency-protocol microbenchmarks\n");
@@ -117,15 +119,19 @@ int main(int argc, char** argv) {
         p2.check_all_joined();
 
         Table table({"fault type", "mean", "max"});
-        const auto row = [&](const char* name, const base::Summary& s) {
+        const auto row = [&](const char* name, const char* key,
+                             const base::Summary& s) {
             table.add_row({name, fmt_ns((Nanos)s.mean()), fmt_ns((Nanos)s.max())});
+            report.add_summary(std::string("fault.") + key, s);
         };
-        row("local demand-zero (origin)", zero_local);
-        row("remote demand-zero (1 RPC)", zero_remote);
-        row("remote read, origin owns (replicate)", read_remote);
-        row("remote write, remote owner (steal via origin)", write_steal);
-        row("write upgrade, was sharer (invalidate peers)", upgrade);
+        row("local demand-zero (origin)", "zero_local_ns", zero_local);
+        row("remote demand-zero (1 RPC)", "zero_remote_ns", zero_remote);
+        row("remote read, origin owns (replicate)", "read_remote_ns", read_remote);
+        row("remote write, remote owner (steal via origin)", "write_steal_ns",
+            write_steal);
+        row("write upgrade, was sharer (invalidate peers)", "upgrade_ns", upgrade);
         table.print();
+        report.merge(machine.collect_metrics());
     }
 
     bench::section("(b) write-fault latency vs invalidation fan-out");
@@ -185,6 +191,7 @@ int main(int argc, char** argv) {
             machine.run();
             process.check_all_joined();
             table.add_row({fmt("%d", sharers), fmt_ns((Nanos)latency.mean())});
+            report.add_gauge(fmt("fanout.%d.write_fault_ns", sharers), latency.mean());
         }
         table.print();
         std::printf("\nFan-out grows the invalidation bill roughly linearly "
@@ -225,6 +232,8 @@ int main(int argc, char** argv) {
         process.check_all_joined();
         std::printf("rounds=%d total=%s per-handoff=%s\n", rounds,
                     fmt_ns(elapsed).c_str(), fmt_ns(elapsed / (2 * rounds)).c_str());
+        report.add_gauge("falseshare.handoff_ns",
+                         static_cast<double>(elapsed / (2 * rounds)));
         std::printf("(each handoff = read-replicate + write-invalidate: the "
                     "worst case the paper tells programmers to avoid)\n");
     }
@@ -280,6 +289,8 @@ int main(int argc, char** argv) {
         const Nanos mof = read_mostly(false);
         table.add_row({"read-mostly, 3 reader kernels", fmt_ns(msi), fmt_ns(mof),
                        fmt("%.1fx", static_cast<double>(mof) / static_cast<double>(msi))});
+        report.add_gauge("ablation.msi_ns", static_cast<double>(msi));
+        report.add_gauge("ablation.migrate_on_fault_ns", static_cast<double>(mof));
         table.print();
         std::printf("\nWithout a Shared state every read steals ownership, so "
                     "concurrent readers thrash pages that replication would "
@@ -328,6 +339,8 @@ int main(int argc, char** argv) {
             const double mb = static_cast<double>(pages) * kPageSize / 1e6;
             table.add_row({fmt("%d pages", pages), fmt_ns(move_time),
                            fmt("%.1f", mb / (static_cast<double>(move_time) / 1e9))});
+            report.add_gauge(fmt("stream.%d.move_ns", pages),
+                             static_cast<double>(move_time));
         }
         table.print();
     }

@@ -6,6 +6,7 @@
 // with the SSI load census + self-migration each thread moves to the
 // least-loaded kernel and the makespan approaches the SMP machine's.
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/migration.hpp"
 #include "rko/core/ssi.hpp"
@@ -47,6 +48,7 @@ Nanos run_burst(int ncores, int nkernels, int nthreads, Nanos work, Policy polic
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_rebalance");
     const int ncores = static_cast<int>(args.get_long("cores", 16));
     const int nkernels = static_cast<int>(args.get_long("kernels", 4));
     const Nanos work = args.quick() ? 500_us : 4_ms;
@@ -67,6 +69,10 @@ int main(int argc, char** argv) {
                               (static_cast<double>(stay) - static_cast<double>(smp));
         table.add_row({fmt("%d", t), fmt_ns(stay), fmt_ns(move), fmt_ns(smp),
                        fmt("%.0f%%", recovered * 100)});
+        report.add_gauge(fmt("burst.%d.stay_ns", t), static_cast<double>(stay));
+        report.add_gauge(fmt("burst.%d.migrate_ns", t), static_cast<double>(move));
+        report.add_gauge(fmt("burst.%d.smp_ns", t), static_cast<double>(smp));
+        report.add_gauge(fmt("burst.%d.recovered", t), recovered);
     }
     table.print();
     std::printf("\nExpected: without migration the burst is confined to %d "

@@ -6,6 +6,7 @@
 // runqueue/one set of structures) vs. spread round-robin over K kernels
 // (distributed thread group), and (c) group-teardown (join-all) cost.
 #include "harness.hpp"
+#include "report.hpp"
 #include "rko/api/machine.hpp"
 #include "rko/core/thread_group.hpp"
 #include "rko/smp/smp.hpp"
@@ -51,6 +52,7 @@ std::pair<Nanos, Nanos> spawn_storm(Machine& machine, api::Process& process,
 
 int main(int argc, char** argv) {
     const bench::Args args(argc, argv);
+    bench::Reporter report(args, "bench_spawn");
     const int max_threads = args.quick() ? 16 : 64;
 
     std::printf("E3: distributed thread-group creation (virtual time)\n");
@@ -82,6 +84,8 @@ int main(int argc, char** argv) {
         table.add_row({"remote kernel (group join + remote clone)",
                        fmt_ns((Nanos)remote.mean()), fmt_ns((Nanos)remote.max())});
         table.print();
+        report.add_summary("spawn.local_ns", same);
+        report.add_summary("spawn.remote_ns", remote);
     }
 
     bench::section("(b) spawn storm: T threads, SMP vs distributed placement");
@@ -111,6 +115,10 @@ int main(int argc, char** argv) {
                            fmt_ns(spread_spawn),
                            fmt("%.2fx", static_cast<double>(spread_spawn) /
                                             static_cast<double>(smp_spawn))});
+            report.add_gauge(fmt("storm.%d.smp_spawn_ns", t),
+                             static_cast<double>(smp_spawn));
+            report.add_gauge(fmt("storm.%d.spread_spawn_ns", t),
+                             static_cast<double>(spread_spawn));
         }
         table.print();
         std::printf("\nRemote spawns pay one RPC each, but land threads on idle "
@@ -149,6 +157,10 @@ int main(int argc, char** argv) {
             table.add_row({fmt("%d", t), fmt_ns(smp_total), fmt_ns(popcorn_total),
                            fmt("%.2fx", static_cast<double>(smp_total) /
                                             static_cast<double>(popcorn_total))});
+            report.add_gauge(fmt("endtoend.%d.smp_total_ns", t),
+                             static_cast<double>(smp_total));
+            report.add_gauge(fmt("endtoend.%d.spread_total_ns", t),
+                             static_cast<double>(popcorn_total));
         }
         table.print();
     }

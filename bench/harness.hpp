@@ -42,6 +42,14 @@ public:
         return false;
     }
 
+    std::string get_str(const char* name, const char* fallback) const {
+        const std::string prefix = std::string("--") + name + "=";
+        for (const auto& arg : args_) {
+            if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+        }
+        return fallback;
+    }
+
     /// Benches honour --quick to shrink sweeps (used by CI smoke runs).
     bool quick() const { return has_flag("quick"); }
     std::uint64_t seed() const {

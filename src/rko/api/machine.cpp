@@ -11,6 +11,8 @@ Machine::Machine(MachineConfig config)
       phys_(config.nkernels, config.frames_per_kernel) {
     RKO_ASSERT_MSG(config.nkernels <= 32,
                    "holder masks are 32-bit; up to 32 kernels supported");
+    tracer_ = std::make_unique<trace::Tracer>(config_.nkernels, config_.trace);
+    engine_.set_tracer(tracer_.get());
     fabric_ = std::make_unique<msg::Fabric>(engine_, config_.costs, config_.nkernels,
                                             config_.fabric);
     kernels_.reserve(static_cast<std::size_t>(config_.nkernels));
@@ -34,6 +36,10 @@ Machine::~Machine() {
     if (!fabric_->all_stopped()) {
         RKO_WARN("machine torn down with live messaging actors");
     }
+    if (tracer_->enabled() && !tracer_->config().path.empty()) {
+        tracer_->write_chrome_trace_file(tracer_->config().path);
+    }
+    engine_.set_tracer(nullptr);
     // Threads (owned by processes) must be destroyed before the engine;
     // processes_ members are destroyed before engine_ per declaration order
     // ... which is the reverse: engine_ declared before processes_, so
@@ -55,6 +61,35 @@ Process& Machine::create_process(topo::KernelId origin) {
     k.site(pid).group().replica_mask |= 1u << origin;
     processes_.push_back(std::make_unique<Process>(*this, pid, origin));
     return *processes_.back();
+}
+
+trace::MetricsRegistry Machine::collect_metrics() {
+    trace::MetricsRegistry merged;
+    merged.merge_from(tracer_->merged_metrics());
+    for (const auto& k : kernels_) {
+        merged.merge_from(k->metrics());
+        merged.gauge("sched.rq_lock_wait_ns").add(static_cast<double>(k->sched().rq_lock_wait()));
+        merged.gauge("mem.mmap_lock_wait_ns").add(static_cast<double>(k->mmap_lock_wait_time()));
+    }
+    for (topo::KernelId k = 0; k < config_.nkernels; ++k) {
+        msg::Node& node = fabric_->node(k);
+        merged.counter("msg.dispatched").inc(node.total_dispatched());
+        merged.histogram("msg.delivery_ns").merge(node.delivery_latency());
+    }
+    for (topo::KernelId src = 0; src < config_.nkernels; ++src) {
+        for (topo::KernelId dst = 0; dst < config_.nkernels; ++dst) {
+            if (src == dst) continue;
+            const msg::Channel& ch = fabric_->channel(src, dst);
+            merged.counter("msg.sent").inc(ch.sent());
+            merged.counter("msg.bytes").inc(ch.bytes_sent());
+            merged.gauge("msg.backpressure_ns").add(static_cast<double>(ch.backpressure_time()));
+            const std::string prefix = "msg.k" + std::to_string(src) + "_to_k" +
+                                       std::to_string(dst) + ".";
+            merged.counter(prefix + "sent").inc(ch.sent());
+            merged.counter(prefix + "bytes").inc(ch.bytes_sent());
+        }
+    }
+    return merged;
 }
 
 Nanos Machine::run() { return engine_.run(); }

@@ -23,6 +23,7 @@
 #include "rko/msg/fabric.hpp"
 #include "rko/sim/engine.hpp"
 #include "rko/topo/topology.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::api {
 
@@ -37,6 +38,10 @@ struct MachineConfig {
     /// (the paper's protocol), false = migrate-on-any-fault (no Shared
     /// state; see DESIGN.md §5).
     bool read_replication = true;
+    /// Tracing & metrics; defaults follow the RKO_TRACE environment
+    /// variable (see trace::TraceConfig::from_env). Metrics are collected
+    /// regardless; `trace.enabled` only gates event recording.
+    trace::TraceConfig trace = trace::TraceConfig::from_env();
 };
 
 class Machine {
@@ -71,6 +76,14 @@ public:
     std::uint64_t total_messages() const { return fabric_->total_messages(); }
     std::uint64_t total_message_bytes() const { return fabric_->total_bytes(); }
 
+    // --- Observability ---
+    /// The machine's tracer (always present; recording obeys config().trace).
+    trace::Tracer& tracer() { return *tracer_; }
+    /// Machine-wide metrics: every kernel's registry merged, plus messaging
+    /// (per-channel and aggregate) and lock-wait statistics snapshotted at
+    /// call time. Call after run() for a consistent end-of-run view.
+    trace::MetricsRegistry collect_metrics();
+
     // --- Internal (used by Process/Thread) ---
     void register_thread(Tid tid, Thread* thread);
     void unregister_thread(Tid tid);
@@ -81,6 +94,7 @@ private:
     sim::Engine engine_;
     topo::Topology topo_;
     mem::PhysMem phys_;
+    std::unique_ptr<trace::Tracer> tracer_; ///< attached to engine_ at boot
     std::unique_ptr<msg::Fabric> fabric_;
     std::vector<std::unique_ptr<kernel::Kernel>> kernels_;
     // threads_ is declared before processes_ deliberately: ~Thread (owned

@@ -11,6 +11,7 @@
 #include "rko/core/migration.hpp"
 #include "rko/core/vma_server.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::api {
 
@@ -293,9 +294,15 @@ core::MigrationBreakdown Guest::migrate(topo::KernelId dest) {
     const Nanos resumed_from = now();
 
     bind(dest);
-    machine_.kernel(dest).sched().acquire(t());
+    kernel::Kernel& dst = machine_.kernel(dest);
+    dst.sched().acquire(t());
     breakdown.resume = now() - resumed_from;
     breakdown.total += breakdown.resume;
+    dst.metrics().histogram("migration.resume_ns").add(breakdown.resume);
+    if (trace::Tracer* tr = trace::active(machine_.engine())) {
+        tr->span(machine_.engine(), dest, "migrate.resume", resumed_from,
+                 static_cast<std::uint64_t>(t().tid));
+    }
     return breakdown;
 }
 

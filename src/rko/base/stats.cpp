@@ -84,12 +84,19 @@ Nanos Histogram::percentile(double q) const {
     RKO_ASSERT(q >= 0.0 && q <= 100.0);
     const std::uint64_t n = summary_.count();
     if (n == 0) return 0;
+    // The bucket scan returns bucket *upper* bounds, so q=0 would otherwise
+    // overshoot min() and an empty-tail q=100 would undershoot max(); pin
+    // both ends to the exact tracked extremes.
+    if (q <= 0.0) return min();
+    if (q >= 100.0) return max();
     const auto target = static_cast<std::uint64_t>(
         std::ceil(q / 100.0 * static_cast<double>(n)));
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
         seen += buckets_[static_cast<std::size_t>(i)];
-        if (seen >= target && seen > 0) return std::min<Nanos>(bucket_upper(i), max());
+        if (seen >= target && seen > 0) {
+            return std::clamp<Nanos>(bucket_upper(i), min(), max());
+        }
     }
     return max();
 }

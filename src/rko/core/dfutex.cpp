@@ -5,8 +5,15 @@
 
 #include "rko/core/page_owner.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::core {
+
+DFutex::DFutex(kernel::Kernel& k)
+    : k_(k),
+      waits_(k.metrics().counter("futex.waits")),
+      wakes_(k.metrics().counter("futex.wakes")),
+      remote_grants_(k.metrics().counter("futex.remote_grants")) {}
 
 void DFutex::install() {
     k_.node().register_handler(
@@ -98,7 +105,7 @@ void DFutex::deliver_grant(const Waiter& waiter) {
         if (t != nullptr) k_.sched().wake(*t);
         return;
     }
-    ++remote_grants_;
+    remote_grants_.inc();
     k_.node().send(waiter.kernel,
                    msg::make_message(msg::MsgType::kFutexGrant, msg::MsgKind::kOneway,
                                      FutexGrantMsg{waiter.pid, waiter.tid}));
@@ -120,7 +127,8 @@ bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
 
 int DFutex::wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
                  std::uint32_t val, Nanos timeout) {
-    ++waits_;
+    waits_.inc();
+    trace::Span span(k_.engine(), k_.id(), "futex.wait", uaddr);
     std::int32_t result;
     if (site.is_origin()) {
         result = origin_wait(site, t.pid, t.tid, k_.id(), uaddr, val);
@@ -159,7 +167,8 @@ int DFutex::wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
 
 int DFutex::wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
                  std::uint32_t max_wake) {
-    ++wakes_;
+    wakes_.inc();
+    trace::Span span(k_.engine(), k_.id(), "futex.wake", uaddr);
     if (site.is_origin()) {
         return static_cast<int>(origin_wake(site, t.pid, uaddr, max_wake));
     }

@@ -21,6 +21,7 @@
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::kernel {
 class Kernel;
@@ -36,7 +37,7 @@ class DFutex {
 public:
     static constexpr std::size_t kBuckets = 256;
 
-    explicit DFutex(kernel::Kernel& k) : k_(k) {}
+    explicit DFutex(kernel::Kernel& k);
 
     /// Registers kFutexWait (blocking), kFutexWake / kFutexGrant (leaf).
     void install();
@@ -52,9 +53,9 @@ public:
     int wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
              std::uint32_t max_wake);
 
-    std::uint64_t waits() const { return waits_; }
-    std::uint64_t wakes() const { return wakes_; }
-    std::uint64_t remote_grants() const { return remote_grants_; }
+    std::uint64_t waits() const { return waits_.value; }
+    std::uint64_t wakes() const { return wakes_.value; }
+    std::uint64_t remote_grants() const { return remote_grants_.value; }
     Nanos bucket_wait_time() const;
     /// Waiters currently parked in this kernel's table (diagnostics).
     std::size_t queued_waiters() const;
@@ -95,9 +96,10 @@ private:
 
     kernel::Kernel& k_;
     std::array<Bucket, kBuckets> table_;
-    std::uint64_t waits_ = 0;
-    std::uint64_t wakes_ = 0;
-    std::uint64_t remote_grants_ = 0;
+    // Registry-backed ("futex.*" in the kernel's MetricsRegistry).
+    trace::Counter& waits_;
+    trace::Counter& wakes_;
+    trace::Counter& remote_grants_;
 };
 
 } // namespace rko::core

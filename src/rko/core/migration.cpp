@@ -2,8 +2,18 @@
 
 #include "rko/core/thread_group.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::core {
+
+Migration::Migration(kernel::Kernel& k)
+    : k_(k),
+      out_(k.metrics().counter("migration.out")),
+      in_(k.metrics().counter("migration.in")),
+      back_(k.metrics().counter("migration.back")),
+      latency_(k.metrics().histogram("migration.total_ns")),
+      checkpoint_ns_(k.metrics().histogram("migration.checkpoint_ns")),
+      transfer_ns_(k.metrics().histogram("migration.transfer_ns")) {}
 
 void Migration::install() {
     const auto handler = [this](msg::Node& node, msg::MessagePtr m) {
@@ -18,7 +28,8 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
                             MigrationBreakdown* breakdown) {
     RKO_ASSERT(t.actor == &k_.engine().current());
     if (dest == k_.id()) return false;
-    ++out_;
+    out_.inc();
+    trace::Tracer* tr = trace::active(k_.engine());
     ProcessSite& site = k_.site(t.pid);
     const Nanos t0 = k_.engine().now();
 
@@ -34,6 +45,11 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
     sim::current_actor().sleep_for(k_.costs().copy_cost(sizeof ctx));
     k_.sched().depart(t);
     const Nanos t1 = k_.engine().now();
+    checkpoint_ns_.add(t1 - t0);
+    if (tr != nullptr) {
+        tr->span(k_.engine(), k_.id(), "migrate.checkpoint", t0,
+                 static_cast<std::uint64_t>(t.tid));
+    }
 
     // --- Phase 2: transfer + remote instantiation.
     const bool back = dest == t.origin;
@@ -43,7 +59,12 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
                                 MigrateReq{t.pid, t.tid, t.origin, k_.id(), ctx}));
     RKO_ASSERT_MSG(reply->payload_as<MigrateResp>().ok, "destination rejected migration");
     const Nanos t2 = k_.engine().now();
-    if (back) ++back_;
+    transfer_ns_.add(t2 - t1);
+    if (tr != nullptr) {
+        tr->span(k_.engine(), k_.id(), "migrate.transfer", t1,
+                 static_cast<std::uint64_t>(t.tid));
+    }
+    if (back) back_.inc();
 
     // --- Source-side cleanup: the origin keeps a shadow for the group;
     // intermediate kernels drop the record entirely.
@@ -70,7 +91,9 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
 
 void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<MigrateReq>();
-    ++in_;
+    in_.inc();
+    trace::Span span(k_.engine(), k_.id(), "migrate.instantiate",
+                     static_cast<std::uint64_t>(req.tid));
 
     task::Task* t = k_.find_task(req.tid);
     if (t != nullptr) {

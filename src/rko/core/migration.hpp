@@ -14,6 +14,7 @@
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::kernel {
 class Kernel;
@@ -31,7 +32,7 @@ struct MigrationBreakdown {
 
 class Migration {
 public:
-    explicit Migration(kernel::Kernel& k) : k_(k) {}
+    explicit Migration(kernel::Kernel& k);
 
     /// Registers kMigrate/kMigrateBack (leaf at the destination).
     void install();
@@ -43,19 +44,23 @@ public:
     bool migrate_out(task::Task& t, topo::KernelId dest,
                      MigrationBreakdown* breakdown = nullptr);
 
-    std::uint64_t migrations_out() const { return out_; }
-    std::uint64_t migrations_in() const { return in_; }
-    std::uint64_t back_migrations() const { return back_; }
+    std::uint64_t migrations_out() const { return out_.value; }
+    std::uint64_t migrations_in() const { return in_.value; }
+    std::uint64_t back_migrations() const { return back_.value; }
     const base::Histogram& latency() const { return latency_; }
 
 private:
     void on_migrate(msg::Node& node, msg::MessagePtr m);
 
     kernel::Kernel& k_;
-    std::uint64_t out_ = 0;
-    std::uint64_t in_ = 0;
-    std::uint64_t back_ = 0;
-    base::Histogram latency_;
+    // Registry-backed: live in the kernel's MetricsRegistry under
+    // "migration.*" so they merge machine-wide and export to JSON.
+    trace::Counter& out_;
+    trace::Counter& in_;
+    trace::Counter& back_;
+    base::Histogram& latency_;
+    base::Histogram& checkpoint_ns_;
+    base::Histogram& transfer_ns_;
 };
 
 } // namespace rko::core

@@ -7,6 +7,7 @@
 
 #include "rko/base/log.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::core {
 
@@ -28,6 +29,14 @@ std::uint32_t effective_prot(std::uint32_t vma_prot, bool writable) {
 }
 
 } // namespace
+
+PageOwner::PageOwner(kernel::Kernel& k)
+    : k_(k),
+      local_faults_(k.metrics().counter("pages.local_faults")),
+      remote_faults_(k.metrics().counter("pages.remote_faults")),
+      invalidations_(k.metrics().counter("pages.invalidations")),
+      fetches_(k.metrics().counter("pages.fetches")),
+      remote_latency_(k.metrics().histogram("pages.remote_fault_ns")) {}
 
 void PageOwner::install() {
     k_.node().register_handler(
@@ -194,7 +203,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 } else {
                     const auto source = static_cast<topo::KernelId>(
                         std::countr_zero(snapshot.sharers));
-                    ++fetches_;
+                    fetches_.inc();
                     auto reply = k_.node().rpc(
                         source,
                         msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
@@ -210,7 +219,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 if (snapshot.owner == k_.id()) {
                     RKO_ASSERT(local_fetch(site, page, true, out.data.data()));
                 } else {
-                    ++fetches_;
+                    fetches_.inc();
                     auto reply = k_.node().rpc(
                         snapshot.owner,
                         msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
@@ -231,7 +240,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             bool have_data = false;
             for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
-                ++invalidations_;
+                invalidations_.inc();
                 if (holder == k_.id()) {
                     bool included = false;
                     const bool had = local_invalidate(site, page, !have_data,
@@ -370,7 +379,8 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
                                          mem::Vaddr page, std::uint32_t access) {
     PageFaultResp resp{};
     if (site.is_origin()) {
-        ++local_faults_;
+        local_faults_.inc();
+        trace::Span span(k_.engine(), k_.id(), "page.fault.local", page);
         const FaultStatus status =
             origin_transaction(site, page, access, k_.id(), resp);
         if (status == FaultStatus::kSegv) return mem::Mmu::FaultResult::kSegv;
@@ -380,7 +390,8 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
         return mem::Mmu::FaultResult::kFixed;
     }
 
-    ++remote_faults_;
+    remote_faults_.inc();
+    trace::Span span(k_.engine(), k_.id(), "page.fault.remote", page);
     const Nanos t0 = k_.engine().now();
     auto reply = k_.node().rpc(
         site.origin(),
@@ -462,7 +473,7 @@ std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
             const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
             for (std::uint32_t mask = holders; mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
-                ++invalidations_;
+                invalidations_.inc();
                 if (holder == k_.id()) {
                     bool included = false;
                     std::array<std::byte, mem::kPageSize> discard;
@@ -542,7 +553,7 @@ std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
                 if (snapshot.owner == k_.id()) {
                     local_fetch(site, page, /*downgrade=*/true, discard.data());
                 } else {
-                    ++fetches_;
+                    fetches_.inc();
                     k_.node().rpc(snapshot.owner,
                                   msg::make_message(msg::MsgType::kPageFetch,
                                                     msg::MsgKind::kRequest,
@@ -584,7 +595,7 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
             for (std::uint32_t mask = snapshot.holder_mask() & ~(1u << k_.id());
                  mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
-                ++invalidations_;
+                invalidations_.inc();
                 auto reply = k_.node().rpc(
                     holder, msg::make_message(
                                 msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,

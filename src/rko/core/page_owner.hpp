@@ -19,6 +19,7 @@
 #include "rko/mem/mmu.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::kernel {
 class Kernel;
@@ -28,7 +29,7 @@ namespace rko::core {
 
 class PageOwner {
 public:
-    explicit PageOwner(kernel::Kernel& k) : k_(k) {}
+    explicit PageOwner(kernel::Kernel& k);
 
     /// Registers kPageFault (blocking), kPageFetch / kPageInvalidate (leaf).
     void install();
@@ -64,10 +65,10 @@ public:
     /// a later mprotect back to accessibility.
     std::uint32_t sequester_range(ProcessSite& site, mem::Vaddr start, mem::Vaddr end);
 
-    std::uint64_t local_faults() const { return local_faults_; }
-    std::uint64_t remote_faults() const { return remote_faults_; }
-    std::uint64_t invalidations() const { return invalidations_; }
-    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t local_faults() const { return local_faults_.value; }
+    std::uint64_t remote_faults() const { return remote_faults_.value; }
+    std::uint64_t invalidations() const { return invalidations_.value; }
+    std::uint64_t fetches() const { return fetches_.value; }
     const base::Histogram& remote_fault_latency() const { return remote_latency_; }
 
 private:
@@ -105,11 +106,12 @@ private:
 
     kernel::Kernel& k_;
     bool read_replication_ = true;
-    std::uint64_t local_faults_ = 0;
-    std::uint64_t remote_faults_ = 0;
-    std::uint64_t invalidations_ = 0;
-    std::uint64_t fetches_ = 0;
-    base::Histogram remote_latency_;
+    // Registry-backed ("pages.*" in the kernel's MetricsRegistry).
+    trace::Counter& local_faults_;
+    trace::Counter& remote_faults_;
+    trace::Counter& invalidations_;
+    trace::Counter& fetches_;
+    base::Histogram& remote_latency_;
 };
 
 } // namespace rko::core

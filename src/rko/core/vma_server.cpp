@@ -4,6 +4,7 @@
 
 #include "rko/core/page_owner.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::core {
 
@@ -26,6 +27,13 @@ struct WriteGuard {
 
 } // namespace
 
+VmaServer::VmaServer(kernel::Kernel& k)
+    : k_(k),
+      remote_ops_(k.metrics().counter("vma.remote_ops")),
+      local_ops_(k.metrics().counter("vma.local_ops")),
+      fetches_(k.metrics().counter("vma.fetches")),
+      update_broadcasts_(k.metrics().counter("vma.update_broadcasts")) {}
+
 void VmaServer::install() {
     k_.node().register_handler(
         msg::MsgType::kVmaOp, msg::HandlerClass::kBlocking,
@@ -42,11 +50,11 @@ mem::Vaddr VmaServer::mmap(ProcessSite& site, std::uint64_t length, std::uint32_
     length = mem::page_ceil(length);
     if (length == 0) return 0;
     if (site.is_origin()) {
-        ++local_ops_;
+        local_ops_.inc();
         mem::Vaddr addr = 0;
         return origin_mmap(site, length, prot, &addr) == 0 ? addr : 0;
     }
-    ++remote_ops_;
+    remote_ops_.inc();
     auto reply = k_.node().rpc(
         site.origin(), msg::make_message(msg::MsgType::kVmaOp, msg::MsgKind::kRequest,
                                          VmaOpReq{site.pid(), VmaOp::kMmap, 0, length,
@@ -59,11 +67,11 @@ int VmaServer::munmap(ProcessSite& site, mem::Vaddr addr, std::uint64_t length) 
     length = mem::page_ceil(length);
     if (length == 0 || (addr & mem::kPageMask) != 0) return -kEinval;
     if (site.is_origin()) {
-        ++local_ops_;
+        local_ops_.inc();
         return static_cast<int>(
             origin_destructive(site, VmaOp::kMunmap, addr, length, 0));
     }
-    ++remote_ops_;
+    remote_ops_.inc();
     auto reply = k_.node().rpc(
         site.origin(), msg::make_message(msg::MsgType::kVmaOp, msg::MsgKind::kRequest,
                                          VmaOpReq{site.pid(), VmaOp::kMunmap, addr,
@@ -76,11 +84,11 @@ int VmaServer::mprotect(ProcessSite& site, mem::Vaddr addr, std::uint64_t length
     length = mem::page_ceil(length);
     if (length == 0 || (addr & mem::kPageMask) != 0) return -kEinval;
     if (site.is_origin()) {
-        ++local_ops_;
+        local_ops_.inc();
         return static_cast<int>(
             origin_destructive(site, VmaOp::kMprotect, addr, length, prot));
     }
-    ++remote_ops_;
+    remote_ops_.inc();
     auto reply = k_.node().rpc(
         site.origin(), msg::make_message(msg::MsgType::kVmaOp, msg::MsgKind::kRequest,
                                          VmaOpReq{site.pid(), VmaOp::kMprotect, addr,
@@ -90,10 +98,10 @@ int VmaServer::mprotect(ProcessSite& site, mem::Vaddr addr, std::uint64_t length
 
 mem::Vaddr VmaServer::brk(ProcessSite& site, mem::Vaddr new_brk) {
     if (site.is_origin()) {
-        ++local_ops_;
+        local_ops_.inc();
         return origin_brk(site, new_brk);
     }
-    ++remote_ops_;
+    remote_ops_.inc();
     auto reply = k_.node().rpc(
         site.origin(), msg::make_message(msg::MsgType::kVmaOp, msg::MsgKind::kRequest,
                                          VmaOpReq{site.pid(), VmaOp::kBrk, new_brk,
@@ -193,7 +201,9 @@ void VmaServer::broadcast_update(ProcessSite& site, VmaOp op, mem::Vaddr start,
         if (k != k_.id() && (mask & (1u << k)) != 0) targets.push_back(k);
     }
     if (targets.empty()) return;
-    ++update_broadcasts_;
+    update_broadcasts_.inc();
+    trace::Span span(k_.engine(), k_.id(), "vma.broadcast_update",
+                     static_cast<std::uint64_t>(targets.size()));
     msg::Message request;
     request.hdr.type = msg::MsgType::kVmaUpdate;
     request.set_payload(VmaUpdateReq{site.pid(), op, start, end, prot});
@@ -213,7 +223,8 @@ bool VmaServer::ensure_vma(ProcessSite& site, mem::Vaddr va, mem::Vma* out) {
     if (site.is_origin()) return false;
 
     // Replica miss: fetch the covering VMA from the origin's master tree.
-    ++fetches_;
+    fetches_.inc();
+    trace::Span span(k_.engine(), k_.id(), "vma.fetch", va);
     auto reply = k_.node().rpc(
         site.origin(), msg::make_message(msg::MsgType::kVmaFetch, msg::MsgKind::kRequest,
                                          VmaFetchReq{site.pid(), va}));

@@ -16,6 +16,7 @@
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::kernel {
 class Kernel;
@@ -25,7 +26,7 @@ namespace rko::core {
 
 class VmaServer {
 public:
-    explicit VmaServer(kernel::Kernel& k) : k_(k) {}
+    explicit VmaServer(kernel::Kernel& k);
 
     /// Registers kVmaOp (blocking), kVmaFetch (leaf), kVmaUpdate (leaf).
     void install();
@@ -45,10 +46,10 @@ public:
     /// fetching it from the origin on a miss. False => no such mapping.
     bool ensure_vma(ProcessSite& site, mem::Vaddr va, mem::Vma* out);
 
-    std::uint64_t remote_ops() const { return remote_ops_; }
-    std::uint64_t local_ops() const { return local_ops_; }
-    std::uint64_t fetches() const { return fetches_; }
-    std::uint64_t update_broadcasts() const { return update_broadcasts_; }
+    std::uint64_t remote_ops() const { return remote_ops_.value; }
+    std::uint64_t local_ops() const { return local_ops_.value; }
+    std::uint64_t fetches() const { return fetches_.value; }
+    std::uint64_t update_broadcasts() const { return update_broadcasts_.value; }
 
 private:
     // Origin-side implementations (task actor or kworker).
@@ -65,10 +66,11 @@ private:
     void on_vma_update(msg::Node& node, msg::MessagePtr m);
 
     kernel::Kernel& k_;
-    std::uint64_t remote_ops_ = 0;
-    std::uint64_t local_ops_ = 0;
-    std::uint64_t fetches_ = 0;
-    std::uint64_t update_broadcasts_ = 0;
+    // Registry-backed ("vma.*" in the kernel's MetricsRegistry).
+    trace::Counter& remote_ops_;
+    trace::Counter& local_ops_;
+    trace::Counter& fetches_;
+    trace::Counter& update_broadcasts_;
 };
 
 } // namespace rko::core

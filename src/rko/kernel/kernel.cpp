@@ -22,7 +22,7 @@ Kernel::Kernel(sim::Engine& engine, const topo::Topology& topo,
       node_(fabric.node(id)),
       id_(id),
       frames_(phys, id, costs),
-      sched_(engine, costs, topo.cores_of(id)) {
+      sched_(engine, costs, topo.cores_of(id), id, &metrics_) {
     vma_ = std::make_unique<core::VmaServer>(*this);
     pages_ = std::make_unique<core::PageOwner>(*this);
     futex_ = std::make_unique<core::DFutex>(*this);

@@ -26,6 +26,7 @@
 #include "rko/task/sched.hpp"
 #include "rko/task/task.hpp"
 #include "rko/topo/topology.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::core {
 class VmaServer;
@@ -67,6 +68,11 @@ public:
     msg::Fabric& fabric() { return fabric_; }
     task::Scheduler& sched() { return sched_; }
     base::Counters& counters() { return counters_; }
+    /// This kernel's metrics registry. Services register named counters /
+    /// histograms at construction; Machine::collect_metrics merges all
+    /// kernels' registries into the machine-wide view.
+    trace::MetricsRegistry& metrics() { return metrics_; }
+    const trace::MetricsRegistry& metrics() const { return metrics_; }
 
     core::VmaServer& vma() { return *vma_; }
     core::PageOwner& pages() { return *pages_; }
@@ -130,6 +136,7 @@ private:
     msg::Node& node_;
     topo::KernelId id_;
     mem::FrameAllocator frames_;
+    trace::MetricsRegistry metrics_; ///< before sched_ and the services, which keep refs
     task::Scheduler sched_;
     base::Counters counters_;
 

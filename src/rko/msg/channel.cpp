@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "rko/trace/trace.hpp"
+
 namespace rko::msg {
 
 Channel::Channel(sim::Engine& engine, const topo::CostModel& costs, KernelId src,
@@ -31,7 +33,17 @@ void Channel::send(MessagePtr message) {
 
     // Slot publish + payload copy happen on the sender's core.
     const std::size_t bytes = message->wire_size();
+    const Nanos publish_start = self.now();
+    trace::Tracer* tr = trace::active(engine_);
+    if (tr != nullptr) {
+        // The flow arrow starts at the publish slice and lands where the
+        // receiver's dispatcher (or worker) handles the message.
+        message->trace_flow = tr->next_flow_id();
+        tr->flow_begin(engine_, src_, msg_type_name(message->hdr.type),
+                       message->trace_flow);
+    }
     self.sleep_for(costs_.msg_enqueue + costs_.copy_cost(bytes));
+    if (tr != nullptr) tr->span(engine_, src_, "msg.send", publish_start, bytes);
 
     message->ready_at = self.now() + costs_.msg_wire_latency;
     ++sent_;

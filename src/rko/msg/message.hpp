@@ -75,6 +75,9 @@ struct Message {
     /// (enqueue completion + wire latency). Simulation metadata, not state
     /// the guest protocol may read.
     Nanos ready_at = 0;
+    /// Tracing flow id correlating this send with its remote dispatch;
+    /// 0 = untraced. Simulation metadata like ready_at.
+    std::uint64_t trace_flow = 0;
     std::array<std::byte, kMaxPayload> payload;
 
     template <typename T>

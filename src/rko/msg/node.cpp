@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "rko/base/log.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::msg {
 
@@ -188,24 +189,37 @@ void Node::dispatcher_body(sim::Actor& self) {
     }
 }
 
+void Node::note_flow_end(const Message& message, const char* name) {
+    if (message.trace_flow == 0) return;
+    if (trace::Tracer* tr = trace::active(engine_)) {
+        tr->flow_end(engine_, id_, name, message.trace_flow);
+    }
+}
+
 void Node::route(MessagePtr message) {
     const auto type_index = static_cast<std::size_t>(message->hdr.type);
     RKO_ASSERT(type_index < kNumMsgTypes);
     ++dispatched_[type_index];
     delivery_latency_.add(engine_.now() - message->ready_at);
+    const char* name = msg_type_name(message->hdr.type);
 
     if (message->hdr.kind == MsgKind::kReply) {
+        trace::Span span(engine_, id_, name);
+        note_flow_end(*message, name);
         complete_reply(std::move(message));
         return;
     }
     const HandlerEntry& entry = handlers_[type_index];
     RKO_ASSERT_MSG(entry.registered, "message with no registered handler");
     switch (entry.handler_class) {
-    case HandlerClass::kInline:
+    case HandlerClass::kInline: {
+        trace::Span span(engine_, id_, name);
+        note_flow_end(*message, name);
         in_nb_handler_ = true;
         entry.fn(*this, std::move(message));
         in_nb_handler_ = false;
         return;
+    }
     case HandlerClass::kLeaf:
         leaf_pool_.queue.push_back(std::move(message));
         leaf_pool_.idle.notify_one();
@@ -228,6 +242,9 @@ void Node::worker_body(sim::Actor& self, Pool& pool) {
         pool.queue.pop_front();
         const HandlerEntry& entry =
             handlers_[static_cast<std::size_t>(message->hdr.type)];
+        const char* name = msg_type_name(message->hdr.type);
+        trace::Span span(engine_, id_, name);
+        note_flow_end(*message, name);
         entry.fn(*this, std::move(message));
         (void)self;
     }

@@ -116,6 +116,8 @@ private:
     Nanos earliest_pending() const;
     void route(MessagePtr message);
     void complete_reply(MessagePtr message);
+    /// Lands the flow arrow carried by `message` on this kernel's track.
+    void note_flow_end(const Message& message, const char* name);
     bool is_leaf_worker(const sim::Actor* actor) const;
     void spawn_workers(Pool& pool, int count, const char* tag);
 

@@ -15,6 +15,10 @@
 #include "rko/base/units.hpp"
 #include "rko/sim/context.hpp"
 
+namespace rko::trace {
+class Tracer;
+}
+
 namespace rko::sim {
 
 class Actor;
@@ -65,6 +69,12 @@ public:
 
     std::uint64_t dispatch_count() const { return dispatches_; }
 
+    /// Observability hook: the tracer recording this engine's virtual time,
+    /// or null (the default — instrumentation must treat null as "off").
+    /// Owned by whoever attached it (api::Machine), never by the engine.
+    trace::Tracer* tracer() { return tracer_; }
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     // --- engine-internal interface used by Actor ---
     void schedule(Actor& actor, Nanos at, std::uint64_t generation);
     Context& main_context() { return main_ctx_; }
@@ -92,6 +102,7 @@ private:
     Nanos now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t dispatches_ = 0;
+    trace::Tracer* tracer_ = nullptr;
 };
 
 } // namespace rko::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rko/base/assert.hpp"
+#include "rko/trace/trace.hpp"
 
 namespace rko::task {
 
@@ -20,15 +21,25 @@ const char* task_state_name(TaskState state) {
 }
 
 Scheduler::Scheduler(sim::Engine& engine, const topo::CostModel& costs,
-                     std::vector<topo::CoreId> cores)
-    : engine_(engine), costs_(costs), ncores_(cores.size()), idle_(std::move(cores)) {
+                     std::vector<topo::CoreId> cores, topo::KernelId kernel,
+                     trace::MetricsRegistry* metrics)
+    : engine_(engine),
+      costs_(costs),
+      kernel_(kernel),
+      ncores_(cores.size()),
+      idle_(std::move(cores)) {
     RKO_ASSERT(ncores_ >= 1);
+    if (metrics != nullptr) {
+        switch_ctr_ = &metrics->counter("sched.context_switches");
+        acquire_wait_ = &metrics->histogram("sched.acquire_wait_ns");
+    }
 }
 
 void Scheduler::assign(Task& t, topo::CoreId core) {
     t.core = core;
     t.slice_start = engine_.now();
     ++switches_;
+    if (switch_ctr_ != nullptr) switch_ctr_->inc();
     if (t.actor != nullptr) t.actor->unpark(costs_.context_switch);
 }
 
@@ -48,6 +59,7 @@ void Scheduler::release_core(Task& t) {
 
 void Scheduler::acquire(Task& t) {
     RKO_ASSERT(t.actor == &engine_.current());
+    const Nanos enter = engine_.now();
     rq_lock_.lock();
     if (!idle_.empty()) {
         const topo::CoreId core = idle_.back();
@@ -55,9 +67,11 @@ void Scheduler::acquire(Task& t) {
         t.core = core;
         t.slice_start = engine_.now();
         ++switches_;
+        if (switch_ctr_ != nullptr) switch_ctr_->inc();
         t.state = TaskState::kRunning;
         rq_lock_.unlock();
         sim::current_actor().sleep_for(costs_.context_switch);
+        finish_acquire(enter);
         return;
     }
     t.state = TaskState::kRunnable;
@@ -65,6 +79,14 @@ void Scheduler::acquire(Task& t) {
     rq_lock_.unlock();
     while (!t.on_core()) t.actor->park();
     t.state = TaskState::kRunning;
+    finish_acquire(enter);
+}
+
+void Scheduler::finish_acquire(Nanos enter) {
+    if (acquire_wait_ != nullptr) acquire_wait_->add(engine_.now() - enter);
+    if (trace::Tracer* tr = trace::active(engine_)) {
+        tr->span(engine_, kernel_, "sched.acquire", enter);
+    }
 }
 
 void Scheduler::block_and_wait(Task& t) {
@@ -116,6 +138,7 @@ bool Scheduler::block_and_wait_for(Task& t, Nanos timeout) {
                 t.core = core;
                 t.slice_start = engine_.now();
                 ++switches_;
+                if (switch_ctr_ != nullptr) switch_ctr_->inc();
             } else {
                 t.state = TaskState::kRunnable;
                 runq_.push_back(&t);

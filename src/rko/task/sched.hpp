@@ -23,13 +23,18 @@
 #include "rko/sim/sync.hpp"
 #include "rko/task/task.hpp"
 #include "rko/topo/topology.hpp"
+#include "rko/trace/metrics.hpp"
 
 namespace rko::task {
 
 class Scheduler {
 public:
+    /// `kernel` + `metrics` feed the observability layer: dispatch spans
+    /// land on `kernel`'s trace track, and `metrics` (may be null) receives
+    /// "sched.context_switches" / "sched.acquire_wait_ns".
     Scheduler(sim::Engine& engine, const topo::CostModel& costs,
-              std::vector<topo::CoreId> cores);
+              std::vector<topo::CoreId> cores, topo::KernelId kernel = 0,
+              trace::MetricsRegistry* metrics = nullptr);
 
     /// Takes a core for `t`, queueing and parking until one frees up.
     /// Called on the task's own actor.
@@ -74,14 +79,20 @@ public:
 private:
     void release_core(Task& t);
     void assign(Task& t, topo::CoreId core);
+    /// Records the acquire span + wait histogram for an acquire() entered
+    /// at `enter`.
+    void finish_acquire(Nanos enter);
 
     sim::Engine& engine_;
     const topo::CostModel& costs_;
+    topo::KernelId kernel_;
     std::size_t ncores_;
     sim::SpinLock rq_lock_; ///< models the runqueue lock (contention point)
     std::deque<Task*> runq_;
     std::vector<topo::CoreId> idle_;
     std::uint64_t switches_ = 0;
+    trace::Counter* switch_ctr_ = nullptr;
+    base::Histogram* acquire_wait_ = nullptr;
 };
 
 } // namespace rko::task

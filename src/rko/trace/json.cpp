@@ -1,0 +1,122 @@
+#include "rko/trace/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "rko/base/assert.hpp"
+
+namespace rko::trace {
+
+void JsonWriter::comma() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        if (stack_.back()) out_->push_back(',');
+        stack_.back() = true;
+    }
+    emitted_ = true;
+}
+
+void JsonWriter::begin_object() {
+    comma();
+    out_->push_back('{');
+    stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+    RKO_ASSERT(!stack_.empty() && !after_key_);
+    stack_.pop_back();
+    out_->push_back('}');
+}
+
+void JsonWriter::begin_array() {
+    comma();
+    out_->push_back('[');
+    stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+    RKO_ASSERT(!stack_.empty() && !after_key_);
+    stack_.pop_back();
+    out_->push_back(']');
+}
+
+void JsonWriter::key(std::string_view name) {
+    RKO_ASSERT_MSG(!stack_.empty() && !after_key_, "key outside an object");
+    if (stack_.back()) out_->push_back(',');
+    stack_.back() = true;
+    escape(name);
+    out_->push_back(':');
+    after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+    comma();
+    escape(s);
+}
+
+void JsonWriter::value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+        out_->append("null");
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_->append(buf);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(u));
+    out_->append(buf);
+}
+
+void JsonWriter::value(std::int64_t i) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(i));
+    out_->append(buf);
+}
+
+void JsonWriter::value(bool b) {
+    comma();
+    out_->append(b ? "true" : "false");
+}
+
+void JsonWriter::null() {
+    comma();
+    out_->append("null");
+}
+
+void JsonWriter::raw_value(std::string_view json) {
+    comma();
+    out_->append(json);
+}
+
+void JsonWriter::escape(std::string_view s) {
+    out_->push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"': out_->append("\\\""); break;
+        case '\\': out_->append("\\\\"); break;
+        case '\n': out_->append("\\n"); break;
+        case '\r': out_->append("\\r"); break;
+        case '\t': out_->append("\\t"); break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out_->append(buf);
+            } else {
+                out_->push_back(c);
+            }
+        }
+    }
+    out_->push_back('"');
+}
+
+} // namespace rko::trace

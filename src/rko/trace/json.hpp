@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer used by the trace/metrics exporters and the
+// bench --json reporter. Emits syntactically valid JSON (comma placement is
+// tracked per nesting level, strings are escaped, non-finite doubles become
+// null) into a caller-owned string buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rko::trace {
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::string* out) : out_(out) {}
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Emits the key of the next member; valid only inside an object.
+    void key(std::string_view name);
+
+    void value(std::string_view s);
+    void value(const char* s) { value(std::string_view(s)); }
+    void value(double d);
+    void value(std::uint64_t u);
+    void value(std::int64_t i);
+    void value(int i) { value(static_cast<std::int64_t>(i)); }
+    void value(bool b);
+    void null();
+
+    /// Splices pre-rendered JSON in as the next value, verbatim.
+    void raw_value(std::string_view json);
+
+    // Shorthand for key(k); value(v).
+    template <typename T>
+    void kv(std::string_view k, T v) {
+        key(k);
+        value(v);
+    }
+
+    /// True once every begin_* has been matched; the output is then a
+    /// complete JSON document.
+    bool done() const { return stack_.empty() && emitted_; }
+
+private:
+    void comma();
+    void escape(std::string_view s);
+
+    std::string* out_;
+    // One entry per open container: true once the first element is written.
+    std::vector<bool> stack_;
+    bool after_key_ = false;
+    bool emitted_ = false;
+};
+
+} // namespace rko::trace

@@ -1,0 +1,104 @@
+#include "rko/trace/metrics.hpp"
+
+#include "rko/base/assert.hpp"
+#include "rko/trace/json.hpp"
+
+namespace rko::trace {
+
+MetricsRegistry::Entry& MetricsRegistry::ensure(std::string_view name,
+                                               Entry::Kind kind) {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        it = entries_.emplace(std::string(name), Entry{kind, {}, {}, nullptr}).first;
+        if (kind == Entry::Kind::kHistogram) {
+            it->second.histogram = std::make_unique<base::Histogram>();
+        }
+    }
+    RKO_ASSERT_MSG(it->second.kind == kind, "metric re-registered with another kind");
+    return it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name,
+                                                    Entry::Kind kind) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.kind != kind) return nullptr;
+    return &it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    return ensure(name, Entry::Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    return ensure(name, Entry::Kind::kGauge).gauge;
+}
+
+base::Histogram& MetricsRegistry::histogram(std::string_view name) {
+    return *ensure(name, Entry::Kind::kHistogram).histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+    const Entry* e = find(name, Entry::Kind::kCounter);
+    return e == nullptr ? nullptr : &e->counter;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+    const Entry* e = find(name, Entry::Kind::kGauge);
+    return e == nullptr ? nullptr : &e->gauge;
+}
+
+const base::Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+    const Entry* e = find(name, Entry::Kind::kHistogram);
+    return e == nullptr ? nullptr : e->histogram.get();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+    for (const auto& [name, entry] : other.entries_) {
+        Entry& mine = ensure(name, entry.kind);
+        switch (entry.kind) {
+        case Entry::Kind::kCounter: mine.counter.value += entry.counter.value; break;
+        case Entry::Kind::kGauge: mine.gauge.value += entry.gauge.value; break;
+        case Entry::Kind::kHistogram: mine.histogram->merge(*entry.histogram); break;
+        }
+    }
+}
+
+void MetricsRegistry::write_histogram_json(JsonWriter& w, const base::Histogram& h) {
+    w.begin_object();
+    w.kv("type", "histogram");
+    w.kv("count", h.count());
+    w.kv("mean", h.mean());
+    w.kv("min", static_cast<std::int64_t>(h.min()));
+    w.kv("max", static_cast<std::int64_t>(h.max()));
+    w.kv("p50", static_cast<std::int64_t>(h.percentile(50)));
+    w.kv("p90", static_cast<std::int64_t>(h.percentile(90)));
+    w.kv("p99", static_cast<std::int64_t>(h.percentile(99)));
+    w.end_object();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+    w.begin_object();
+    for (const auto& [name, entry] : entries_) {
+        w.key(name);
+        switch (entry.kind) {
+        case Entry::Kind::kCounter:
+            w.begin_object();
+            w.kv("type", "counter");
+            w.kv("value", entry.counter.value);
+            w.end_object();
+            break;
+        case Entry::Kind::kGauge:
+            w.begin_object();
+            w.kv("type", "gauge");
+            w.kv("value", entry.gauge.value);
+            w.end_object();
+            break;
+        case Entry::Kind::kHistogram:
+            write_histogram_json(w, *entry.histogram);
+            break;
+        }
+    }
+    w.end_object();
+}
+
+} // namespace rko::trace

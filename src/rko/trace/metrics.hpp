@@ -1,0 +1,86 @@
+// Per-kernel metrics registry (tentpole of the observability subsystem).
+//
+// Services register named counters, gauges, and base::Histograms once at
+// construction and keep the returned reference for lock-free, lookup-free
+// updates on the hot path. Registries are mergeable across kernels at
+// shutdown (counters add, gauges add, histograms merge) so benches can
+// report one machine-wide view, and serialize to the compact metrics-JSON
+// schema consumed by BENCH_*.json (see README.md "Tracing & metrics").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rko/base/stats.hpp"
+
+namespace rko::trace {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+struct Counter {
+    std::uint64_t value = 0;
+    void inc(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Point-in-time numeric reading; merge sums (so per-kernel gauges read as
+/// machine totals after a merge — document exceptions at the call site).
+struct Gauge {
+    double value = 0.0;
+    void set(double v) { value = v; }
+    void add(double v) { value += v; }
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+    MetricsRegistry(MetricsRegistry&&) = default;
+    MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+    /// Returns the entry registered under `name`, creating it on first use.
+    /// References stay valid for the registry's lifetime. Registering the
+    /// same name with two different kinds is an error.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    base::Histogram& histogram(std::string_view name);
+
+    /// Folds `other` into this registry: same-named counters/gauges add,
+    /// histograms merge; entries new to this registry are copied.
+    void merge_from(const MetricsRegistry& other);
+
+    /// Read-only lookups (null when absent); used by tests and exporters.
+    const Counter* find_counter(std::string_view name) const;
+    const Gauge* find_gauge(std::string_view name) const;
+    const base::Histogram* find_histogram(std::string_view name) const;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /// Writes one JSON object: {"name": {"type": "counter", "value": N},
+    /// "lat": {"type": "histogram", "count": ..., "mean": ..., ...}, ...}.
+    void write_json(JsonWriter& w) const;
+
+    /// Entry values are nanoseconds where the name ends in "_ns".
+    static void write_histogram_json(JsonWriter& w, const base::Histogram& h);
+
+private:
+    struct Entry {
+        // Exactly one is set, selected by `kind`.
+        enum class Kind { kCounter, kGauge, kHistogram } kind;
+        Counter counter;
+        Gauge gauge;
+        std::unique_ptr<base::Histogram> histogram;
+    };
+
+    Entry& ensure(std::string_view name, Entry::Kind kind);
+    const Entry* find(std::string_view name, Entry::Kind kind) const;
+
+    std::map<std::string, Entry, std::less<>> entries_;
+};
+
+} // namespace rko::trace

@@ -1,0 +1,284 @@
+#include "rko/trace/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rko/base/assert.hpp"
+#include "rko/base/log.hpp"
+#include "rko/trace/json.hpp"
+
+namespace rko::trace {
+
+TraceConfig TraceConfig::from_env() {
+    TraceConfig config;
+    const char* env = std::getenv("RKO_TRACE");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) return config;
+    config.enabled = true;
+    config.path = std::strcmp(env, "1") == 0 ? "rko_trace.json" : env;
+    return config;
+}
+
+Tracer::Tracer(int nkernels, TraceConfig config) : config_(std::move(config)) {
+    RKO_ASSERT(nkernels >= 1);
+    RKO_ASSERT(config_.ring_capacity >= 1);
+    rings_.resize(static_cast<std::size_t>(nkernels));
+    metrics_.resize(static_cast<std::size_t>(nkernels));
+    if (config_.enabled) {
+        for (auto& ring : rings_) ring.buf.reserve(config_.ring_capacity);
+    }
+    // Index 0 is the host track (events recorded outside any actor).
+    intern("host");
+}
+
+std::uint32_t Tracer::intern(std::string_view s) {
+    auto it = intern_.find(std::string(s));
+    if (it != intern_.end()) return it->second;
+    const auto index = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    intern_.emplace(strings_.back(), index);
+    return index;
+}
+
+std::uint32_t Tracer::current_track(sim::Engine& engine) {
+    sim::Actor* actor = engine.current_or_null();
+    return actor == nullptr ? 0 : intern(actor->name());
+}
+
+void Tracer::push(topo::KernelId kernel, const Event& e) {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    Ring& ring = rings_[static_cast<std::size_t>(kernel)];
+    if (ring.buf.size() < config_.ring_capacity) {
+        ring.buf.push_back(e);
+    } else {
+        ring.buf[ring.total % config_.ring_capacity] = e;
+    }
+    ++ring.total;
+}
+
+void Tracer::span(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                  Nanos start, std::uint64_t arg) {
+    if (!config_.enabled) return;
+    Event e;
+    e.kind = EventKind::kSpan;
+    e.ts = start;
+    e.dur = engine.now() - start;
+    e.arg = arg;
+    e.name = intern(name);
+    e.track = current_track(engine);
+    e.kernel = kernel;
+    push(kernel, e);
+}
+
+void Tracer::instant(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                     std::uint64_t arg) {
+    if (!config_.enabled) return;
+    Event e;
+    e.kind = EventKind::kInstant;
+    e.ts = engine.now();
+    e.arg = arg;
+    e.name = intern(name);
+    e.track = current_track(engine);
+    e.kernel = kernel;
+    push(kernel, e);
+}
+
+void Tracer::flow_begin(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                        std::uint64_t id) {
+    if (!config_.enabled) return;
+    Event e;
+    e.kind = EventKind::kFlowBegin;
+    e.ts = engine.now();
+    e.id = id;
+    e.name = intern(name);
+    e.track = current_track(engine);
+    e.kernel = kernel;
+    push(kernel, e);
+}
+
+void Tracer::flow_end(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                      std::uint64_t id) {
+    if (!config_.enabled) return;
+    Event e;
+    e.kind = EventKind::kFlowEnd;
+    e.ts = engine.now();
+    e.id = id;
+    e.name = intern(name);
+    e.track = current_track(engine);
+    e.kernel = kernel;
+    push(kernel, e);
+}
+
+MetricsRegistry& Tracer::metrics(topo::KernelId kernel) {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    return metrics_[static_cast<std::size_t>(kernel)];
+}
+
+const MetricsRegistry& Tracer::metrics(topo::KernelId kernel) const {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    return metrics_[static_cast<std::size_t>(kernel)];
+}
+
+MetricsRegistry Tracer::merged_metrics() const {
+    MetricsRegistry merged;
+    for (const auto& registry : metrics_) merged.merge_from(registry);
+    return merged;
+}
+
+std::size_t Tracer::event_count(topo::KernelId kernel) const {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    return rings_[static_cast<std::size_t>(kernel)].buf.size();
+}
+
+std::uint64_t Tracer::dropped(topo::KernelId kernel) const {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    const Ring& ring = rings_[static_cast<std::size_t>(kernel)];
+    return ring.total - ring.buf.size();
+}
+
+std::vector<Event> Tracer::snapshot(topo::KernelId kernel) const {
+    RKO_ASSERT(kernel >= 0 && kernel < nkernels());
+    const Ring& ring = rings_[static_cast<std::size_t>(kernel)];
+    std::vector<Event> out;
+    out.reserve(ring.buf.size());
+    if (ring.total <= ring.buf.size()) {
+        out = ring.buf;
+    } else {
+        // Wrapped: the oldest retained event sits at total % capacity.
+        const std::size_t head = ring.total % config_.ring_capacity;
+        out.insert(out.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(head),
+                   ring.buf.end());
+        out.insert(out.end(), ring.buf.begin(),
+                   ring.buf.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    return out;
+}
+
+const std::string& Tracer::string_at(std::uint32_t index) const {
+    RKO_ASSERT(index < strings_.size());
+    return strings_[index];
+}
+
+namespace {
+
+/// Chrome trace timestamps are microseconds (double); ours are ns.
+double to_us(Nanos ns) { return static_cast<double>(ns) / 1000.0; }
+
+const char* kind_cat(EventKind kind) {
+    switch (kind) {
+    case EventKind::kFlowBegin:
+    case EventKind::kFlowEnd: return "flow";
+    default: return "rko";
+    }
+}
+
+} // namespace
+
+void Tracer::write_chrome_trace(std::string* out) const {
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Metadata: one Chrome "process" per kernel, one "thread" per actor
+    // track seen on that kernel's ring. tids are assigned per (pid, track).
+    std::vector<std::unordered_map<std::uint32_t, int>> tids(rings_.size());
+    for (topo::KernelId k = 0; k < nkernels(); ++k) {
+        w.begin_object();
+        w.kv("name", "process_name");
+        w.kv("ph", "M");
+        w.kv("pid", k);
+        w.key("args");
+        w.begin_object();
+        char label[32];
+        std::snprintf(label, sizeof label, "kernel %d", k);
+        w.kv("name", label);
+        w.end_object();
+        w.end_object();
+
+        auto& kernel_tids = tids[static_cast<std::size_t>(k)];
+        for (const Event& e : snapshot(k)) {
+            if (kernel_tids.contains(e.track)) continue;
+            const int tid = static_cast<int>(kernel_tids.size()) + 1;
+            kernel_tids.emplace(e.track, tid);
+            w.begin_object();
+            w.kv("name", "thread_name");
+            w.kv("ph", "M");
+            w.kv("pid", k);
+            w.kv("tid", tid);
+            w.key("args");
+            w.begin_object();
+            w.kv("name", string_at(e.track));
+            w.end_object();
+            w.end_object();
+        }
+    }
+
+    for (topo::KernelId k = 0; k < nkernels(); ++k) {
+        const auto& kernel_tids = tids[static_cast<std::size_t>(k)];
+        for (const Event& e : snapshot(k)) {
+            w.begin_object();
+            w.kv("name", string_at(e.name));
+            w.kv("cat", kind_cat(e.kind));
+            w.kv("pid", k);
+            w.kv("tid", kernel_tids.at(e.track));
+            w.kv("ts", to_us(e.ts));
+            switch (e.kind) {
+            case EventKind::kSpan:
+                w.kv("ph", "X");
+                w.kv("dur", to_us(e.dur));
+                break;
+            case EventKind::kInstant:
+                w.kv("ph", "i");
+                w.kv("s", "t"); // thread-scoped instant
+                break;
+            case EventKind::kFlowBegin:
+                w.kv("ph", "s");
+                w.kv("id", e.id);
+                break;
+            case EventKind::kFlowEnd:
+                w.kv("ph", "f");
+                w.kv("bp", "e"); // bind to the enclosing slice
+                w.kv("id", e.id);
+                break;
+            }
+            if (e.arg != 0) {
+                w.key("args");
+                w.begin_object();
+                w.kv("arg", e.arg);
+                w.end_object();
+            }
+            w.end_object();
+        }
+        if (const std::uint64_t lost = dropped(k); lost > 0) {
+            RKO_WARN("trace ring for kernel %d wrapped; %llu oldest events dropped",
+                     k, static_cast<unsigned long long>(lost));
+        }
+    }
+
+    w.end_array();
+    w.kv("displayTimeUnit", "ns");
+    w.end_object();
+    RKO_ASSERT(w.done());
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+    std::string json;
+    write_chrome_trace(&json);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        RKO_ERROR("cannot open trace output file %s", path.c_str());
+        return false;
+    }
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size()) {
+        RKO_ERROR("short write to trace output file %s", path.c_str());
+        return false;
+    }
+    RKO_INFO("wrote Chrome trace (%zu bytes) to %s — open in ui.perfetto.dev",
+             json.size(), path.c_str());
+    return true;
+}
+
+} // namespace rko::trace

@@ -1,0 +1,165 @@
+// Sim-time distributed tracing (tentpole of the observability subsystem).
+//
+// A Tracer owns one fixed-capacity event ring per kernel, recording spans
+// (with duration), instant events, and flow arrows (cross-kernel message
+// send -> dispatch) in the sim::Engine's VIRTUAL clock. Rings wrap: the
+// newest events win, and the exporter reports how many were dropped.
+//
+// Cost discipline: every record call starts with an enabled() check, and
+// the hot protocols reach the tracer through one pointer load off their
+// Engine (Engine::tracer()), so tracing disabled — the default — costs one
+// predictable branch per site. Toggle with RKO_TRACE:
+//
+//   RKO_TRACE=1 ./quickstart            # writes rko_trace.json at teardown
+//   RKO_TRACE=path/to/out.json ./bench_migration --quick
+//
+// The exporter emits Chrome/Perfetto trace_event JSON: one "process" per
+// kernel, one "thread" per actor, "X" slices for spans, "i" instants, and
+// "s"/"f" flow pairs linking a message's enqueue to its remote dispatch.
+// Open the file in https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rko/base/units.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/sim/engine.hpp"
+#include "rko/topo/topology.hpp"
+#include "rko/trace/metrics.hpp"
+
+namespace rko::trace {
+
+struct TraceConfig {
+    bool enabled = false;
+    std::size_t ring_capacity = 1 << 16; ///< events retained per kernel
+    /// Chrome-trace JSON auto-written by Machine teardown; empty = no file.
+    std::string path;
+
+    /// RKO_TRACE unset/"0"/"" -> disabled; "1" -> enabled, default path
+    /// "rko_trace.json"; anything else -> enabled, value is the path.
+    static TraceConfig from_env();
+};
+
+enum class EventKind : std::uint8_t { kSpan, kInstant, kFlowBegin, kFlowEnd };
+
+struct Event {
+    Nanos ts = 0;          ///< start (spans) or occurrence time
+    Nanos dur = 0;         ///< spans only
+    std::uint64_t id = 0;  ///< flow correlation id (flow events only)
+    std::uint64_t arg = 0; ///< one numeric argument (bytes, tid, ...)
+    std::uint32_t name = 0;  ///< interned string index
+    std::uint32_t track = 0; ///< interned actor-name index
+    topo::KernelId kernel = 0;
+    EventKind kind = EventKind::kInstant;
+};
+
+class Tracer {
+public:
+    Tracer(int nkernels, TraceConfig config);
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    bool enabled() const { return config_.enabled; }
+    const TraceConfig& config() const { return config_; }
+    int nkernels() const { return static_cast<int>(rings_.size()); }
+
+    /// Monotonic id source for flow arrows (message send -> dispatch).
+    std::uint64_t next_flow_id() { return ++flow_seq_; }
+
+    // --- Recording (no-ops when disabled). `engine` supplies the track:
+    // the currently-executing actor, or "host" from engine context. ---
+    void span(sim::Engine& engine, topo::KernelId kernel, const char* name,
+              Nanos start, std::uint64_t arg = 0);
+    void instant(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                 std::uint64_t arg = 0);
+    void flow_begin(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                    std::uint64_t id);
+    void flow_end(sim::Engine& engine, topo::KernelId kernel, const char* name,
+                  std::uint64_t id);
+
+    // --- Metrics (always live, even when event recording is disabled) ---
+    MetricsRegistry& metrics(topo::KernelId kernel);
+    const MetricsRegistry& metrics(topo::KernelId kernel) const;
+    /// Cross-kernel merge (counters/gauges add, histograms merge).
+    MetricsRegistry merged_metrics() const;
+
+    // --- Ring introspection (tests, exporters) ---
+    std::size_t event_count(topo::KernelId kernel) const;
+    std::uint64_t dropped(topo::KernelId kernel) const;
+    /// Events oldest -> newest (a copy; rings keep recording).
+    std::vector<Event> snapshot(topo::KernelId kernel) const;
+    const std::string& string_at(std::uint32_t index) const;
+
+    // --- Export ---
+    /// Chrome trace_event JSON ("traceEvents" array form) into `out`.
+    void write_chrome_trace(std::string* out) const;
+    /// Writes the Chrome trace to `path`; false (with a log line) on I/O error.
+    bool write_chrome_trace_file(const std::string& path) const;
+
+private:
+    struct Ring {
+        std::vector<Event> buf;
+        std::uint64_t total = 0; ///< events ever pushed
+    };
+
+    void push(topo::KernelId kernel, const Event& e);
+    std::uint32_t intern(std::string_view s);
+    std::uint32_t current_track(sim::Engine& engine);
+
+    TraceConfig config_;
+    std::vector<Ring> rings_;
+    std::vector<MetricsRegistry> metrics_;
+    std::uint64_t flow_seq_ = 0;
+    std::vector<std::string> strings_;
+    std::unordered_map<std::string, std::uint32_t> intern_;
+};
+
+/// The engine's tracer if one is attached AND event recording is on.
+inline Tracer* active(sim::Engine& engine) {
+    Tracer* t = engine.tracer();
+    return (t != nullptr && t->enabled()) ? t : nullptr;
+}
+
+/// RAII span: records [construction, end()/destruction) on `kernel`'s ring.
+/// When tracing is off, construction is one pointer load and a branch.
+class Span {
+public:
+    Span(sim::Engine& engine, topo::KernelId kernel, const char* name,
+         std::uint64_t arg = 0)
+        : tracer_(active(engine)) {
+        if (tracer_ != nullptr) {
+            engine_ = &engine;
+            kernel_ = kernel;
+            name_ = name;
+            arg_ = arg;
+            start_ = engine.now();
+        }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    void end() {
+        if (tracer_ != nullptr) {
+            tracer_->span(*engine_, kernel_, name_, start_, arg_);
+            tracer_ = nullptr;
+        }
+    }
+
+    /// Updates the numeric argument before the span is recorded.
+    void set_arg(std::uint64_t arg) { arg_ = arg; }
+
+private:
+    Tracer* tracer_;
+    sim::Engine* engine_ = nullptr;
+    topo::KernelId kernel_ = 0;
+    const char* name_ = nullptr;
+    std::uint64_t arg_ = 0;
+    Nanos start_ = 0;
+};
+
+} // namespace rko::trace

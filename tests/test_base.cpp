@@ -106,6 +106,30 @@ TEST(Histogram, PercentilesBracketSamples) {
     EXPECT_EQ(h.percentile(100), 1000);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+    Histogram empty;
+    EXPECT_EQ(empty.percentile(0), 0);
+    EXPECT_EQ(empty.percentile(50), 0);
+    EXPECT_EQ(empty.percentile(100), 0);
+
+    Histogram h;
+    h.add(37);
+    h.add(9000);
+    // The extremes are exact (tracked outside the log buckets) ...
+    EXPECT_EQ(h.percentile(0), 37);
+    EXPECT_EQ(h.percentile(100), 9000);
+    // ... and interior quantiles never escape [min, max] even though bucket
+    // upper bounds overshoot the samples.
+    for (const double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+        EXPECT_GE(h.percentile(q), 37) << "q=" << q;
+        EXPECT_LE(h.percentile(q), 9000) << "q=" << q;
+    }
+
+    Histogram one;
+    one.add(555);
+    for (const double q : {0.0, 50.0, 100.0}) EXPECT_EQ(one.percentile(q), 555);
+}
+
 TEST(Histogram, MinMaxMeanExact) {
     Histogram h;
     h.add(10);
