@@ -1,13 +1,17 @@
 #!/bin/sh
-# Tier-1 verification under sanitizers: configures a separate ASan+UBSan
-# build tree, builds everything, and runs the test suite. The fiber switch
-# in src/rko/sim/context.cpp carries the ASan fake-stack annotations, so
-# guest threads are fully instrumented.
+# Tier-1 verification under sanitizers, two stages in separate build trees:
+#   1. ASan+UBSan (build-san): memory and UB coverage. The fiber switch in
+#      src/rko/sim/context.cpp carries the ASan fake-stack annotations, so
+#      guest threads are fully instrumented.
+#   2. TSan (build-tsan): proves the simulator really is single-host-
+#      threaded — the fiber switch carries __tsan_*_fiber annotations, so
+#      any report is a real stray thread or fiber-machinery bug.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-san)
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
 set -e
 
 BUILD_DIR="${1:-build-san}"
+TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DRKO_SANITIZE=address,undefined \
@@ -21,3 +25,12 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo "check.sh: tier-1 green under ASan+UBSan ($BUILD_DIR)"
+
+cmake -B "$TSAN_DIR" -S . -DRKO_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j "$JOBS"
+
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS"
+
+echo "check.sh: tier-1 green under TSan ($TSAN_DIR)"

@@ -1,0 +1,50 @@
+#!/bin/sh
+# The full CI gauntlet, loudest-failure-first. Each stage prints an exact
+# repro command when it fails so a red run is immediately actionable.
+#
+#   1. tier-1:   plain build + ctest (the correctness floor)
+#   2. lint:     scripts/lint.sh (lint_rko.py + clang-tidy if installed)
+#   3. asan/tsan: scripts/check.sh (ASan+UBSan tree, then TSan tree)
+#   4. explore:  200-seed schedule-exploration sweep over every scenario
+#                with invariant audits armed (RKO_CHECK=1); failures print
+#                the offending seed and its repro line
+#
+# Usage: scripts/ci.sh [--quick]   (--quick: 25 explore seeds, skip sanitizers)
+set -e
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[ "$1" = "--quick" ] && QUICK=1
+JOBS="$(nproc 2>/dev/null || echo 4)"
+EXPLORE_SEEDS=200
+[ "$QUICK" = 1 ] && EXPLORE_SEEDS=25
+
+fail() {
+  echo "" >&2
+  echo "ci.sh: FAILED at stage '$1'" >&2
+  echo "  repro: $2" >&2
+  exit 1
+}
+
+echo "=== ci.sh stage 1/4: tier-1 build + tests ==="
+cmake -B build -S . >/dev/null || fail tier-1 "cmake -B build -S ."
+cmake --build build -j "$JOBS" || fail tier-1 "cmake --build build -j"
+ctest --test-dir build --output-on-failure -j "$JOBS" \
+  || fail tier-1 "ctest --test-dir build --output-on-failure"
+
+echo "=== ci.sh stage 2/4: lint ==="
+scripts/lint.sh || fail lint "scripts/lint.sh"
+
+if [ "$QUICK" = 1 ]; then
+  echo "=== ci.sh stage 3/4: sanitizers skipped (--quick) ==="
+else
+  echo "=== ci.sh stage 3/4: ASan+UBSan and TSan ==="
+  scripts/check.sh || fail sanitizers "scripts/check.sh"
+fi
+
+echo "=== ci.sh stage 4/4: ${EXPLORE_SEEDS}-seed schedule exploration ==="
+RKO_CHECK=1 ./build/tools/rko_explore --seeds "$EXPLORE_SEEDS" \
+  || fail explore "RKO_CHECK=1 ./build/tools/rko_explore --seeds $EXPLORE_SEEDS"
+
+echo ""
+echo "ci.sh: all stages green"

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""rko lint: project-specific static checks the compiler cannot express.
+
+The simulator is a deterministic, single-host-threaded discrete-event
+system; its determinism contract is easy to break silently by reaching for
+host concurrency or wall-clock time. This pass bans those constructs
+outside the one layer allowed to use host facilities (src/rko/sim/), plus
+a few idiom rules:
+
+  host-threading   std::thread / std::mutex / std::condition_variable /
+                   <thread> / <mutex> / atomics headers outside src/rko/sim/
+                   (simulated locks live in rko/sim/sync.hpp)
+  wall-clock       std::chrono clocks, time(), gettimeofday, clock_gettime
+                   anywhere in src/ — results must be virtual-time only
+  host-random      rand(), std::random_device, mt19937 outside src/rko/sim/
+                   and src/rko/base/ — all randomness flows through
+                   base::Rng seeds so runs stay replayable
+  raw-assert       assert( instead of RKO_ASSERT*: raw assert vanishes in
+                   NDEBUG builds and prints no simulation context
+  lock-across-await  a SpinLock .lock() with an rpc/sleep/wait before the
+                   matching .unlock(): shard locks must never be held
+                   across awaits (the busy-bit pattern exists for that)
+
+Suppress a finding with a trailing comment:  // rko-lint: allow(<rule>)
+
+Usage: lint_rko.py [paths...]   (default: src tools tests bench examples)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+# Rules as (rule-name, compiled regex, message). Checked per physical line
+# after comment stripping, so commentary may mention the constructs freely.
+HOST_THREADING = [
+    ("host-threading", re.compile(r"\bstd::(thread|jthread|mutex|recursive_mutex|"
+                                  r"shared_mutex|timed_mutex|condition_variable|"
+                                  r"condition_variable_any|counting_semaphore|"
+                                  r"binary_semaphore|latch|barrier)\b"),
+     "host threading primitive (use rko/sim/sync.hpp simulated locks)"),
+    ("host-threading", re.compile(r'#\s*include\s*<(thread|mutex|shared_mutex|'
+                                  r'condition_variable|semaphore|latch|barrier|'
+                                  r'stop_token|future)>'),
+     "host threading header (the simulation is single-host-threaded)"),
+]
+WALL_CLOCK = [
+    ("wall-clock", re.compile(r"\bstd::chrono::(steady_clock|system_clock|"
+                              r"high_resolution_clock)\b"),
+     "wall-clock time (results must be in virtual Nanos)"),
+    ("wall-clock", re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "wall-clock syscall (results must be in virtual Nanos)"),
+    ("wall-clock", re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "wall-clock time() (results must be in virtual Nanos)"),
+]
+HOST_RANDOM = [
+    ("host-random", re.compile(r"(?<![\w:.])(rand|srand|random|drand48)\s*\(\s*\)"),
+     "host RNG (use base::Rng so runs replay from a seed)"),
+    ("host-random", re.compile(r"\bstd::(random_device|mt19937(_64)?|"
+                               r"default_random_engine)\b"),
+     "host RNG (use base::Rng so runs replay from a seed)"),
+]
+RAW_ASSERT = [
+    ("raw-assert", re.compile(r"(?<![\w.])assert\s*\("),
+     "raw assert() (use RKO_ASSERT / RKO_ASSERT_MSG)"),
+]
+
+# Tokens that suspend the calling actor (awaits). A SpinLock held across
+# any of these deadlocks or interleaves the protocol mid-critical-section.
+AWAIT = re.compile(r"(\.rpc\(|\brpc_all\(|\.rpc_all\(|sleep_for\(|"
+                   r"\bbusy_wait\.(wait|wait_for)\(|\.send\()")
+LOCK_ACQUIRE = re.compile(r"([A-Za-z_][\w.\->\[\]]*lock)\s*\.\s*lock\s*\(\s*\)")
+LOCK_RELEASE = re.compile(r"([A-Za-z_][\w.\->\[\]]*lock)\s*\.\s*unlock\s*\(\s*\)")
+
+ALLOW = re.compile(r"rko-lint:\s*allow\(([\w-]+)\)")
+
+
+def in_sim_layer(path):
+    return f"src{os.sep}rko{os.sep}sim{os.sep}" in path
+
+
+def in_base_layer(path):
+    return f"src{os.sep}rko{os.sep}base{os.sep}" in path
+
+
+def strip_comments_keep_allow(line):
+    """Removes // and /* */ comment text (so prose can mention banned
+    constructs) but reports any rko-lint allowance found in it."""
+    allow = ALLOW.search(line)
+    code = re.sub(r"/\*.*?\*/", "", line)
+    code = re.sub(r"//.*$", "", code)
+    # String literals can legitimately mention anything (log messages).
+    code = re.sub(r'"(\\.|[^"\\])*"', '""', code)
+    return code, (allow.group(1) if allow else None)
+
+
+def applicable_rules(path):
+    rules = list(RAW_ASSERT)
+    rules += WALL_CLOCK
+    if not in_sim_layer(path):
+        rules += HOST_THREADING
+        if not in_base_layer(path):  # base::Rng's engine lives in base/
+            rules += HOST_RANDOM
+    return rules
+
+
+def lint_file(path, findings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as e:
+        findings.append((path, 0, "io", str(e)))
+        return
+    rules = applicable_rules(path)
+    held = {}  # lock expression -> first-acquire line (for the await rule)
+    # Track awaits only in non-sim source (sim primitives implement the
+    # waiting itself) and reset at function boundaries (column-0 '}').
+    track_awaits = not in_sim_layer(path) and path.endswith(".cpp")
+    for lineno, raw in enumerate(lines, start=1):
+        code, allowance = strip_comments_keep_allow(raw)
+        if not code.strip():
+            continue
+        for rule, pattern, message in rules:
+            if pattern.search(code) and allowance != rule:
+                if rule == "raw-assert" and ("static_assert" in code or
+                                             "_assert" in code):
+                    continue
+                findings.append((path, lineno, rule, message))
+        if not track_awaits:
+            continue
+        if raw.startswith("}"):
+            held.clear()  # end of a top-level function body
+        for m in LOCK_RELEASE.finditer(code):
+            held.pop(m.group(1), None)
+        if held and AWAIT.search(code) and allowance != "lock-across-await":
+            expr, acquired_at = next(iter(held.items()))
+            findings.append((path, lineno, "lock-across-await",
+                             f"awaits while '{expr}' is held "
+                             f"(locked at line {acquired_at}; use the "
+                             f"busy-bit pattern instead)"))
+            held.clear()  # one report per critical section
+        for m in LOCK_ACQUIRE.finditer(code):
+            held.setdefault(m.group(1), lineno)
+
+
+def collect(paths):
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = [d for d in dirs if not d.startswith(("build", "."))]
+            for name in files:
+                if name.endswith(CPP_EXTENSIONS):
+                    out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def main(argv):
+    paths = argv[1:] or ["src", "tools", "tests", "bench", "examples"]
+    paths = [p for p in paths if os.path.exists(p)]
+    if not paths:
+        print("lint_rko: no paths to lint", file=sys.stderr)
+        return 2
+    findings = []
+    files = collect(paths)
+    for path in files:
+        lint_file(path, findings)
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    summary = (f"lint_rko: {len(findings)} finding(s) in {len(files)} file(s)"
+               if findings else f"lint_rko: clean ({len(files)} files)")
+    print(summary, file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "rko/api/machine.hpp"
 
 #include "rko/base/log.hpp"
+#include "rko/check/invariants.hpp"
 #include "rko/core/page_owner.hpp"
 
 namespace rko::api {
@@ -11,6 +12,10 @@ Machine::Machine(MachineConfig config)
       phys_(config.nkernels, config.frames_per_kernel) {
     RKO_ASSERT_MSG(config.nkernels <= 32,
                    "holder masks are 32-bit; up to 32 kernels supported");
+    if (config_.shuffle_ties) {
+        // Before any actor is created so every event carries a shuffle key.
+        engine_.enable_tie_shuffle(config_.seed * 0x9e3779b97f4a7c15ULL + 1);
+    }
     tracer_ = std::make_unique<trace::Tracer>(config_.nkernels, config_.trace);
     engine_.set_tracer(tracer_.get());
     fabric_ = std::make_unique<msg::Fabric>(engine_, config_.costs, config_.nkernels,
@@ -35,6 +40,9 @@ Machine::~Machine() {
     engine_.run();
     if (!fabric_->all_stopped()) {
         RKO_WARN("machine torn down with live messaging actors");
+    }
+    if (config_.check) {
+        check::Registry::builtin().enforce(*this, "teardown");
     }
     if (tracer_->enabled() && !tracer_->config().path.empty()) {
         tracer_->write_chrome_trace_file(tracer_->config().path);
@@ -92,7 +100,13 @@ trace::MetricsRegistry Machine::collect_metrics() {
     return merged;
 }
 
-Nanos Machine::run() { return engine_.run(); }
+Nanos Machine::run() {
+    const Nanos t = engine_.run();
+    if (config_.check && engine_.idle()) {
+        check::Registry::builtin().enforce(*this, "run-idle");
+    }
+    return t;
+}
 
 Nanos Machine::run_until(Nanos deadline) { return engine_.run_until(deadline); }
 

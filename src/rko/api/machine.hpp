@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rko/api/process.hpp"
+#include "rko/check/gate.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/mem/phys.hpp"
 #include "rko/msg/fabric.hpp"
@@ -42,6 +43,15 @@ struct MachineConfig {
     /// variable (see trace::TraceConfig::from_env). Metrics are collected
     /// regardless; `trace.enabled` only gates event recording.
     trace::TraceConfig trace = trace::TraceConfig::from_env();
+    /// Cross-kernel invariant audits (rko/check) at quiesce points: after
+    /// every drained run() and at teardown. Defaults to the RKO_CHECK
+    /// environment variable; audits are host-side and never touch virtual
+    /// time, so enabling them cannot change simulated results.
+    bool check = check::enabled();
+    /// Schedule exploration: dispatch same-timestamp events in a seeded
+    /// random order instead of insertion order (see Engine). The run stays
+    /// deterministic for a given `seed`; rko_explore sweeps many.
+    bool shuffle_ties = false;
 };
 
 class Machine {
@@ -63,6 +73,11 @@ public:
 
     /// Creates a process homed on `origin`. Host-side (boot) operation.
     Process& create_process(topo::KernelId origin);
+
+    /// Every process created on this machine (invariant checkers, tests).
+    const std::vector<std::unique_ptr<Process>>& processes() const {
+        return processes_;
+    }
 
     /// Runs the simulation until the event queue drains (all guest threads
     /// finished and every service idle). Returns final virtual time.

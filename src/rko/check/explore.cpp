@@ -1,0 +1,484 @@
+#include "rko/check/explore.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "rko/api/machine.hpp"
+#include "rko/api/process.hpp"
+#include "rko/core/page_owner.hpp"
+#include "rko/core/process.hpp"
+#include "rko/kernel/kernel.hpp"
+#include "rko/mem/pagetable.hpp"
+#include "rko/mem/phys.hpp"
+
+namespace rko::check {
+
+namespace {
+
+using api::Guest;
+using api::Machine;
+using api::MachineConfig;
+using api::Thread;
+using mem::kPageSize;
+using mem::Vaddr;
+using namespace rko::time_literals;
+
+// ---------------------------------------------------------------------------
+// Hashing. FNV-1a/64 over the guest-visible end state: one copy of every
+// directory-backed page's bytes (replicas are byte-identical or the pages
+// checker already failed) plus each thread's exit record.
+// ---------------------------------------------------------------------------
+
+struct Fnv {
+    std::uint64_t h = 14695981039346656037ULL;
+    void bytes(const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ULL;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+};
+
+std::uint64_t content_hash(Machine& m) {
+    Fnv h;
+    // Pages, in (pid, vpn) order regardless of which kernel holds them.
+    std::map<std::pair<Pid, std::uint64_t>, const std::byte*> pages;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (!site.is_origin()) return;
+            for (auto& shard : site.dir_shards()) {
+                for (const auto& [vpn, entry] : shard.entries) {
+                    if (entry.busy) continue; // audited separately
+                    for (std::uint32_t mask = entry.holder_mask(); mask != 0;
+                         mask &= mask - 1) {
+                        const auto holder =
+                            static_cast<topo::KernelId>(__builtin_ctz(mask));
+                        if (!m.kernel(holder).has_site(site.pid())) continue;
+                        const Vaddr page = static_cast<Vaddr>(vpn)
+                                           << mem::kPageShift;
+                        const mem::Pte* pte = m.kernel(holder)
+                                                  .site(site.pid())
+                                                  .space()
+                                                  .page_table()
+                                                  .find(page);
+                        if (pte == nullptr || !pte->present) continue;
+                        pages[{site.pid(), vpn}] = m.phys().frame_ptr(pte->paddr);
+                        break; // lowest live holder is the canonical copy
+                    }
+                }
+            }
+        });
+    }
+    for (const auto& [key, frame] : pages) {
+        h.u64(static_cast<std::uint64_t>(key.first));
+        h.u64(key.second);
+        h.bytes(frame, kPageSize);
+    }
+    // Thread outcomes, in creation order (tids are allocated in order).
+    for (const auto& process : m.processes()) {
+        for (const auto& thread : process->threads()) {
+            h.u64(static_cast<std::uint64_t>(thread->tid()));
+            h.u64(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(thread->exit_status())));
+            h.u64(thread->segfaulted() ? 1 : 0);
+        }
+    }
+    return h.h;
+}
+
+MachineConfig base_config(const ExploreConfig& cfg) {
+    MachineConfig mc;
+    mc.ncores = 8;
+    mc.nkernels = 4;
+    // Scenarios touch a handful of pages; a small guest RAM keeps a
+    // 200-seed sweep (x2 replays, x5 scenarios) in seconds, not minutes.
+    mc.frames_per_kernel = 1024;
+    mc.seed = cfg.seed;
+    mc.shuffle_ties = cfg.shuffle_ties;
+    mc.fabric.delivery_jitter = cfg.delivery_jitter;
+    mc.fabric.jitter_seed = cfg.seed;
+    // Violations are data here, not aborts: the sweep collects the audit
+    // via run_all and decides, so the fault-injection scenario can report
+    // its expected findings instead of dying at teardown.
+    mc.check = false;
+    return mc;
+}
+
+/// Drains nothing — call after machine.run(). Audits and hashes.
+ScenarioResult finish(Machine& m) {
+    ScenarioResult res;
+    res.vtime = m.now();
+    res.messages = m.total_messages();
+    res.report = run_all(m);
+    res.content_hash = content_hash(m);
+    Fnv h;
+    h.u64(res.content_hash);
+    h.u64(static_cast<std::uint64_t>(res.vtime));
+    h.u64(res.messages);
+    h.u64(m.total_message_bytes());
+    res.replay_hash = h.h;
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+// ---------------------------------------------------------------------------
+
+/// Threads hop kernels every round while hammering one shared page, so
+/// migration (group updates, shadow records) races page-ownership transfers
+/// and the barrier's futex traffic. Final state is schedule-independent.
+ScenarioResult run_migration_storm(const ExploreConfig& cfg) {
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 5;
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    for (int i = 0; i < kThreads; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                const Vaddr slot = buf + static_cast<Vaddr>(i) * 4;
+                const Vaddr barrier = buf + 512;
+                for (int r = 0; r < kRounds; ++r) {
+                    g.rmw_u32(slot, [](std::uint32_t v) { return v + 1; });
+                    g.migrate(static_cast<topo::KernelId>((i + r + 1) % 4));
+                    g.barrier_wait(barrier, kThreads);
+                }
+            },
+            static_cast<topo::KernelId>(i % 4));
+    }
+    machine.run();
+    return finish(machine);
+}
+
+/// The unmapper destroys and recreates a region while remote writers keep
+/// faulting it in: in-flight ownership transactions race the munmap
+/// broadcast and vma_epoch bump. Writers may legally segfault (their VMA
+/// vanished), so final content is schedule-dependent; only the invariants
+/// and per-seed reproducibility are asserted.
+ScenarioResult run_fault_munmap_race(const ExploreConfig& cfg) {
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(2 * kPageSize);
+            for (int r = 0; r < 4; ++r) {
+                g.write<std::uint64_t>(buf, static_cast<std::uint64_t>(r));
+                g.munmap(buf, 2 * kPageSize);
+                g.compute(500_ns);
+                g.mmap(2 * kPageSize); // usually lands back on the same gap
+            }
+        },
+        0);
+    for (int w = 0; w < 2; ++w) {
+        process.spawn(
+            [&, w](Guest& g) {
+                while (buf == 0) g.yield();
+                for (int i = 0; i < 6; ++i) {
+                    g.write<std::uint32_t>(buf + kPageSize + 64 + static_cast<Vaddr>(w) * 8,
+                                           static_cast<std::uint32_t>(i));
+                    g.compute(300_ns);
+                }
+            },
+            static_cast<topo::KernelId>(1 + w));
+    }
+    machine.run();
+    return finish(machine);
+}
+
+/// Cross-kernel futex ping-pong plus a third thread doing short timed waits
+/// on the same word: wake-side grants race timeout-side cancels, and the
+/// word itself migrates between kernels under the waiters.
+ScenarioResult run_futex_ping(const ExploreConfig& cfg) {
+    constexpr std::uint32_t kRounds = 8;
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(kPageSize);
+            const Vaddr wa = buf;
+            const Vaddr wb = buf + 64;
+            for (std::uint32_t i = 1; i <= kRounds; ++i) {
+                g.write<std::uint32_t>(wa, i);
+                g.futex_wake(wa, 4);
+                std::uint32_t v;
+                while ((v = g.read<std::uint32_t>(wb)) != i) g.futex_wait(wb, v);
+            }
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            while (buf == 0) g.yield();
+            const Vaddr wa = buf;
+            const Vaddr wb = buf + 64;
+            for (std::uint32_t i = 1; i <= kRounds; ++i) {
+                std::uint32_t v;
+                while ((v = g.read<std::uint32_t>(wa)) < i) g.futex_wait(wa, v);
+                g.write<std::uint32_t>(wb, i);
+                g.futex_wake(wb, 4);
+            }
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            while (buf == 0) g.yield();
+            for (std::uint32_t i = 0; i < kRounds; ++i) {
+                // Value usually stale (EAGAIN) or the wait times out mid-
+                // round: every return is legal, the queue must stay sane.
+                (void)g.futex_wait_for(buf, i % 3, 3_us);
+            }
+        },
+        2);
+    machine.run();
+    return finish(machine);
+}
+
+/// One thread cycles the lower half of a region read-only and back
+/// (downgrade_range demotes write bits machine-wide) while remote threads
+/// read those pages and write the upper half — demotion races fault-in
+/// upgrades on the same directory shards.
+ScenarioResult run_mprotect_demote(const ExploreConfig& cfg) {
+    constexpr int kCycles = 4;
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(4 * kPageSize);
+            g.write<std::uint64_t>(buf, 0xa0);
+            g.write<std::uint64_t>(buf + kPageSize, 0xa1);
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int c = 0; c < kCycles; ++c) {
+                g.mprotect(buf, 2 * kPageSize, mem::kProtRead);
+                g.compute(1_us);
+                g.mprotect(buf, 2 * kPageSize, mem::kProtRead | mem::kProtWrite);
+                g.compute(500_ns);
+            }
+            g.write<std::uint64_t>(buf, 0xb0);
+            g.write<std::uint64_t>(buf + kPageSize, 0xb1);
+        },
+        0);
+    for (int w = 0; w < 2; ++w) {
+        process.spawn(
+            [&, w](Guest& g) {
+                g.join(init);
+                const Vaddr mine = buf + (2 + static_cast<Vaddr>(w)) * kPageSize;
+                std::uint64_t sum = 0;
+                for (int i = 0; i < 8; ++i) {
+                    sum += g.read<std::uint64_t>(buf);
+                    sum += g.read<std::uint64_t>(buf + kPageSize);
+                    g.write<std::uint64_t>(mine + 8, static_cast<std::uint64_t>(i));
+                    g.compute(400_ns);
+                }
+                (void)sum; // reads only pull Shared copies
+                g.write<std::uint64_t>(mine + 16, 0xc0 + static_cast<std::uint64_t>(w));
+            },
+            static_cast<topo::KernelId>(1 + w));
+    }
+    machine.run();
+    return finish(machine);
+}
+
+/// Fault-injection demo: drop one victim invalidation during a write
+/// upgrade, leaving a stale read-only PTE at a remote kernel. The audit
+/// must catch it (pages.pte_not_in_holders) — a clean report fails the
+/// sweep. Proves the checker detects real ownership bugs, with a seed to
+/// replay.
+ScenarioResult run_inject_lost_invalidate(const ExploreConfig& cfg) {
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(2 * kPageSize);
+            g.write<std::uint32_t>(buf, 0x41); // page Exclusive at k0
+        },
+        0);
+    auto& reader = process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            (void)g.read<std::uint32_t>(buf); // page now Shared {k0, k1}
+            g.rmw_u32(buf + kPageSize, [](std::uint32_t) { return 1u; });
+            g.futex_wake(buf + kPageSize, 4);
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(reader);
+            std::uint32_t v;
+            while ((v = g.read<std::uint32_t>(buf + kPageSize)) != 1) {
+                g.futex_wait(buf + kPageSize, v);
+            }
+            // The upgrade's invalidate to k1 is dropped: its PTE goes stale.
+            machine.kernel(0).pages().set_inject_lost_invalidate(true);
+            g.write<std::uint32_t>(buf, 0x43);
+            machine.kernel(0).pages().set_inject_lost_invalidate(false);
+        },
+        0);
+    machine.run();
+    return finish(machine);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver.
+// ---------------------------------------------------------------------------
+
+// Gated inline checks (RKO_ASSERT in the protocol paths) abort rather than
+// report; this hook makes the abort name the seed being explored so the
+// failure is replayable. Written before each run, emitted async-signal-
+// safely from the handler.
+char g_abort_context[256];
+std::size_t g_abort_context_len = 0;
+
+extern "C" void explore_abort_handler(int) {
+    if (g_abort_context_len > 0) {
+        const ssize_t n = ::write(2, g_abort_context, g_abort_context_len);
+        (void)n;
+    }
+    std::signal(SIGABRT, SIG_DFL);
+}
+
+void set_abort_context(const char* scenario, std::uint64_t seed,
+                       const SweepOptions& opt) {
+    const int n = std::snprintf(
+        g_abort_context, sizeof g_abort_context,
+        "\nrko_explore: aborted at scenario=%s seed=%llu\n"
+        "  repro: rko_explore --scenario %s --seeds 1 --first-seed %llu "
+        "--jitter %lld%s\n",
+        scenario, static_cast<unsigned long long>(seed), scenario,
+        static_cast<unsigned long long>(seed),
+        static_cast<long long>(opt.delivery_jitter),
+        opt.shuffle_ties ? "" : " --no-shuffle");
+    g_abort_context_len =
+        n > 0 ? std::min(static_cast<std::size_t>(n), sizeof g_abort_context - 1)
+              : 0;
+}
+
+void install_abort_handler() {
+    static bool installed = false;
+    if (!installed) {
+        std::signal(SIGABRT, explore_abort_handler);
+        installed = true;
+    }
+}
+
+void print_repro(const Scenario& s, std::uint64_t seed, const SweepOptions& opt,
+                 const char* why) {
+    std::fprintf(stderr,
+                 "rko_explore: FAIL scenario=%s seed=%llu (%s)\n"
+                 "  repro: rko_explore --scenario %s --seeds 1 --first-seed %llu "
+                 "--jitter %lld%s\n",
+                 s.name, static_cast<unsigned long long>(seed), why, s.name,
+                 static_cast<unsigned long long>(seed),
+                 static_cast<long long>(opt.delivery_jitter),
+                 opt.shuffle_ties ? "" : " --no-shuffle");
+}
+
+} // namespace
+
+const std::vector<Scenario>& scenarios() {
+    static const std::vector<Scenario> list = {
+        {"migration_storm",
+         "4 threads hop kernels every round while hammering one shared page",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_migration_storm},
+        {"fault_munmap_race",
+         "munmap/remap loop races remote writers faulting the region in",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_fault_munmap_race},
+        {"futex_ping",
+         "cross-kernel futex ping-pong with a third thread's timed waits",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_futex_ping},
+        {"mprotect_demote",
+         "mprotect write-bit demotion cycles race readers and writers",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_mprotect_demote},
+        {"inject_lost_invalidate",
+         "drops one invalidation; the audit MUST flag the stale PTE",
+         /*content_deterministic=*/true, /*expect_violation=*/true,
+         &run_inject_lost_invalidate},
+    };
+    return list;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+    for (const Scenario& s : scenarios()) {
+        if (name == s.name) return &s;
+    }
+    return nullptr;
+}
+
+SweepStats sweep(const Scenario& scenario, const SweepOptions& options) {
+    install_abort_handler();
+    SweepStats stats;
+    bool have_reference = false;
+    std::uint64_t reference_content = 0;
+    std::uint64_t reference_seed = 0;
+    for (int i = 0; i < options.seeds; ++i) {
+        const std::uint64_t seed = options.first_seed + static_cast<std::uint64_t>(i);
+        const ExploreConfig cfg{seed, options.delivery_jitter, options.shuffle_ties};
+        set_abort_context(scenario.name, seed, options);
+        const ScenarioResult first = scenario.run(cfg);
+        const ScenarioResult again = scenario.run(cfg);
+        ++stats.runs;
+
+        if (first.replay_hash != again.replay_hash) {
+            ++stats.replay_mismatches;
+            print_repro(scenario, seed, options,
+                        "same seed produced different replay hashes");
+        }
+        const bool clean = first.report.ok();
+        if (clean == scenario.expect_violation) {
+            ++stats.violations;
+            print_repro(scenario, seed, options,
+                        scenario.expect_violation
+                            ? "injected fault went undetected"
+                            : "invariant violations");
+            if (!clean) {
+                std::fprintf(stderr, "%s", first.report.to_string().c_str());
+            }
+        }
+        if (scenario.content_deterministic && !scenario.expect_violation) {
+            if (!have_reference) {
+                have_reference = true;
+                reference_content = first.content_hash;
+                reference_seed = seed;
+            } else if (first.content_hash != reference_content) {
+                ++stats.content_mismatches;
+                std::fprintf(stderr,
+                             "rko_explore: content hash differs from seed %llu's\n",
+                             static_cast<unsigned long long>(reference_seed));
+                print_repro(scenario, seed, options, "schedule leaked into results");
+            }
+        }
+        if (options.verbose) {
+            std::printf("  %s seed=%llu content=%016llx replay=%016llx "
+                        "vtime=%lld msgs=%llu violations=%zu\n",
+                        scenario.name, static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(first.content_hash),
+                        static_cast<unsigned long long>(first.replay_hash),
+                        static_cast<long long>(first.vtime),
+                        static_cast<unsigned long long>(first.messages),
+                        first.report.violations().size());
+        }
+    }
+    g_abort_context_len = 0;
+    return stats;
+}
+
+} // namespace rko::check

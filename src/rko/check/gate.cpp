@@ -1,0 +1,24 @@
+#include "rko/check/gate.hpp"
+
+#include <cstdlib>
+
+namespace rko::check {
+
+namespace {
+
+bool from_env() {
+    const char* env = std::getenv("RKO_CHECK");
+    if (env == nullptr || env[0] == '\0') return false;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+// The simulation is single-host-threaded, so a plain bool suffices.
+bool g_enabled = from_env();
+
+} // namespace
+
+bool enabled() { return g_enabled; }
+
+void set_enabled(bool on) { g_enabled = on; }
+
+} // namespace rko::check

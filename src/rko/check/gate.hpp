@@ -1,0 +1,24 @@
+// The RKO_CHECK gate: one global flag deciding whether the cross-kernel
+// invariant checkers (rko/check) run. Split from the checkers themselves so
+// low-level protocol code (core/, msg/) can guard cheap self-checks behind
+// `check::enabled()` without depending on the api layer the full checkers
+// inspect. Reading the flag is one branch on a plain bool — the cost the
+// default build pays per gated site.
+//
+//   RKO_CHECK unset / "0" / ""  -> disabled (the default)
+//   RKO_CHECK=<anything else>   -> enabled
+//
+// Tests and rko_explore force the gate with set_enabled() regardless of the
+// environment.
+#pragma once
+
+namespace rko::check {
+
+/// Whether gated invariant checks should run. First call snapshots the
+/// RKO_CHECK environment variable; set_enabled() overrides it afterwards.
+bool enabled();
+
+/// Forces the gate on or off (tests, rko_explore). Overrides RKO_CHECK.
+void set_enabled(bool on);
+
+} // namespace rko::check

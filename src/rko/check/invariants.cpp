@@ -1,0 +1,525 @@
+#include "rko/check/invariants.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rko/api/machine.hpp"
+#include "rko/api/process.hpp"
+#include "rko/core/dfutex.hpp"
+#include "rko/core/page_owner.hpp"
+#include "rko/core/process.hpp"
+#include "rko/kernel/kernel.hpp"
+#include "rko/mem/pagetable.hpp"
+#include "rko/msg/channel.hpp"
+#include "rko/msg/fabric.hpp"
+#include "rko/msg/node.hpp"
+
+namespace rko::check {
+
+namespace {
+
+// The guest VA space is 48-bit; walking [0, 2^48) visits only materialized
+// radix subtrees, so a whole-space sweep is proportional to mapped pages.
+constexpr mem::Vaddr kVaSpaceEnd = 1ULL << 48;
+
+std::string fmt(const char* f, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* f, ...) {
+    char buf[512];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof buf, f, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+/// One present PTE somewhere on the machine.
+struct PteSite {
+    topo::KernelId kernel;
+    Pid pid;
+    mem::Vaddr va;
+    mem::Pte pte;
+};
+
+std::vector<PteSite> collect_ptes(api::Machine& m) {
+    std::vector<PteSite> out;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            site.space().page_table().for_each_present(
+                0, kVaSpaceEnd, [&](mem::Vaddr va, mem::Pte& pte) {
+                    out.push_back(PteSite{k, site.pid(), va, pte});
+                });
+        });
+    }
+    return out;
+}
+
+bool all_threads_finished(api::Machine& m) {
+    for (const auto& process : m.processes()) {
+        for (const auto& thread : process->threads()) {
+            if (!thread->finished()) return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// pages.* — MSI directory coherence (§IV-C).
+// ---------------------------------------------------------------------------
+
+void check_pages(api::Machine& m, Report& r) {
+    const std::vector<PteSite> ptes = collect_ptes(m);
+
+    // Frame sanity: each physical frame mapped by at most one PTE, and only
+    // by the kernel whose partition owns it (every service allocates local).
+    std::map<mem::Paddr, const PteSite*> frame_user;
+    for (const PteSite& p : ptes) {
+        if (m.phys().home_of(p.pte.paddr) != p.kernel) {
+            r.fail("pages.frame_foreign",
+                   fmt("k%d pid=%lld va=%llx maps frame %llx homed on k%d", p.kernel,
+                       static_cast<long long>(p.pid),
+                       static_cast<unsigned long long>(p.va),
+                       static_cast<unsigned long long>(p.pte.paddr),
+                       m.phys().home_of(p.pte.paddr)));
+        }
+        const auto [it, inserted] = frame_user.emplace(p.pte.paddr, &p);
+        if (!inserted) {
+            r.fail("pages.frame_aliased",
+                   fmt("frame %llx mapped by k%d pid=%lld va=%llx AND k%d pid=%lld "
+                       "va=%llx",
+                       static_cast<unsigned long long>(p.pte.paddr), p.kernel,
+                       static_cast<long long>(p.pid),
+                       static_cast<unsigned long long>(p.va), it->second->kernel,
+                       static_cast<long long>(it->second->pid),
+                       static_cast<unsigned long long>(it->second->va)));
+        }
+    }
+
+    // Directory pass: every origin entry well-formed, not mid-transaction,
+    // holders backed by real PTEs, Shared copies read-only and identical.
+    const std::uint32_t all_kernels_mask =
+        (m.nkernels() >= 32) ? ~0u : ((1u << m.nkernels()) - 1);
+    std::set<std::pair<Pid, std::uint64_t>> directory; // (pid, vpn) with entry
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (!site.is_origin()) return;
+            for (auto& shard : site.dir_shards()) {
+                for (const auto& [vpn, pending] : shard.pending) {
+                    (void)pending;
+                    r.fail("pages.pending_txn",
+                           fmt("origin k%d pid=%lld vpn=%llx has uncommitted "
+                               "transaction state at quiesce",
+                               k, static_cast<long long>(site.pid()),
+                               static_cast<unsigned long long>(vpn)));
+                }
+                for (const auto& [vpn, entry] : shard.entries) {
+                    directory.emplace(site.pid(), vpn);
+                    const mem::Vaddr page = static_cast<mem::Vaddr>(vpn)
+                                            << mem::kPageShift;
+                    if (entry.busy) {
+                        r.fail("pages.busy_at_quiesce",
+                               fmt("origin k%d pid=%lld page=%llx left busy", k,
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(page)));
+                        continue; // holder state is transactional; skip
+                    }
+                    const bool exclusive =
+                        entry.state == core::PageDirEntry::State::kExclusive;
+                    if (exclusive &&
+                        (entry.owner < 0 || entry.owner >= m.nkernels())) {
+                        r.fail("pages.bad_owner",
+                               fmt("origin k%d pid=%lld page=%llx Exclusive with "
+                                   "owner=%d",
+                                   k, static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(page),
+                                   entry.owner));
+                        continue;
+                    }
+                    if (!exclusive && (entry.sharers == 0 ||
+                                       (entry.sharers & ~all_kernels_mask) != 0)) {
+                        r.fail("pages.bad_sharers",
+                               fmt("origin k%d pid=%lld page=%llx Shared with "
+                                   "sharers=%x",
+                                   k, static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(page),
+                                   entry.sharers));
+                        continue;
+                    }
+                    const std::byte* reference = nullptr;
+                    topo::KernelId reference_kernel = -1;
+                    for (std::uint32_t mask = entry.holder_mask(); mask != 0;
+                         mask &= mask - 1) {
+                        const auto h = static_cast<topo::KernelId>(
+                            __builtin_ctz(mask));
+                        if (!m.kernel(h).has_site(site.pid())) {
+                            r.fail("pages.holder_without_site",
+                                   fmt("pid=%lld page=%llx: directory lists k%d "
+                                       "which has no site",
+                                       static_cast<long long>(site.pid()),
+                                       static_cast<unsigned long long>(page), h));
+                            continue;
+                        }
+                        core::ProcessSite& hsite = m.kernel(h).site(site.pid());
+                        const mem::Pte* pte = hsite.space().page_table().find(page);
+                        if (pte == nullptr || !pte->present) {
+                            r.fail("pages.holder_without_pte",
+                                   fmt("pid=%lld page=%llx: directory lists k%d as "
+                                       "%s holder but k%d has no valid PTE",
+                                       static_cast<long long>(site.pid()),
+                                       static_cast<unsigned long long>(page), h,
+                                       exclusive ? "Exclusive" : "Shared", h));
+                            continue;
+                        }
+                        if (!exclusive && (pte->prot & mem::kProtWrite) != 0) {
+                            r.fail("pages.shared_writable",
+                                   fmt("pid=%lld page=%llx: Shared copy at k%d has "
+                                       "the write bit",
+                                       static_cast<long long>(site.pid()),
+                                       static_cast<unsigned long long>(page), h));
+                        }
+                        const std::byte* bytes = m.phys().frame_ptr(pte->paddr);
+                        if (reference == nullptr) {
+                            reference = bytes;
+                            reference_kernel = h;
+                        } else if (std::memcmp(reference, bytes, mem::kPageSize) !=
+                                   0) {
+                            r.fail("pages.replica_divergence",
+                                   fmt("pid=%lld page=%llx: copies at k%d and k%d "
+                                       "differ",
+                                       static_cast<long long>(site.pid()),
+                                       static_cast<unsigned long long>(page),
+                                       reference_kernel, h));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Reverse pass: every valid PTE is backed by a directory entry that
+    // names its kernel as a holder — the check a lost invalidate trips.
+    for (const PteSite& p : ptes) {
+        const std::uint64_t vpn = mem::vpn_of(p.va);
+        if (!directory.contains({p.pid, vpn})) {
+            r.fail("pages.pte_without_entry",
+                   fmt("k%d pid=%lld va=%llx has a valid PTE but no directory "
+                       "entry survives at the origin",
+                       p.kernel, static_cast<long long>(p.pid),
+                       static_cast<unsigned long long>(p.va)));
+            continue;
+        }
+        // Membership itself: re-find the entry at the origin.
+        topo::KernelId origin = -1;
+        for (topo::KernelId k = 0; k < m.nkernels() && origin < 0; ++k) {
+            if (m.kernel(k).has_site(p.pid) &&
+                m.kernel(k).site(p.pid).is_origin()) {
+                origin = k;
+            }
+        }
+        if (origin < 0) continue; // groups checker reports the missing origin
+        auto& shard = m.kernel(origin).site(p.pid).dir_shard(vpn);
+        const auto it = shard.entries.find(vpn);
+        if (it != shard.entries.end() && !it->second.busy &&
+            !it->second.holds(p.kernel)) {
+            r.fail("pages.pte_not_in_holders",
+                   fmt("k%d pid=%lld va=%llx has a valid PTE but the directory "
+                       "names holders=%x (stale copy: lost invalidate?)",
+                       p.kernel, static_cast<long long>(p.pid),
+                       static_cast<unsigned long long>(p.va),
+                       it->second.holder_mask()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// futex.* — distributed futex sanity (§IV-D).
+// ---------------------------------------------------------------------------
+
+void check_futex(api::Machine& m, Report& r) {
+    const bool machine_drained = all_threads_finished(m);
+    std::set<std::pair<Pid, Tid>> seen;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).futex().for_each_waiter([&](const core::DFutex::WaiterView& w) {
+            if (!seen.emplace(w.pid, w.tid).second) {
+                r.fail("futex.duplicate_waiter",
+                       fmt("pid=%lld tid=%lld queued more than once machine-wide",
+                           static_cast<long long>(w.pid),
+                           static_cast<long long>(w.tid)));
+            }
+            if (machine_drained) {
+                r.fail("futex.waiter_at_exit",
+                       fmt("k%d still queues pid=%lld tid=%lld uaddr=%llx after "
+                           "every thread finished (lost wake)",
+                           k, static_cast<long long>(w.pid),
+                           static_cast<long long>(w.tid),
+                           static_cast<unsigned long long>(w.uaddr)));
+                return;
+            }
+            task::Task* t = m.kernel(w.kernel).find_task(w.tid);
+            if (t == nullptr) {
+                r.fail("futex.waiter_without_task",
+                       fmt("queued waiter pid=%lld tid=%lld names k%d which has no "
+                           "task record",
+                           static_cast<long long>(w.pid),
+                           static_cast<long long>(w.tid), w.kernel));
+                return;
+            }
+            if (t->state != task::TaskState::kBlocked) {
+                r.fail("futex.lost_wake",
+                       fmt("queued waiter pid=%lld tid=%lld at k%d is %s, not "
+                           "blocked",
+                           static_cast<long long>(w.pid),
+                           static_cast<long long>(w.tid), w.kernel,
+                           task::task_state_name(t->state)));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// groups.* — distributed thread groups (§IV-A).
+// ---------------------------------------------------------------------------
+
+bool task_is_live(const task::Task& t) {
+    return t.state != task::TaskState::kExited &&
+           t.state != task::TaskState::kShadow;
+}
+
+void check_groups(api::Machine& m, Report& r) {
+    // Origin uniqueness per pid.
+    std::map<Pid, topo::KernelId> origin_of;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (!site.is_origin()) return;
+            const auto [it, inserted] = origin_of.emplace(site.pid(), k);
+            if (!inserted) {
+                r.fail("groups.multiple_origins",
+                       fmt("pid=%lld claims origin sites at k%d and k%d",
+                           static_cast<long long>(site.pid()), it->second, k));
+            }
+        });
+    }
+
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (site.is_origin()) {
+                const core::ThreadGroup& group = site.group();
+                if (group.alive !=
+                    static_cast<int>(group.location.size())) {
+                    r.fail("groups.alive_mismatch",
+                           fmt("pid=%lld origin k%d: alive=%d but location map has "
+                               "%zu members",
+                               static_cast<long long>(site.pid()), k, group.alive,
+                               group.location.size()));
+                }
+                for (const auto& [tid, where] : group.location) {
+                    if (where < 0 || where >= m.nkernels()) {
+                        r.fail("groups.bad_location",
+                               fmt("pid=%lld tid=%lld located on k%d (out of "
+                                   "range)",
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<long long>(tid), where));
+                        continue;
+                    }
+                    const task::Task* t = m.kernel(where).find_task(tid);
+                    if (t == nullptr || t->pid != site.pid() || !task_is_live(*t)) {
+                        r.fail("groups.location_stale",
+                               fmt("pid=%lld tid=%lld: origin locates it at k%d "
+                                   "but that kernel has %s",
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<long long>(tid), where,
+                                   t == nullptr ? "no record"
+                                                : task_state_name(t->state)));
+                    }
+                }
+            } else {
+                // Replica site: its origin must know this kernel.
+                const auto it = origin_of.find(site.pid());
+                if (it == origin_of.end()) {
+                    r.fail("groups.origin_missing",
+                           fmt("k%d has a replica site for pid=%lld but no origin "
+                               "site exists",
+                               k, static_cast<long long>(site.pid())));
+                } else {
+                    const std::uint32_t mask =
+                        m.kernel(it->second).site(site.pid()).group().replica_mask;
+                    if ((mask & (1u << k)) == 0) {
+                        r.fail("groups.replica_unknown",
+                               fmt("k%d hosts a replica site for pid=%lld but the "
+                                   "origin's replica_mask=%x omits it",
+                                   k, static_cast<long long>(site.pid()), mask));
+                    }
+                }
+            }
+        });
+    }
+
+    // Tid-space uniqueness among live records, and every live member known
+    // to its origin (a remote shadow's real record must have a location).
+    std::map<Tid, topo::KernelId> live_at;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_task([&](const task::Task& t) {
+            if (!task_is_live(t)) return;
+            const auto [it, inserted] = live_at.emplace(t.tid, k);
+            if (!inserted) {
+                r.fail("groups.tid_aliased",
+                       fmt("tid=%lld has live task records on k%d and k%d",
+                           static_cast<long long>(t.tid), it->second, k));
+            }
+            const auto oit = origin_of.find(t.pid);
+            if (oit == origin_of.end()) {
+                r.fail("groups.origin_missing",
+                       fmt("live tid=%lld of pid=%lld has no origin site anywhere",
+                           static_cast<long long>(t.tid),
+                           static_cast<long long>(t.pid)));
+                return;
+            }
+            const core::ThreadGroup& group =
+                m.kernel(oit->second).site(t.pid).group();
+            const auto lit = group.location.find(t.tid);
+            if (lit == group.location.end() || lit->second != k) {
+                r.fail("groups.member_unknown_to_origin",
+                       fmt("live tid=%lld runs on k%d but the origin locates it "
+                           "at %s",
+                           static_cast<long long>(t.tid), k,
+                           lit == group.location.end()
+                               ? "nowhere"
+                               : fmt("k%d", lit->second).c_str()));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// msg.* — messaging quiescence & per-channel FIFO.
+// ---------------------------------------------------------------------------
+
+void check_msg(api::Machine& m, Report& r) {
+    for (topo::KernelId src = 0; src < m.nkernels(); ++src) {
+        for (topo::KernelId dst = 0; dst < m.nkernels(); ++dst) {
+            if (src == dst) continue;
+            const msg::Channel& ch = m.fabric().channel(src, dst);
+            if (!ch.empty()) {
+                r.fail("msg.in_flight_at_idle",
+                       fmt("channel k%d->k%d still holds %zu message(s) at "
+                           "quiesce (head: %s)",
+                           src, dst, ch.depth(),
+                           msg::msg_type_name(ch.queued().front()->hdr.type)));
+            }
+            Nanos prev = -1;
+            for (const msg::MessagePtr& message : ch.queued()) {
+                if (message->ready_at < prev) {
+                    r.fail("msg.fifo_violation",
+                           fmt("channel k%d->k%d: %s becomes visible at %lld "
+                               "before its predecessor at %lld",
+                               src, dst, msg::msg_type_name(message->hdr.type),
+                               static_cast<long long>(message->ready_at),
+                               static_cast<long long>(prev)));
+                }
+                prev = message->ready_at;
+            }
+        }
+    }
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        const std::size_t pending = m.fabric().node(k).pending_replies();
+        if (pending != 0) {
+            r.fail("msg.pending_rpc",
+                   fmt("k%d has %zu RPC(s) whose reply never arrived", k, pending));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// locks.* — nothing holds a simulated lock at quiesce.
+// ---------------------------------------------------------------------------
+
+void check_locks(api::Machine& m, Report& r) {
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (m.kernel(k).sched().rq_lock_held()) {
+            r.fail("locks.runqueue_held", fmt("k%d runqueue lock held", k));
+        }
+        if (m.kernel(k).futex().locked_buckets() != 0) {
+            r.fail("locks.futex_bucket_held",
+                   fmt("k%d holds %zu futex bucket lock(s)", k,
+                       m.kernel(k).futex().locked_buckets()));
+        }
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            const auto& mmap_lock = site.space().mmap_lock();
+            if (mmap_lock.write_held() || mmap_lock.readers() != 0) {
+                r.fail("locks.mmap_lock_held",
+                       fmt("k%d pid=%lld mmap_lock held (writer=%d readers=%d)", k,
+                           static_cast<long long>(site.pid()),
+                           static_cast<int>(mmap_lock.write_held()),
+                           mmap_lock.readers()));
+            }
+            if (site.vma_op_lock().write_held() ||
+                site.vma_op_lock().readers() != 0) {
+                r.fail("locks.vma_op_lock_held",
+                       fmt("k%d pid=%lld vma_op_lock held", k,
+                           static_cast<long long>(site.pid())));
+            }
+            int shard_index = 0;
+            for (auto& shard : site.dir_shards()) {
+                if (shard.lock.held()) {
+                    r.fail("locks.dir_shard_held",
+                           fmt("k%d pid=%lld directory shard %d lock held", k,
+                               static_cast<long long>(site.pid()), shard_index));
+                }
+                ++shard_index;
+            }
+        });
+    }
+}
+
+} // namespace
+
+std::string Report::to_string() const {
+    std::string out;
+    for (const Violation& v : violations_) {
+        out += v.invariant;
+        out += ": ";
+        out += v.detail;
+        out += '\n';
+    }
+    return out;
+}
+
+const Registry& Registry::builtin() {
+    static const Registry registry = [] {
+        Registry r;
+        r.add({"pages", "IV-C", &check_pages});
+        r.add({"futex", "IV-D", &check_futex});
+        r.add({"groups", "IV-A", &check_groups});
+        r.add({"msg", "IV-B/V", &check_msg});
+        r.add({"locks", "IV", &check_locks});
+        return r;
+    }();
+    return registry;
+}
+
+Report Registry::run(api::Machine& machine) const {
+    Report report;
+    for (const Invariant& inv : invariants_) {
+        inv.fn(machine, report);
+    }
+    return report;
+}
+
+void Registry::enforce(api::Machine& machine, const char* when) const {
+    const Report report = run(machine);
+    if (report.ok()) return;
+    std::fprintf(stderr,
+                 "rko/check: %zu invariant violation(s) at %s:\n%s",
+                 report.violations().size(), when, report.to_string().c_str());
+    std::fflush(stderr);
+    base::assert_fail("cross-kernel invariants", __FILE__, __LINE__, when);
+}
+
+Report run_all(api::Machine& machine) { return Registry::builtin().run(machine); }
+
+} // namespace rko::check

@@ -1,0 +1,99 @@
+// Cross-kernel invariant checkers (the correctness harness).
+//
+// The paper's claims are exactly the properties that silently break under
+// message reorderings; each checker audits one family of them against the
+// whole machine's state at a quiesce point (engine idle after Machine::run,
+// and Machine teardown after the messaging drain):
+//
+//   pages   — single-owner MSI directory coherence (§IV-C): at most one
+//             Exclusive holder per page, every valid PTE backed by a
+//             directory entry naming its kernel, Shared copies read-only
+//             and byte-identical, no busy/pending transaction left behind,
+//             frames referenced by at most one PTE machine-wide.
+//   futex   — distributed futex sanity (§IV-D): every queued waiter names
+//             a live blocked task (a waiter whose task finished is a lost
+//             wake), no duplicate queue entries, empty queues once every
+//             thread of the machine has exited.
+//   groups  — distributed thread groups (§IV-A): alive count matches the
+//             location map, every location entry has a matching task record
+//             at that kernel, every remote member is known to its origin,
+//             tids are unique machine-wide among live tasks.
+//   msg     — messaging quiescence: no in-flight message sits in a channel
+//             at machine idle (a parked dispatcher with a ready message is
+//             a lost doorbell), per-channel delivery order is FIFO, no
+//             pending RPC outlives its reply.
+//   locks   — nothing holds a simulated lock at quiesce (a held mmap_lock /
+//             dir-shard lock / vma_op_lock with no runnable actor is a
+//             protocol leak, not contention).
+//
+// Checkers run host-side and never touch the virtual clock, so enabling
+// them cannot perturb simulated timing — the property the race detector
+// (rko_explore) depends on when it compares final-state hashes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rko/check/gate.hpp"
+
+namespace rko::api {
+class Machine;
+}
+
+namespace rko::check {
+
+struct Violation {
+    std::string invariant; ///< registry name, e.g. "pages.single_owner"
+    std::string detail;    ///< human-readable specifics (kernel, page, ...)
+};
+
+/// Accumulates violations across checkers; one Report per audit.
+class Report {
+public:
+    void fail(std::string invariant, std::string detail) {
+        violations_.push_back(Violation{std::move(invariant), std::move(detail)});
+    }
+    bool ok() const { return violations_.empty(); }
+    const std::vector<Violation>& violations() const { return violations_; }
+    /// One line per violation, e.g. for stderr or a test failure message.
+    std::string to_string() const;
+
+private:
+    std::vector<Violation> violations_;
+};
+
+using InvariantFn = void (*)(api::Machine&, Report&);
+
+/// One named machine-wide invariant and the paper section it encodes.
+struct Invariant {
+    const char* name;
+    const char* paper_ref; ///< e.g. "IV-C" (DESIGN.md catalogues these)
+    InvariantFn fn;
+};
+
+/// The invariant registry. builtin() carries every checker above; callers
+/// (tests) may add their own before run().
+class Registry {
+public:
+    /// A registry pre-loaded with the built-in checker families.
+    static const Registry& builtin();
+
+    Registry() = default;
+    void add(const Invariant& inv) { invariants_.push_back(inv); }
+    const std::vector<Invariant>& invariants() const { return invariants_; }
+
+    /// Runs every invariant against `machine`; host-side, no virtual time.
+    Report run(api::Machine& machine) const;
+
+    /// run() + abort with a full listing on any violation. `when` names the
+    /// quiesce point ("run-idle", "teardown") in the failure message.
+    void enforce(api::Machine& machine, const char* when) const;
+
+private:
+    std::vector<Invariant> invariants_;
+};
+
+/// Convenience: Registry::builtin().run(machine).
+Report run_all(api::Machine& machine);
+
+} // namespace rko::check

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "rko/check/gate.hpp"
 #include "rko/core/page_owner.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
@@ -42,6 +43,21 @@ Nanos DFutex::bucket_wait_time() const {
     return total;
 }
 
+void DFutex::for_each_waiter(
+    const std::function<void(const WaiterView&)>& fn) const {
+    for (const auto& bucket : table_) {
+        for (const Waiter& w : bucket.queue) {
+            fn(WaiterView{w.pid, w.tid, w.kernel, w.uaddr});
+        }
+    }
+}
+
+std::size_t DFutex::locked_buckets() const {
+    std::size_t held = 0;
+    for (const auto& bucket : table_) held += bucket.lock.held() ? 1 : 0;
+    return held;
+}
+
 std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
                                  topo::KernelId waiter_kernel, mem::Vaddr uaddr,
                                  std::uint32_t val) {
@@ -69,6 +85,14 @@ std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
         if (current != val) {
             bucket.lock.unlock();
             return kEagain;
+        }
+        if (check::enabled()) {
+            // A tid can sleep on at most one word at a time; a duplicate
+            // here means a grant or cancel was lost.
+            for (const Waiter& w : bucket.queue) {
+                RKO_ASSERT_MSG(w.tid != tid || w.pid != pid,
+                               "futex waiter queued twice");
+            }
         }
         bucket.queue.push_back(Waiter{pid, tid, waiter_kernel, uaddr});
         bucket.lock.unlock();

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
@@ -59,6 +60,18 @@ public:
     Nanos bucket_wait_time() const;
     /// Waiters currently parked in this kernel's table (diagnostics).
     std::size_t queued_waiters() const;
+
+    /// Read-only view of one queued waiter (rko/check auditors).
+    struct WaiterView {
+        Pid pid;
+        Tid tid;
+        topo::KernelId kernel; ///< where the waiting task's record lives
+        mem::Vaddr uaddr;
+    };
+    /// Visits every waiter queued in this kernel's table.
+    void for_each_waiter(const std::function<void(const WaiterView&)>& fn) const;
+    /// Bucket locks currently held (must be 0 at quiesce).
+    std::size_t locked_buckets() const;
 
 private:
     struct Waiter {

@@ -1,5 +1,6 @@
 #include "rko/core/migration.hpp"
 
+#include "rko/check/gate.hpp"
 #include "rko/core/thread_group.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
@@ -77,6 +78,16 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
         src_site.local_tasks().erase(t.tid);
         t.state = task::TaskState::kExited; // record retired; entity lives on
         t.actor = nullptr;
+    }
+
+    if (check::enabled()) {
+        // Post-conditions: the record left behind is dormant (no actor, no
+        // core) — the execution entity now lives at the destination.
+        RKO_ASSERT_MSG(t.actor == nullptr && t.core < 0,
+                       "migrated-out task still owns an actor or core");
+        RKO_ASSERT_MSG(
+            k_.id() != t.origin || t.state == task::TaskState::kShadow,
+            "origin must keep a shadow record for a migrated-out thread");
     }
 
     latency_.add(t2 - t0);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rko/base/log.hpp"
+#include "rko/check/gate.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
 
@@ -236,7 +237,12 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
         } else {
             // WRITE: invalidate every other copy; take the bytes with us.
             const bool requester_holds = snapshot.holds(requester);
-            const std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
+            std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
+            if (inject_lost_invalidate_ && victims != 0) {
+                // Fault injection (see set_inject_lost_invalidate): one
+                // victim keeps its stale copy.
+                victims &= victims - 1;
+            }
             bool have_data = false;
             for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
@@ -491,6 +497,20 @@ std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
             shard.busy_wait.notify_all();
             shard.lock.unlock();
             ++revoked;
+        }
+    }
+
+    if (check::enabled()) {
+        // Post-condition: no directory entry in the range survives. The
+        // caller removed the VMA (under vma_op_lock) before revoking, so no
+        // new entry can be born in the range concurrently.
+        for (auto& shard : site.dir_shards()) {
+            shard.lock.lock();
+            for (const auto& [vpn, entry] : shard.entries) {
+                RKO_ASSERT_MSG(vpn < vpn_lo || vpn >= vpn_hi,
+                               "directory entry survived revoke_range");
+            }
+            shard.lock.unlock();
         }
     }
     return revoked;

@@ -40,6 +40,12 @@ public:
     void set_read_replication(bool enabled) { read_replication_ = enabled; }
     bool read_replication() const { return read_replication_; }
 
+    /// TEST-ONLY fault injection: write transactions skip one victim's
+    /// invalidation, planting exactly the stale-copy coherence bug the
+    /// rko/check pages auditors exist to catch (rko_explore --inject and
+    /// the checker self-tests). Never enable outside those harnesses.
+    void set_inject_lost_invalidate(bool on) { inject_lost_invalidate_ = on; }
+
     /// Fault entry after VMA validation: obtain `access` rights to `page`
     /// for this kernel and map it locally. Runs on the faulting task.
     mem::Mmu::FaultResult acquire(ProcessSite& site, const mem::Vma& vma,
@@ -106,6 +112,7 @@ private:
 
     kernel::Kernel& k_;
     bool read_replication_ = true;
+    bool inject_lost_invalidate_ = false;
     // Registry-backed ("pages.*" in the kernel's MetricsRegistry).
     trace::Counter& local_faults_;
     trace::Counter& remote_faults_;

@@ -1,5 +1,6 @@
 #include "rko/core/thread_group.hpp"
 
+#include "rko/check/gate.hpp"
 #include "rko/core/vma_server.hpp"
 #include "rko/kernel/kernel.hpp"
 
@@ -52,6 +53,12 @@ void ThreadGroups::origin_join(Pid pid, Tid tid, topo::KernelId where) {
     ProcessSite& site = k_.ensure_site(pid, k_.id());
     RKO_ASSERT(site.is_origin());
     ThreadGroup& group = site.group();
+    if (check::enabled()) {
+        // Tid-space uniqueness: a join for an already-located member means
+        // a duplicate spawn or a lost exit.
+        RKO_ASSERT_MSG(!group.location.contains(tid),
+                       "group join for a tid the origin already locates");
+    }
     ++group.alive;
     ++group.spawned;
     group.location[tid] = where;

@@ -1,7 +1,6 @@
 #include "rko/core/vma_server.hpp"
 
-#include <mutex>
-
+#include "rko/check/gate.hpp"
 #include "rko/core/page_owner.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
@@ -188,6 +187,16 @@ std::int64_t VmaServer::origin_destructive(ProcessSite& site, VmaOp op,
     }
 
     broadcast_update(site, op, addr, end, prot);
+
+    if (op == VmaOp::kMunmap && check::enabled()) {
+        // Post-condition while still serialized: no origin PTE survives in
+        // the dead range (revoke_range dropped every holder's copy).
+        site.space().page_table().for_each_present(
+            addr, end, [](mem::Vaddr va, mem::Pte&) {
+                (void)va;
+                RKO_UNREACHABLE("origin PTE survived munmap");
+            });
+    }
 
     site.vma_op_lock().unlock();
     return 0;

@@ -102,6 +102,11 @@ public:
         for (const auto& [tid, t] : tasks_) fn(*t);
     }
 
+    /// Visits every process site on this kernel (invariant checkers).
+    void for_each_site(const std::function<void(core::ProcessSite&)>& fn) {
+        for (auto& [pid, site] : sites_) fn(*site);
+    }
+
     /// Global ids from this kernel's static range (Popcorn-style
     /// per-kernel PID ranges keep allocation message-free).
     Pid alloc_pid() { return id_range_base() + (next_id_ += 2); }

@@ -1,7 +1,6 @@
 #include "rko/mem/frame_alloc.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 namespace rko::mem {
 
@@ -54,7 +53,7 @@ void FrameAllocator::remove_free(std::size_t index, int order) {
 
 Paddr FrameAllocator::alloc(int order) {
     RKO_ASSERT(order >= 0 && order <= kMaxOrder);
-    std::lock_guard guard(lock_);
+    sim::LockGuard guard(lock_);
     sim::current_actor().sleep_for(costs_.frame_alloc_path);
 
     int found = -1;
@@ -92,7 +91,7 @@ Paddr FrameAllocator::alloc_page_zeroed() {
 void FrameAllocator::free(Paddr paddr, int order) {
     RKO_ASSERT(order >= 0 && order <= kMaxOrder);
     RKO_ASSERT_MSG(phys_.home_of(paddr) == home_, "freeing a foreign frame");
-    std::lock_guard guard(lock_);
+    sim::LockGuard guard(lock_);
     sim::current_actor().sleep_for(costs_.frame_alloc_path);
 
     std::size_t index = phys_.frame_index(paddr);

@@ -45,7 +45,14 @@ void Channel::send(MessagePtr message) {
     self.sleep_for(costs_.msg_enqueue + costs_.copy_cost(bytes));
     if (tr != nullptr) tr->span(engine_, src_, "msg.send", publish_start, bytes);
 
-    message->ready_at = self.now() + costs_.msg_wire_latency;
+    Nanos ready = self.now() + costs_.msg_wire_latency;
+    if (jitter_ > 0) {
+        ready += static_cast<Nanos>(
+            jitter_rng_.below(static_cast<std::uint64_t>(jitter_) + 1));
+        if (ready < last_ready_) ready = last_ready_;
+        last_ready_ = ready;
+    }
+    message->ready_at = ready;
     ++sent_;
     bytes_ += bytes;
     ring_.push_back(std::move(message));

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 
+#include "rko/base/rng.hpp"
 #include "rko/base/stats.hpp"
 #include "rko/msg/message.hpp"
 #include "rko/sim/sync.hpp"
@@ -38,10 +39,20 @@ public:
     bool empty() const { return ring_.empty(); }
     std::size_t depth() const { return ring_.size(); }
     std::size_t capacity() const { return capacity_; }
+    /// In-flight messages, oldest first (rko/check FIFO/quiescence audits).
+    const std::deque<MessagePtr>& queued() const { return ring_; }
 
     std::uint64_t sent() const { return sent_; }
     std::uint64_t bytes_sent() const { return bytes_; }
     Nanos backpressure_time() const { return backpressure_time_; }
+
+    /// Enables seeded delivery jitter (see FabricConfig::delivery_jitter);
+    /// called by Fabric at construction. Ready times stay monotone per
+    /// channel, so FIFO delivery order is unaffected.
+    void set_delivery_jitter(Nanos max_jitter, std::uint64_t seed) {
+        jitter_ = max_jitter;
+        jitter_rng_.reseed(seed);
+    }
 
 private:
     sim::Engine& engine_;
@@ -55,6 +66,9 @@ private:
     std::uint64_t sent_ = 0;
     std::uint64_t bytes_ = 0;
     Nanos backpressure_time_ = 0;
+    Nanos jitter_ = 0;            ///< max extra delivery delay; 0 = off
+    base::Rng jitter_rng_{0};
+    Nanos last_ready_ = 0;        ///< monotone clamp preserving channel FIFO
 };
 
 } // namespace rko::msg

@@ -18,6 +18,15 @@ Fabric::Fabric(sim::Engine& engine, const topo::CostModel& costs, int nkernels,
             auto channel = std::make_unique<Channel>(
                 engine, costs, src, dst, config.channel_capacity,
                 [receiver] { receiver->doorbell(); });
+            if (config.delivery_jitter > 0) {
+                // Distinct deterministic stream per directed channel.
+                const std::uint64_t stream =
+                    static_cast<std::uint64_t>(src) * 64 +
+                    static_cast<std::uint64_t>(dst);
+                channel->set_delivery_jitter(
+                    config.delivery_jitter,
+                    config.jitter_seed * 0x9e3779b97f4a7c15ULL + stream);
+            }
             receiver->attach_inbound(*channel);
             nodes_[static_cast<std::size_t>(src)]->attach_outbound(dst, *channel);
             channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nkernels) +

@@ -15,6 +15,13 @@ namespace rko::msg {
 struct FabricConfig {
     int nworkers_per_node = 4;       ///< kworker actors per kernel
     std::size_t channel_capacity = 4096; ///< slots per directed channel
+    /// Race-detector knob (rko_explore): each message's delivery gains an
+    /// extra delay uniform in [0, delivery_jitter] ns, drawn per channel
+    /// from jitter_seed. Per-channel visibility stays monotone (clamped),
+    /// so FIFO within a channel is preserved while cross-channel arrival
+    /// races are perturbed. 0 = off (the default; no timing change).
+    Nanos delivery_jitter = 0;
+    std::uint64_t jitter_seed = 0;
 };
 
 class Fabric {

@@ -90,6 +90,8 @@ public:
     std::uint64_t total_dispatched() const;
     const base::Histogram& delivery_latency() const { return delivery_latency_; }
     bool in_nonblocking_handler() const { return in_nb_handler_; }
+    /// RPCs awaiting a reply (must be 0 at quiesce).
+    std::size_t pending_replies() const { return pending_.size(); }
 
     /// Rung by inbound channels when a message lands; wakes an idle
     /// dispatcher after the modeled IPI latency.

@@ -38,6 +38,31 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_
 }
 #endif
 
+// ThreadSanitizer likewise needs explicit fiber annotations: without them
+// every stack switch looks like wild cross-thread stack access. The program
+// is single-host-threaded, so TSan's job here is to confirm exactly that
+// (any real data race under RKO_SANITIZE=thread is a bug in the fiber
+// machinery or an accidental second thread).
+#if defined(__SANITIZE_THREAD__)
+#define RKO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RKO_TSAN 1
+#endif
+#endif
+#ifndef RKO_TSAN
+#define RKO_TSAN 0
+#endif
+
+#if RKO_TSAN
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace rko::sim {
 
 #if RKO_CTX_ASM
@@ -114,10 +139,17 @@ std::size_t round_up_page(std::size_t n) {
 
 } // namespace
 
-Context::Context() = default;
+Context::Context() {
+#if RKO_TSAN
+    tsan_fiber_ = __tsan_get_current_fiber();
+#endif
+}
 
 Context::Context(std::function<void()> entry, std::size_t stack_bytes)
     : entry_(std::move(entry)) {
+#if RKO_TSAN
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
     stack_bytes_ = round_up_page(stack_bytes);
     map_bytes_ = stack_bytes_ + kPageSize; // +1 guard page at the low end
     void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
@@ -167,6 +199,12 @@ Context::Context(std::function<void()> entry, std::size_t stack_bytes)
 }
 
 Context::~Context() {
+#if RKO_TSAN
+    // Only fibers we created; the main context's handle belongs to TSan.
+    if (stack_base_ != nullptr && tsan_fiber_ != nullptr) {
+        __tsan_destroy_fiber(tsan_fiber_);
+    }
+#endif
 #if !RKO_CTX_ASM
     if (stack_base_ != nullptr) delete static_cast<ucontext_t*>(sp_);
 #endif
@@ -207,6 +245,9 @@ void Context::switch_to(Context& from, Context& to) {
     g_switch_source = &from;
     __sanitizer_start_switch_fiber(&from.asan_fake_stack_, to.asan_bottom_,
                                    to.asan_size_);
+#endif
+#if RKO_TSAN
+    __tsan_switch_to_fiber(to.tsan_fiber_, 0);
 #endif
 #if RKO_CTX_ASM
     rko_ctx_switch(&from.sp_, to.sp_);

@@ -62,6 +62,9 @@ private:
     void* asan_fake_stack_ = nullptr;
     const void* asan_bottom_ = nullptr;
     std::size_t asan_size_ = 0;
+    // ThreadSanitizer fiber handle: created per fiber, fetched from the
+    // runtime for the main context (unused in uninstrumented builds).
+    void* tsan_fiber_ = nullptr;
 };
 
 } // namespace rko::sim

@@ -1,5 +1,7 @@
 #include "rko/sim/engine.hpp"
 
+#include <limits>
+
 #include "rko/sim/actor.hpp"
 
 namespace rko::sim {
@@ -17,7 +19,8 @@ Actor& current_actor() {
 
 void Engine::schedule(Actor& actor, Nanos at, std::uint64_t generation) {
     RKO_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-    events_.push(Event{at, seq_++, &actor, generation});
+    const std::uint64_t key = shuffle_ties_ ? shuffle_rng_.next() : 0;
+    events_.push(Event{at, seq_++, &actor, generation, key});
 }
 
 // Drops events whose actor was rescheduled (newer generation) or finished.
@@ -32,9 +35,9 @@ void Engine::purge_stale() {
     }
 }
 
-bool Engine::step() {
+bool Engine::step_bounded(Nanos deadline) {
     purge_stale();
-    if (events_.empty()) return false;
+    if (events_.empty() || events_.top().at > deadline) return false;
     const Event ev = events_.top();
     events_.pop();
     Actor* actor = ev.actor;
@@ -51,6 +54,8 @@ bool Engine::step() {
     return true;
 }
 
+bool Engine::step() { return step_bounded(std::numeric_limits<Nanos>::max()); }
+
 Nanos Engine::run() {
     while (step()) {
     }
@@ -58,10 +63,7 @@ Nanos Engine::run() {
 }
 
 Nanos Engine::run_until(Nanos deadline) {
-    for (;;) {
-        purge_stale();
-        if (events_.empty() || events_.top().at > deadline) break;
-        if (!step()) break;
+    while (step_bounded(deadline)) {
     }
     return now_;
 }

@@ -5,6 +5,12 @@
 // single host thread; actors hand control back by sleeping, parking, or
 // finishing. Determinism: ties are broken by a monotonically increasing
 // sequence number, so a given program + seed always interleaves identically.
+//
+// Schedule exploration (rko/check's race detector): enable_tie_shuffle(seed)
+// inserts a seeded random key between (time) and (seq) in the event order.
+// Same-timestamp events — exactly the set whose order the simulated hardware
+// does not constrain — then dispatch in a seed-dependent permutation while
+// the run stays bit-for-bit reproducible for that seed.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "rko/base/assert.hpp"
+#include "rko/base/rng.hpp"
 #include "rko/base/units.hpp"
 #include "rko/sim/context.hpp"
 
@@ -69,6 +76,16 @@ public:
 
     std::uint64_t dispatch_count() const { return dispatches_; }
 
+    /// Turns on seeded tie-break shuffling (see the file comment). Must be
+    /// called before any events are scheduled so every event gets a key.
+    void enable_tie_shuffle(std::uint64_t seed) {
+        RKO_ASSERT_MSG(events_.empty() && seq_ == 0,
+                       "enable_tie_shuffle must precede all scheduling");
+        shuffle_ties_ = true;
+        shuffle_rng_.reseed(seed);
+    }
+    bool tie_shuffle_enabled() const { return shuffle_ties_; }
+
     /// Observability hook: the tracer recording this engine's virtual time,
     /// or null (the default — instrumentation must treat null as "off").
     /// Owned by whoever attached it (api::Machine), never by the engine.
@@ -87,13 +104,21 @@ private:
         std::uint64_t seq;
         Actor* actor;
         std::uint64_t generation;
+        /// Tie-shuffle key: 0 unless shuffling is on. Ordered between `at`
+        /// and `seq`, so it only permutes same-timestamp events.
+        std::uint64_t key;
         bool operator>(const Event& other) const {
             if (at != other.at) return at > other.at;
+            if (key != other.key) return key > other.key;
             return seq > other.seq;
         }
     };
 
     bool step();
+    /// The one dispatch path: purge, stop if drained or the next event is
+    /// past `deadline`, else pop + run it. step()/run()/run_until() are all
+    /// thin wrappers, so the deadline check and dispatch cannot drift apart.
+    bool step_bounded(Nanos deadline);
     void purge_stale();
 
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
@@ -103,6 +128,8 @@ private:
     std::uint64_t seq_ = 0;
     std::uint64_t dispatches_ = 0;
     trace::Tracer* tracer_ = nullptr;
+    bool shuffle_ties_ = false;
+    base::Rng shuffle_rng_{0};
 };
 
 } // namespace rko::sim

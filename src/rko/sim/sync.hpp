@@ -93,6 +93,20 @@ private:
     Nanos wait_time_ = 0;
 };
 
+/// RAII scope guard for simulated locks — std::lock_guard without the
+/// <mutex> header (banned outside rko/sim by scripts/lint_rko.py).
+template <typename Lock>
+class [[nodiscard]] LockGuard {
+public:
+    explicit LockGuard(Lock& lock) : lock_(lock) { lock_.lock(); }
+    ~LockGuard() { lock_.unlock(); }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Lock& lock_;
+};
+
 /// A bare list of parked actors; the building block for condition-variable
 /// and wait-queue patterns. Thanks to actor permits, the
 /// enqueue-publish-park pattern has no lost-wakeup window.

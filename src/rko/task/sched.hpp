@@ -73,6 +73,8 @@ public:
     std::uint64_t context_switches() const { return switches_; }
     /// Queueing time on the runqueue lock (an SMP contention point).
     Nanos rq_lock_wait() const { return rq_lock_.wait_time(); }
+    /// Whether the runqueue lock is held (must be false at quiesce).
+    bool rq_lock_held() const { return rq_lock_.held(); }
     /// Total virtual time cores spent idle while work existed elsewhere is
     /// not tracked here; benches compute utilization from task runtimes.
 

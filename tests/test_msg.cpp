@@ -328,7 +328,8 @@ TEST(Node, LeafHandlerMayTakeLocalLocks) {
         MsgType::kPageInvalidate, HandlerClass::kLeaf,
         [&](Node& node, MessagePtr m) {
             local_lock.lock();
-            h.engine.current().sleep_for(1_us);
+            // Intentional: this is exactly the behaviour under test.
+            h.engine.current().sleep_for(1_us); // rko-lint: allow(lock-across-await)
             local_lock.unlock();
             ++handled;
             node.reply(*m, make_message(MsgType::kPageInvalidate, MsgKind::kReply,
@@ -338,7 +339,7 @@ TEST(Node, LeafHandlerMayTakeLocalLocks) {
     // A local actor on kernel 1 holds the lock while the message arrives.
     Actor holder(h.engine, "holder", [&](Actor& self) {
         local_lock.lock();
-        self.sleep_for(20_us);
+        self.sleep_for(20_us); // rko-lint: allow(lock-across-await)
         local_lock.unlock();
     });
     holder.start();
