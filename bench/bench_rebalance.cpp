@@ -5,9 +5,14 @@
 // serializes on that kernel's cores while the rest of the machine idles;
 // with the SSI load census + self-migration each thread moves to the
 // least-loaded kernel and the makespan approaches the SMP machine's.
+//
+// The "auto" rows run the same burst with NO guest-side placement calls at
+// all: the rko/balance subsystem (one balancer actor per kernel) spreads
+// the threads on its own, one row per policy.
 #include "harness.hpp"
 #include "report.hpp"
 #include "rko/api/machine.hpp"
+#include "rko/balance/balance.hpp"
 #include "rko/core/migration.hpp"
 #include "rko/core/ssi.hpp"
 #include "rko/smp/smp.hpp"
@@ -22,11 +27,19 @@ using bench::fmt;
 using bench::fmt_ns;
 using bench::Table;
 
-enum class Policy { kStay, kMigrateOnce, kSmp };
+enum class Policy { kStay, kMigrateOnce, kSmp, kAuto };
 
-Nanos run_burst(int ncores, int nkernels, int nthreads, Nanos work, Policy policy) {
-    Machine machine(policy == Policy::kSmp ? smp::smp_config(ncores)
-                                           : smp::popcorn_config(ncores, nkernels));
+Nanos run_burst(int ncores, int nkernels, int nthreads, Nanos work, Policy policy,
+                balance::Policy auto_policy = balance::Policy::kNone) {
+    api::MachineConfig config = policy == Policy::kSmp
+                                    ? smp::smp_config(ncores)
+                                    : smp::popcorn_config(ncores, nkernels);
+    if (policy == Policy::kAuto) {
+        config.balance.policy = auto_policy;
+        config.balance.period = 20_us;
+        config.balance.min_residency = 50_us;
+    }
+    Machine machine(config);
     auto& process = machine.create_process(0);
     for (int t = 0; t < nthreads; ++t) {
         process.spawn(
@@ -56,28 +69,45 @@ int main(int argc, char** argv) {
     std::printf("E8: migration-enabled load balancing (%d cores, %d kernels)\n",
                 ncores, nkernels);
 
+    const balance::Policy kAutoPolicies[] = {balance::Policy::kThresholdPush,
+                                             balance::Policy::kIdleSteal,
+                                             balance::Policy::kAffinity};
+    const char* kAutoGauges[] = {"auto_threshold_push_ns", "auto_idle_steal_ns",
+                                 "auto_affinity_ns"};
+
     bench::section("burst of T threads arriving on kernel 0");
-    Table table({"T", "no migration", "self-migration", "SMP (ideal)",
-                 "migration recovers"});
+    Table table({"T", "no migration", "self-migration", "auto push", "auto steal",
+                 "auto affinity", "SMP (ideal)", "migration recovers"});
     for (int t = 4; t <= 4 * ncores; t *= 2) {
         const Nanos stay = run_burst(ncores, nkernels, t, work, Policy::kStay);
         const Nanos move = run_burst(ncores, nkernels, t, work, Policy::kMigrateOnce);
         const Nanos smp = run_burst(ncores, nkernels, t, work, Policy::kSmp);
+        Nanos autos[3];
+        for (int p = 0; p < 3; ++p) {
+            autos[p] = run_burst(ncores, nkernels, t, work, Policy::kAuto,
+                                 kAutoPolicies[p]);
+        }
         const double recovered =
             stay == smp ? 1.0
                         : (static_cast<double>(stay) - static_cast<double>(move)) /
                               (static_cast<double>(stay) - static_cast<double>(smp));
-        table.add_row({fmt("%d", t), fmt_ns(stay), fmt_ns(move), fmt_ns(smp),
+        table.add_row({fmt("%d", t), fmt_ns(stay), fmt_ns(move), fmt_ns(autos[0]),
+                       fmt_ns(autos[1]), fmt_ns(autos[2]), fmt_ns(smp),
                        fmt("%.0f%%", recovered * 100)});
         report.add_gauge(fmt("burst.%d.stay_ns", t), static_cast<double>(stay));
         report.add_gauge(fmt("burst.%d.migrate_ns", t), static_cast<double>(move));
         report.add_gauge(fmt("burst.%d.smp_ns", t), static_cast<double>(smp));
         report.add_gauge(fmt("burst.%d.recovered", t), recovered);
+        for (int p = 0; p < 3; ++p) {
+            report.add_gauge(fmt("burst.%d.%s", t, kAutoGauges[p]),
+                             static_cast<double>(autos[p]));
+        }
     }
     table.print();
     std::printf("\nExpected: without migration the burst is confined to %d "
-                "cores; one self-migration per thread recovers most of the "
-                "idle machine.\n",
-                16 / 4);
+                "cores; one self-migration per thread (or the autonomous "
+                "balancer, no guest calls at all) recovers most of the idle "
+                "machine.\n",
+                ncores / nkernels);
     return 0;
 }

@@ -31,13 +31,27 @@ Machine::Machine(MachineConfig config)
             Thread* thread = thread_of(tid);
             return thread == nullptr ? nullptr : thread->actor();
         });
+        if (config_.balance.policy != balance::Policy::kNone) {
+            k->install_balancer(config_.balance);
+        }
     }
     fabric_->start_all();
+    for (auto& k : kernels_) {
+        if (k->balancer() != nullptr) k->balancer()->start();
+    }
 }
 
 Machine::~Machine() {
+    for (auto& k : kernels_) {
+        if (k->balancer() != nullptr) k->balancer()->request_stop();
+    }
     fabric_->request_stop_all();
     engine_.run();
+    for (auto& k : kernels_) {
+        if (k->balancer() != nullptr && !k->balancer()->stopped()) {
+            RKO_WARN("machine torn down with a live balancer actor");
+        }
+    }
     if (!fabric_->all_stopped()) {
         RKO_WARN("machine torn down with live messaging actors");
     }

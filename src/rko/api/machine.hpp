@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rko/api/process.hpp"
+#include "rko/balance/balance.hpp"
 #include "rko/check/gate.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/mem/phys.hpp"
@@ -52,6 +53,10 @@ struct MachineConfig {
     /// random order instead of insertion order (see Engine). The run stays
     /// deterministic for a given `seed`; rko_explore sweeps many.
     bool shuffle_ties = false;
+    /// Autonomous load balancing (rko/balance). With the default policy
+    /// kNone no balancer actors or handlers exist and runs are
+    /// bit-identical to the pre-balancer machine.
+    balance::BalanceConfig balance;
 };
 
 class Machine {

@@ -129,9 +129,7 @@ bool Thread::finished() const {
 
 void Thread::body() {
     Guest guest(machine_, *this);
-    guest.bind(kernel_id_);
-    kernel::Kernel& k0 = machine_.kernel(kernel_id_);
-    k0.sched().acquire(*task_);
+    guest.place(kernel_id_);
 
     int status = 0;
     try {
@@ -176,6 +174,33 @@ task::Task& Guest::t() {
 Pid Guest::pid() const { return thread_.process_.pid(); }
 
 Nanos Guest::now() const { return machine_.engine().now(); }
+
+void Guest::place(topo::KernelId kernel_id) {
+    topo::KernelId where = kernel_id;
+    for (;;) {
+        bind(where);
+        machine_.kernel(where).sched().acquire(t());
+        if (t().on_core()) return;
+        // A balancer claimed this task while it sat queued: acquire returned
+        // core-less with the task marked kMigrating. The thread ships itself
+        // (the fiber cannot travel on a wire) and queues at the target.
+        const topo::KernelId dest = t().balance_target;
+        RKO_ASSERT(t().state == task::TaskState::kMigrating);
+        RKO_ASSERT(dest >= 0 && dest != where);
+        thread_.mmu_->detach();
+        RKO_ASSERT(machine_.kernel(where).migration().migrate_out(t(), dest, nullptr));
+        where = dest;
+    }
+}
+
+void Guest::rebalance_checkpoint() {
+    const topo::KernelId dest = t().balance_target;
+    if (dest < 0) return;
+    t().balance_target = -1;
+    if (dest == thread_.kernel_id_) return;
+    k().metrics().counter("balance.hint_migrations").inc();
+    migrate(dest);
+}
 
 void Guest::bind(topo::KernelId kernel_id) {
     thread_.kernel_id_ = kernel_id;
@@ -293,14 +318,16 @@ core::MigrationBreakdown Guest::migrate(topo::KernelId dest) {
     RKO_ASSERT(src.migration().migrate_out(t(), dest, &breakdown));
     const Nanos resumed_from = now();
 
-    bind(dest);
-    kernel::Kernel& dst = machine_.kernel(dest);
-    dst.sched().acquire(t());
+    // place() rather than bind+acquire: a balancer may claim the task while
+    // it waits in the destination runqueue, in which case the thread keeps
+    // following the steal chain and resumes wherever it lands.
+    place(dest);
+    kernel::Kernel& dst = k();
     breakdown.resume = now() - resumed_from;
     breakdown.total += breakdown.resume;
     dst.metrics().histogram("migration.resume_ns").add(breakdown.resume);
     if (trace::Tracer* tr = trace::active(machine_.engine())) {
-        tr->span(machine_.engine(), dest, "migrate.resume", resumed_from,
+        tr->span(machine_.engine(), dst.id(), "migrate.resume", resumed_from,
                  static_cast<std::uint64_t>(t().tid));
     }
     return breakdown;
@@ -309,17 +336,18 @@ core::MigrationBreakdown Guest::migrate(topo::KernelId dest) {
 void Guest::yield() {
     thread_.mmu_->flush_charges();
     k().sys_yield(t());
+    rebalance_checkpoint();
 }
 
 void Guest::compute(Nanos ns) {
     thread_.mmu_->flush_charges();
-    sim::Actor& self = *thread_.actor_;
     constexpr Nanos kQuantum = 100'000; // preemption checkpoints every 100 us
     while (ns > 0) {
         const Nanos chunk = std::min(ns, kQuantum);
-        self.sleep_for(chunk);
+        thread_.actor_->sleep_for(chunk);
         ns -= chunk;
         k().sched().maybe_preempt(t());
+        rebalance_checkpoint();
     }
 }
 

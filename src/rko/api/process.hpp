@@ -202,6 +202,13 @@ private:
     kernel::Kernel& k();
     task::Task& t();
     void bind(topo::KernelId kernel_id);
+    /// bind + scheduler acquire, following balancer steals: when acquire
+    /// returns core-less (the queued task was claimed by a balancer), the
+    /// thread ships itself to Task::balance_target and tries again there.
+    void place(topo::KernelId kernel_id);
+    /// Preemption-checkpoint hook: consumes a pending balancer hint
+    /// (Task::balance_target) by self-migrating. No-op when none is set.
+    void rebalance_checkpoint();
 
     Machine& machine_;
     Thread& thread_;

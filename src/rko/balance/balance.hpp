@@ -1,0 +1,141 @@
+// Autonomous distributed load balancing (the OS-side thread placement the
+// paper's SSI promises: threads run on any kernel without the application
+// choosing where).
+//
+// Each kernel runs one balancer actor on a sim-time periodic tick. A tick
+//   (a) gossips this kernel's load (run-queue depth, idle cores, live
+//       tasks) to every peer as a one-way kLoadGossip, feeding the
+//       age-stamped load table in core::Ssi;
+//   (b) applies the configured Policy:
+//         threshold-push  overloaded kernels hand queued threads to peers
+//                         with idle cores (victim-driven),
+//         idle-steal      kernels with idle cores pull queued threads from
+//                         the most loaded peer via kSteal (thief-driven),
+//         affinity        idle-steal for load convergence, plus running
+//                         threads are hinted toward the kernel that served
+//                         the majority of their recent page faults
+//                         (Task::fault_from, fed by core::PageOwner);
+//   (c) applies hysteresis so threads do not ping-pong: a thread must have
+//       resided `min_residency` on its kernel and still have balancer
+//       migration budget before it may be moved again.
+//
+// Mechanism split: QUEUED threads (parked inside Scheduler::acquire) are
+// detached with Scheduler::steal_queued and ship themselves through the
+// normal migration protocol when their acquire returns core-less. RUNNING
+// threads are never yanked — the balancer sets Task::balance_target and the
+// thread self-migrates at its next preemption checkpoint (Guest::compute /
+// yield), mirroring how Popcorn migrates only at user-space boundaries.
+//
+// The balancer is entirely simulation-time: its tick actor parks when the
+// kernel has nothing to balance (so a drained machine still quiesces) and
+// is re-armed by scheduler-enqueue and gossip-arrival doorbells. With
+// policy kNone no balancer exists at all and every run is bit-identical to
+// the pre-balancer machine.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "rko/base/stats.hpp"
+#include "rko/mem/types.hpp"
+#include "rko/msg/message.hpp"
+#include "rko/sim/actor.hpp"
+#include "rko/topo/topology.hpp"
+#include "rko/trace/metrics.hpp"
+
+namespace rko::kernel {
+class Kernel;
+}
+namespace rko::msg {
+class Node;
+}
+namespace rko::task {
+struct Task;
+}
+
+namespace rko::balance {
+
+enum class Policy {
+    kNone = 0,      ///< no balancer (bit-identical to the pre-balancer OS)
+    kThresholdPush, ///< overloaded kernels push queued threads out
+    kIdleSteal,     ///< idle kernels steal queued threads in
+    kAffinity,      ///< idle-steal + fault-affinity hints for running threads
+};
+
+const char* policy_name(Policy policy);
+
+struct BalanceConfig {
+    Policy policy = Policy::kNone;
+    /// Gossip + decision tick period.
+    Nanos period = 50'000;
+    /// threshold-push fires while the run-queue depth exceeds this; 0 is
+    /// work-conserving (push any queued thread a peer has an idle core for).
+    std::uint32_t push_threshold = 0;
+    /// A thread must have been resident this long before the balancer may
+    /// move it (again).
+    Nanos min_residency = 200'000;
+    /// Balancer-driven migrations allowed per thread per kernel (local
+    /// knowledge; guest-requested migrations are never budgeted).
+    std::uint32_t migration_budget = 4;
+    /// Affinity acts once a thread accumulated this many attributed faults.
+    std::uint32_t affinity_min_faults = 8;
+};
+
+class Balancer {
+public:
+    Balancer(kernel::Kernel& k, const BalanceConfig& config);
+    Balancer(const Balancer&) = delete;
+    Balancer& operator=(const Balancer&) = delete;
+    ~Balancer();
+
+    const BalanceConfig& config() const { return config_; }
+
+    /// Registers the kSteal handler (leaf). Must precede Fabric::start_all.
+    void install();
+
+    /// Boots the tick actor.
+    void start();
+
+    /// Asks the tick actor to finish; it completes on a later engine run.
+    void request_stop();
+    bool stopped() const;
+
+    /// Doorbell from the scheduler's enqueue hook / Ssi's gossip hook:
+    /// re-arms the tick loop if it parked idle.
+    void doorbell();
+
+private:
+    void tick_body(sim::Actor& self);
+    /// True if this kernel currently has anything to balance.
+    bool has_work() const;
+    void gossip();
+    void decide();
+    void decide_push();
+    void decide_steal();
+    void decide_affinity_hints();
+    void decay_fault_counters();
+    /// Hysteresis: residency + per-thread budget.
+    bool may_move(const task::Task& t) const;
+    void note_moved(const task::Task& t);
+    void on_steal(msg::Node& node, msg::MessagePtr m);
+
+    kernel::Kernel& k_;
+    BalanceConfig config_;
+    std::unique_ptr<sim::Actor> actor_;
+    bool stop_ = false;
+    bool idle_parked_ = false; ///< doorbells only matter while true
+    bool was_active_ = false;  ///< emit one going-idle gossip on the edge
+    std::unordered_map<Tid, std::uint32_t> moves_; ///< balancer moves per tid
+
+    // Registry-backed ("balance.*" in the kernel's MetricsRegistry).
+    trace::Counter& ticks_;
+    trace::Counter& gossip_sent_;
+    trace::Counter& pushes_;
+    trace::Counter& steals_;   ///< granted steals this kernel initiated
+    trace::Counter& stolen_;   ///< queued threads this kernel surrendered
+    trace::Counter& steal_denied_;
+    trace::Counter& hints_;    ///< affinity hints planted on running threads
+    base::Histogram& staleness_; ///< census age observed at each tick
+};
+
+} // namespace rko::balance

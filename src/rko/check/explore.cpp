@@ -98,7 +98,7 @@ MachineConfig base_config(const ExploreConfig& cfg) {
     mc.ncores = 8;
     mc.nkernels = 4;
     // Scenarios touch a handful of pages; a small guest RAM keeps a
-    // 200-seed sweep (x2 replays, x5 scenarios) in seconds, not minutes.
+    // 200-seed sweep (x2 replays, x6 scenarios) in seconds, not minutes.
     mc.frames_per_kernel = 1024;
     mc.seed = cfg.seed;
     mc.shuffle_ties = cfg.shuffle_ties;
@@ -333,6 +333,45 @@ ScenarioResult run_inject_lost_invalidate(const ExploreConfig& cfg) {
     return finish(machine);
 }
 
+/// Six threads pile onto kernel 0 under an aggressive affinity balancer
+/// (20 us ticks, minimal hysteresis): balancer steals race explicit
+/// migrations, hint-driven self-migrations, shared-page ownership
+/// transfers, and thread exits. Every increment must still land and each
+/// task end up owned by exactly one scheduler (the balance checker's
+/// domain). Final memory is schedule-independent.
+ScenarioResult run_balancer_storm(const ExploreConfig& cfg) {
+    constexpr int kThreads = 6;
+    constexpr int kRounds = 4;
+    MachineConfig mc = base_config(cfg);
+    mc.balance.policy = balance::Policy::kAffinity;
+    mc.balance.period = 20_us;
+    mc.balance.min_residency = 30_us;
+    mc.balance.migration_budget = 8;
+    mc.balance.affinity_min_faults = 2;
+    Machine machine(mc);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    for (int i = 0; i < kThreads; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                const Vaddr slot = buf + static_cast<Vaddr>(i) * 8;
+                for (int r = 0; r < kRounds; ++r) {
+                    g.rmw_u32(slot, [](std::uint32_t v) { return v + 1; });
+                    g.compute(50_us);
+                    if (i % 3 == 0) {
+                        g.migrate(static_cast<topo::KernelId>((i + r) % 4));
+                    }
+                    g.yield();
+                }
+            },
+            0);
+    }
+    machine.run();
+    return finish(machine);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
@@ -412,6 +451,10 @@ const std::vector<Scenario>& scenarios() {
          "drops one invalidation; the audit MUST flag the stale PTE",
          /*content_deterministic=*/true, /*expect_violation=*/true,
          &run_inject_lost_invalidate},
+        {"balancer_storm",
+         "aggressive affinity balancer races migrations, faults, and exits",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_balancer_storm},
     };
     return list;
 }
@@ -436,6 +479,7 @@ SweepStats sweep(const Scenario& scenario, const SweepOptions& options) {
         const ScenarioResult first = scenario.run(cfg);
         const ScenarioResult again = scenario.run(cfg);
         ++stats.runs;
+        stats.sim_time += first.vtime;
 
         if (first.replay_hash != again.replay_hash) {
             ++stats.replay_mismatches;

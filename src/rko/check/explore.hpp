@@ -72,6 +72,7 @@ struct SweepStats {
     int violations = 0;         ///< seeds whose invariant verdict was wrong
     int replay_mismatches = 0;  ///< same seed, different replay hash
     int content_mismatches = 0; ///< deterministic scenario, hash varies by seed
+    Nanos sim_time = 0;         ///< summed virtual end time (first run per seed)
     bool ok() const {
         return violations == 0 && replay_mismatches == 0 && content_mismatches == 0;
     }

@@ -476,6 +476,66 @@ void check_locks(api::Machine& m, Report& r) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// balance.* — load-balancer ownership (rko/balance).
+// ---------------------------------------------------------------------------
+
+void check_balance(api::Machine& m, Report& r) {
+    std::map<Tid, topo::KernelId> queued_at;
+    std::map<Tid, topo::KernelId> core_at;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        for (const task::Task* t : m.kernel(k).sched().queued_tasks()) {
+            if (t->kernel != k) {
+                r.fail("balance.queued_foreign",
+                       fmt("k%d runqueue holds tid=%lld whose record belongs to "
+                           "k%d",
+                           k, static_cast<long long>(t->tid), t->kernel));
+            }
+            if (t->state != task::TaskState::kRunnable || t->on_core()) {
+                r.fail("balance.queued_not_runnable",
+                       fmt("k%d runqueue holds tid=%lld in state %s (core=%d)", k,
+                           static_cast<long long>(t->tid),
+                           task_state_name(t->state), t->core));
+            }
+            if (!t->stealable) {
+                r.fail("balance.queued_not_stealable",
+                       fmt("k%d runqueue holds tid=%lld without the stealable "
+                           "stamp (steal bookkeeping out of sync)",
+                           k, static_cast<long long>(t->tid)));
+            }
+            const auto [it, inserted] = queued_at.emplace(t->tid, k);
+            if (!inserted) {
+                r.fail("balance.double_queued",
+                       fmt("tid=%lld queued on k%d AND k%d (a steal left it in "
+                           "two runqueues)",
+                           static_cast<long long>(t->tid), it->second, k));
+            }
+        }
+    }
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        m.kernel(k).for_each_task([&](const task::Task& t) {
+            if (t.balance_target < -1 || t.balance_target >= m.nkernels()) {
+                r.fail("balance.bad_target",
+                       fmt("k%d tid=%lld has balance_target=%d (out of range)", k,
+                           static_cast<long long>(t.tid), t.balance_target));
+            }
+            if (!t.on_core()) return;
+            const auto [it, inserted] = core_at.emplace(t.tid, k);
+            if (!inserted) {
+                r.fail("balance.double_core",
+                       fmt("tid=%lld owns cores on k%d AND k%d",
+                           static_cast<long long>(t.tid), it->second, k));
+            }
+            if (queued_at.contains(t.tid)) {
+                r.fail("balance.queued_and_running",
+                       fmt("tid=%lld owns a core on k%d while queued on k%d",
+                           static_cast<long long>(t.tid), k,
+                           queued_at.at(t.tid)));
+            }
+        });
+    }
+}
+
 } // namespace
 
 std::string Report::to_string() const {
@@ -497,6 +557,7 @@ const Registry& Registry::builtin() {
         r.add({"groups", "IV-A", &check_groups});
         r.add({"msg", "IV-B/V", &check_msg});
         r.add({"locks", "IV", &check_locks});
+        r.add({"balance", "V", &check_balance});
         return r;
     }();
     return registry;

@@ -25,6 +25,12 @@
 //   locks   — nothing holds a simulated lock at quiesce (a held mmap_lock /
 //             dir-shard lock / vma_op_lock with no runnable actor is a
 //             protocol leak, not contention).
+//   balance — load-balancer ownership (rko/balance): every queued task is
+//             runnable, core-less, stamped stealable, and recorded on the
+//             kernel whose runqueue holds it; no tid sits in two runqueues
+//             or owns two cores machine-wide (a stolen/pushed thread is
+//             owned by exactly one scheduler); balance_target is -1 or a
+//             real kernel.
 //
 // Checkers run host-side and never touch the virtual clock, so enabling
 // them cannot perturb simulated timing — the property the race detector

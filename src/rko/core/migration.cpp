@@ -44,7 +44,13 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
         ctx.gpr[i] = static_cast<std::uint64_t>(t.tid) * 31 + i;
     }
     sim::current_actor().sleep_for(k_.costs().copy_cost(sizeof ctx));
-    k_.sched().depart(t);
+    if (t.on_core()) {
+        k_.sched().depart(t);
+    } else {
+        // Stolen while queued: steal_queued() already detached the task from
+        // the runqueue and marked it kMigrating; there is no core to free.
+        RKO_ASSERT(t.state == task::TaskState::kMigrating);
+    }
     const Nanos t1 = k_.engine().now();
     checkpoint_ns_.add(t1 - t0);
     if (tr != nullptr) {
@@ -70,6 +76,7 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
     // --- Source-side cleanup: the origin keeps a shadow for the group;
     // intermediate kernels drop the record entirely.
     ProcessSite& src_site = site;
+    t.balance_target = -1;
     if (k_.id() == t.origin) {
         t.state = task::TaskState::kShadow;
         t.actor = nullptr;
@@ -115,6 +122,10 @@ void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
         t->state = task::TaskState::kNew;
         t->core = -1;
         t->wake_pending = false;
+        t->stealable = false;
+        t->balance_target = -1;
+        t->arrived = k_.engine().now();
+        t->fault_from.fill(0);
         t->actor = k_.resolve_actor(req.tid);
         k_.site(req.pid).local_tasks()[req.tid] = t;
     } else {

@@ -165,6 +165,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             out.zero_fill = true;
             out.data_included = false;
             out.upgrade = false;
+            out.source = static_cast<std::uint8_t>(requester);
             return out.status;
         }
 
@@ -189,6 +190,10 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
         out.zero_fill = false;
         out.upgrade = false;
         out.data_included = false;
+        // Affinity attribution default: the requester itself (upgrade /
+        // zero-fill outcomes); the fetch/invalidate branches overwrite it
+        // with whichever kernel actually supplied the bytes.
+        out.source = static_cast<std::uint8_t>(requester);
         PageDirEntry updated = snapshot;
 
         if (!take_exclusive) {
@@ -201,6 +206,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 // Copy from the most convenient sharer.
                 if (snapshot.holds(k_.id())) {
                     RKO_ASSERT(local_fetch(site, page, false, out.data.data()));
+                    out.source = static_cast<std::uint8_t>(k_.id());
                 } else {
                     const auto source = static_cast<topo::KernelId>(
                         std::countr_zero(snapshot.sharers));
@@ -212,6 +218,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     const auto& fetched = reply->payload_as<PageFetchResp>();
                     RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-transaction");
                     out.data = fetched.data;
+                    out.source = static_cast<std::uint8_t>(source);
                 }
                 out.data_included = true;
                 updated.sharers = snapshot.sharers | (1u << requester);
@@ -230,6 +237,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     out.data = fetched.data;
                 }
                 out.data_included = true;
+                out.source = static_cast<std::uint8_t>(snapshot.owner);
                 updated.state = PageDirEntry::State::kShared;
                 updated.sharers = (1u << snapshot.owner) | (1u << requester);
                 updated.owner = -1;
@@ -251,6 +259,9 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     bool included = false;
                     const bool had = local_invalidate(site, page, !have_data,
                                                       out.data.data(), &included);
+                    if (had && included && !have_data) {
+                        out.source = static_cast<std::uint8_t>(holder);
+                    }
                     have_data |= (had && included);
                 } else {
                     auto reply = k_.node().rpc(
@@ -260,12 +271,14 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     const auto& inv = reply->payload_as<PageInvalidateResp>();
                     if (inv.had_page && inv.data_included) {
                         out.data = inv.data;
+                        out.source = static_cast<std::uint8_t>(holder);
                         have_data = true;
                     }
                 }
             }
             if (requester_holds) {
                 out.upgrade = true;
+                out.source = static_cast<std::uint8_t>(requester);
             } else if (have_data) {
                 out.data_included = true;
             } else {
@@ -382,7 +395,13 @@ bool PageOwner::install_locally(ProcessSite& site, const mem::Vma& vma,
 }
 
 mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
-                                         mem::Vaddr page, std::uint32_t access) {
+                                         mem::Vaddr page, std::uint32_t access,
+                                         task::Task* t) {
+    const auto attribute = [t](const PageFaultResp& r) {
+        if (t == nullptr) return;
+        const auto src = static_cast<std::size_t>(r.source);
+        if (src < t->fault_from.size()) ++t->fault_from[src];
+    };
     PageFaultResp resp{};
     if (site.is_origin()) {
         local_faults_.inc();
@@ -393,6 +412,7 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
         if (status == FaultStatus::kRetry) return mem::Mmu::FaultResult::kFixed;
         const bool installed = install_locally(site, vma, page, access, resp);
         commit_install(site, page, k_.id(), installed);
+        if (installed) attribute(resp);
         return mem::Mmu::FaultResult::kFixed;
     }
 
@@ -408,6 +428,7 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
     if (fault_resp.status == FaultStatus::kSegv) return mem::Mmu::FaultResult::kSegv;
     if (fault_resp.status == FaultStatus::kRetry) return mem::Mmu::FaultResult::kFixed;
     const bool installed = install_locally(site, vma, page, access, fault_resp);
+    if (installed) attribute(fault_resp);
     // Third leg: let the directory commit (or roll back) and release busy.
     k_.node().send(site.origin(),
                    msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,

@@ -48,8 +48,12 @@ public:
 
     /// Fault entry after VMA validation: obtain `access` rights to `page`
     /// for this kernel and map it locally. Runs on the faulting task.
+    /// When `t` is given, the fault is attributed to the kernel that
+    /// supplied the bytes (Task::fault_from) for the balancer's affinity
+    /// policy.
     mem::Mmu::FaultResult acquire(ProcessSite& site, const mem::Vma& vma,
-                                  mem::Vaddr page, std::uint32_t access);
+                                  mem::Vaddr page, std::uint32_t access,
+                                  task::Task* t = nullptr);
 
     /// Ensures this (origin) kernel holds a readable copy of `page` —
     /// used by the distributed futex to peek at user words. Returns the

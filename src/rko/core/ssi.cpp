@@ -1,5 +1,7 @@
 #include "rko/core/ssi.hpp"
 
+#include <algorithm>
+
 #include "rko/kernel/kernel.hpp"
 
 namespace rko::core {
@@ -11,6 +13,61 @@ void Ssi::install() {
     k_.node().register_handler(
         msg::MsgType::kLoadReport, msg::HandlerClass::kInline,
         [this](msg::Node& node, msg::MessagePtr m) { on_task_list(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kLoadGossip, msg::HandlerClass::kInline,
+        [this](msg::Node& node, msg::MessagePtr m) { on_load_gossip(node, std::move(m)); });
+}
+
+void Ssi::note_load(topo::KernelId kernel, std::uint32_t ntasks,
+                    std::uint32_t nrunnable, std::uint32_t idle_cores, Nanos stamp) {
+    RKO_ASSERT(kernel >= 0 && kernel < topo::kMaxKernels);
+    LoadEntry& e = table_[static_cast<std::size_t>(kernel)];
+    if (stamp < e.stamp) return; // stale row racing a newer one: drop it
+    e.ntasks = ntasks;
+    e.nrunnable = nrunnable;
+    e.idle_cores = idle_cores;
+    e.stamp = stamp;
+}
+
+void Ssi::on_load_gossip(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& g = m->payload_as<LoadGossipMsg>();
+    note_load(g.sender, g.ntasks, g.nrunnable, g.idle_cores, g.stamp);
+    if (gossip_hook_) gossip_hook_();
+}
+
+bool Ssi::table_fresh(Nanos now, Nanos max_age) const {
+    for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
+        if (peer == k_.id()) continue;
+        const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
+        if (e.stamp < 0 || now - e.stamp > max_age) return false;
+    }
+    return true;
+}
+
+Nanos Ssi::table_age(Nanos now) const {
+    Nanos oldest = 0;
+    for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
+        if (peer == k_.id()) continue;
+        const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
+        if (e.stamp < 0) return -1;
+        oldest = std::max(oldest, now - e.stamp);
+    }
+    return oldest;
+}
+
+std::vector<KernelLoad> Ssi::table_snapshot() const {
+    // Same ordering as load_snapshot() (self first, then ascending peers)
+    // so the rotor tie-break walks an identically shaped vector.
+    std::vector<KernelLoad> loads;
+    const CensusResp mine = local_census(0);
+    loads.push_back(KernelLoad{k_.id(), mine.ntasks, mine.nrunnable, mine.idle_cores});
+    for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
+        if (peer == k_.id()) continue;
+        const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
+        loads.push_back(KernelLoad{peer, e.ntasks, e.nrunnable, e.idle_cores});
+    }
+    return loads;
 }
 
 CensusResp Ssi::local_census(Pid pid) const {
@@ -58,16 +115,22 @@ std::vector<KernelLoad> Ssi::load_snapshot() {
     request.set_payload(CensusReq{0});
     const auto peers = k_.fabric().peers_of(k_.id());
     auto replies = k_.node().rpc_all(peers, request);
+    const Nanos now = k_.engine().now();
     for (std::size_t i = 0; i < peers.size(); ++i) {
         const auto& resp = replies[i]->payload_as<CensusResp>();
         loads.push_back(KernelLoad{peers[i], resp.ntasks, resp.nrunnable,
                                    resp.idle_cores});
+        // A census reply is at least as fresh as any gossip row; re-stamp
+        // the table so the next least_loaded_kernel() can skip the RPC.
+        note_load(peers[i], resp.ntasks, resp.nrunnable, resp.idle_cores, now);
     }
     return loads;
 }
 
 topo::KernelId Ssi::least_loaded_kernel() {
-    const auto loads = load_snapshot();
+    const bool fresh = balance_period_ > 0 &&
+                       table_fresh(k_.engine().now(), balance_period_);
+    const auto loads = fresh ? table_snapshot() : load_snapshot();
     // Rotate the scan start so simultaneous queries spread over equally
     // idle kernels instead of herding onto the lowest id.
     const std::size_t start = rotor_++ % loads.size();

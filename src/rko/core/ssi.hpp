@@ -2,7 +2,9 @@
 // task namespace and one load picture to software that asks.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rko/core/wire.hpp"
@@ -22,11 +24,20 @@ struct KernelLoad {
     std::uint32_t idle_cores;
 };
 
+/// One row of the age-stamped, eventually consistent load table fed by
+/// kLoadGossip broadcasts (and refreshed as a side effect of census RPCs).
+struct LoadEntry {
+    std::uint32_t ntasks = 0;
+    std::uint32_t nrunnable = 0;
+    std::uint32_t idle_cores = 0;
+    Nanos stamp = -1; ///< sender's virtual time at emission; -1 = never heard
+};
+
 class Ssi {
 public:
     explicit Ssi(kernel::Kernel& k) : k_(k) {}
 
-    /// Registers kTaskCensus (inline).
+    /// Registers kTaskCensus / kLoadReport / kLoadGossip (all inline).
     void install();
 
     /// Machine-wide task count for `pid` (0 = everything), gathered with a
@@ -37,8 +48,36 @@ public:
     std::vector<KernelLoad> load_snapshot();
 
     /// The kernel with the most idle cores (rotating tie-break); the simple
-    /// migration policy bench_rebalance exercises.
+    /// migration policy bench_rebalance exercises. When the balancer is
+    /// running (balance_period set) and every peer's table entry is younger
+    /// than one balance period, the answer comes from the gossip table with
+    /// no messaging; otherwise it falls back to a census broadcast, which
+    /// also re-stamps the table.
     topo::KernelId least_loaded_kernel();
+
+    /// Folds one gossip row (or self-report) into the load table, keeping
+    /// the newest stamp per kernel. No lock: the table is only mutated in
+    /// non-awaiting sections of the cooperative simulation.
+    void note_load(topo::KernelId kernel, std::uint32_t ntasks,
+                   std::uint32_t nrunnable, std::uint32_t idle_cores, Nanos stamp);
+
+    /// Enables the freshness-gated table path of least_loaded_kernel();
+    /// called by the balancer when it boots. 0 = disabled (default), which
+    /// keeps the pre-balancer broadcast behavior bit-identical.
+    void set_balance_period(Nanos period) { balance_period_ = period; }
+    Nanos balance_period() const { return balance_period_; }
+
+    const LoadEntry& table_entry(topo::KernelId kernel) const {
+        return table_[static_cast<std::size_t>(kernel)];
+    }
+
+    /// Invoked (on the dispatcher) after each kLoadGossip lands; the
+    /// balancer uses it as a doorbell to re-arm its parked tick loop.
+    void set_gossip_hook(std::function<void()> hook) { gossip_hook_ = std::move(hook); }
+
+    /// Age of the stalest peer row at `now`; -1 if some peer was never
+    /// heard from. Feeds the balancer's census-staleness histogram.
+    Nanos table_age(Nanos now) const;
 
     /// Machine-wide task listing ("ps"): live tasks of `pid` (0 = all),
     /// gathered from every kernel. Shadows and exited records are skipped —
@@ -48,11 +87,20 @@ public:
 private:
     void on_census(msg::Node& node, msg::MessagePtr m);
     void on_task_list(msg::Node& node, msg::MessagePtr m);
+    void on_load_gossip(msg::Node& node, msg::MessagePtr m);
     CensusResp local_census(Pid pid) const;
     TaskListResp local_task_list(Pid pid) const;
+    /// True when every peer row is younger than `max_age` at `now`.
+    bool table_fresh(Nanos now, Nanos max_age) const;
+    /// Table view in the same order load_snapshot() produces (self first,
+    /// then peers ascending) so the rotor tie-break stays comparable.
+    std::vector<KernelLoad> table_snapshot() const;
 
     kernel::Kernel& k_;
     std::size_t rotor_ = 0; ///< tie-break rotation for least_loaded_kernel
+    Nanos balance_period_ = 0;
+    std::function<void()> gossip_hook_;
+    std::array<LoadEntry, static_cast<std::size_t>(topo::kMaxKernels)> table_{};
 };
 
 } // namespace rko::core

@@ -38,6 +38,7 @@ task::Task& ThreadGroups::instantiate_local(Pid pid, Tid tid, topo::KernelId ori
     t->state = task::TaskState::kNew;
     t->actor = k_.resolve_actor(tid);
     t->name = name;
+    t->arrived = sim::current_engine() != nullptr ? k_.engine().now() : 0;
     task::Task& ref = k_.add_task(std::move(t));
     site.local_tasks()[tid] = &ref;
     return ref;

@@ -68,8 +68,17 @@ struct PageFaultResp {
     bool data_included; ///< payload carries the page bytes
     bool zero_fill;     ///< first touch: requester allocates a zero page
     bool upgrade;       ///< requester already holds current bytes; flip to RW
+    /// Kernel that supplied (or already held) the bytes; feeds the per-thread
+    /// fault-affinity counters the balancer's affinity policy reads. Occupies
+    /// what was a padding byte, so the wire size (and thus every modeled copy
+    /// cost) is unchanged.
+    std::uint8_t source;
     std::array<std::byte, mem::kPageSize> data;
 };
+
+static_assert(sizeof(PageFaultResp) == 8 + mem::kPageSize,
+              "PageFaultResp must keep its pre-`source` wire size: copy costs "
+              "are charged per byte and golden baselines depend on them");
 
 struct PageFetchReq {
     Pid pid;
@@ -191,6 +200,32 @@ struct CensusResp {
     std::uint32_t ntasks;
     std::uint32_t nrunnable;
     std::uint32_t idle_cores;
+};
+
+// --- Load balancing (kLoadGossip / kSteal) ---------------------------------
+
+/// Periodic one-way load broadcast from a balancer tick. Receivers fold it
+/// into the age-stamped census table in core::Ssi.
+struct LoadGossipMsg {
+    topo::KernelId sender;
+    std::uint32_t ntasks;     ///< live tasks (excludes shadows/exited)
+    std::uint32_t nrunnable;  ///< run-queue depth + running
+    std::uint32_t idle_cores;
+    Nanos stamp;              ///< sender's virtual time at emission
+};
+
+/// Thief -> victim: hand me one queued (never running) thread. The victim's
+/// leaf handler detaches a stealable task from its run queue and unparks it;
+/// the task then ships itself over the normal kMigrate path.
+struct StealReq {
+    topo::KernelId thief;
+    Pid pid; ///< 0 = any process
+};
+
+struct StealResp {
+    bool granted;
+    Pid pid;
+    Tid tid;
 };
 
 /// One row of the machine-wide task listing (SSI "ps").

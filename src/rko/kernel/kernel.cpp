@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "rko/balance/balance.hpp"
 #include "rko/core/dfutex.hpp"
 #include "rko/core/migration.hpp"
 #include "rko/core/page_owner.hpp"
@@ -41,6 +42,12 @@ void Kernel::install_services(ActorResolver resolver) {
     groups_->install();
     migration_->install();
     ssi_->install();
+}
+
+void Kernel::install_balancer(const balance::BalanceConfig& config) {
+    RKO_ASSERT(balancer_ == nullptr);
+    balancer_ = std::make_unique<balance::Balancer>(*this, config);
+    balancer_->install();
 }
 
 core::ProcessSite& Kernel::site(Pid pid) {
@@ -171,7 +178,7 @@ mem::Mmu::FaultResult Kernel::handle_fault(task::Task& t, mem::Vaddr va,
     mem::Vma vma;
     if (!vma_->ensure_vma(s, va, &vma)) return mem::Mmu::FaultResult::kSegv;
     if ((vma.prot & access) != access) return mem::Mmu::FaultResult::kSegv;
-    return pages_->acquire(s, vma, mem::page_floor(va), access);
+    return pages_->acquire(s, vma, mem::page_floor(va), access, &t);
 }
 
 } // namespace rko::kernel

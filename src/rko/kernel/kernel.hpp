@@ -37,6 +37,11 @@ class Migration;
 class Ssi;
 } // namespace rko::core
 
+namespace rko::balance {
+class Balancer;
+struct BalanceConfig;
+} // namespace rko::balance
+
 namespace rko::kernel {
 
 class Kernel {
@@ -56,6 +61,14 @@ public:
 
     /// Registers all message handlers. Must run before Fabric::start_all().
     void install_services(ActorResolver resolver);
+
+    /// Creates and installs this kernel's load balancer (registers kSteal).
+    /// Must run after install_services and before Fabric::start_all(); the
+    /// tick actor itself is booted separately with Balancer::start(). Only
+    /// called when the machine's balance policy is not kNone, so none-policy
+    /// runs carry zero balancer state.
+    void install_balancer(const balance::BalanceConfig& config);
+    balance::Balancer* balancer() { return balancer_.get(); }
 
     // --- Accessors ---
     topo::KernelId id() const { return id_; }
@@ -100,6 +113,12 @@ public:
     /// Visits every task record on this kernel (SSI listings).
     void for_each_task(const std::function<void(const task::Task&)>& fn) const {
         for (const auto& [tid, t] : tasks_) fn(*t);
+    }
+
+    /// Mutable task visit (the balancer's affinity scan and fault-counter
+    /// decay). Same deterministic tid order as for_each_task.
+    void for_each_task_mut(const std::function<void(task::Task&)>& fn) {
+        for (auto& [tid, t] : tasks_) fn(*t);
     }
 
     /// Visits every process site on this kernel (invariant checkers).
@@ -156,6 +175,7 @@ private:
     std::unique_ptr<core::ThreadGroups> groups_;
     std::unique_ptr<core::Migration> migration_;
     std::unique_ptr<core::Ssi> ssi_;
+    std::unique_ptr<balance::Balancer> balancer_; ///< null when policy kNone
 };
 
 } // namespace rko::kernel

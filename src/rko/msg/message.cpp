@@ -25,6 +25,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kFutexCancel: return "futex_cancel";
     case MsgType::kTaskCensus: return "task_census";
     case MsgType::kLoadReport: return "load_report";
+    case MsgType::kLoadGossip: return "load_gossip";
+    case MsgType::kSteal: return "steal";
     case MsgType::kCount: break;
     }
     return "unknown";

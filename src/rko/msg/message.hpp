@@ -48,6 +48,9 @@ enum class MsgType : std::uint16_t {
     // Single-system image (core/ssi)
     kTaskCensus,        ///< enumerate tasks on this kernel (nb)
     kLoadReport,        ///< periodic load exchange for migration policy (nb)
+    // Load balancing (balance/)
+    kLoadGossip,        ///< one-way balancer load broadcast (nb)
+    kSteal,             ///< thief asks victim to surrender a queued thread (leaf)
     kCount
 };
 

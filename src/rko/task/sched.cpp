@@ -60,6 +60,7 @@ void Scheduler::release_core(Task& t) {
 void Scheduler::acquire(Task& t) {
     RKO_ASSERT(t.actor == &engine_.current());
     const Nanos enter = engine_.now();
+    if (enqueue_hook_) enqueue_hook_();
     rq_lock_.lock();
     if (!idle_.empty()) {
         const topo::CoreId core = idle_.back();
@@ -75,11 +76,40 @@ void Scheduler::acquire(Task& t) {
         return;
     }
     t.state = TaskState::kRunnable;
+    t.stealable = true;
     runq_.push_back(&t);
     rq_lock_.unlock();
-    while (!t.on_core()) t.actor->park();
+    // A steal flips the state to kMigrating and unparks us without a core;
+    // in that case acquire returns core-less and the caller ships the task.
+    while (!t.on_core() && t.state == TaskState::kRunnable) t.actor->park();
+    t.stealable = false;
+    if (!t.on_core()) {
+        RKO_ASSERT(t.state == TaskState::kMigrating);
+        finish_acquire(enter);
+        return;
+    }
     t.state = TaskState::kRunning;
     finish_acquire(enter);
+}
+
+Task* Scheduler::steal_queued(Pid pid, topo::KernelId target,
+                              const std::function<bool(const Task&)>& filter) {
+    rq_lock_.lock();
+    for (auto it = runq_.begin(); it != runq_.end(); ++it) {
+        Task* t = *it;
+        if (!t->stealable) continue;
+        if (pid != 0 && t->pid != pid) continue;
+        if (filter && !filter(*t)) continue;
+        runq_.erase(it);
+        t->stealable = false;
+        t->state = TaskState::kMigrating;
+        t->balance_target = target;
+        rq_lock_.unlock();
+        if (t->actor != nullptr) t->actor->unpark(costs_.sched_enqueue);
+        return t;
+    }
+    rq_lock_.unlock();
+    return nullptr;
 }
 
 void Scheduler::finish_acquire(Nanos enter) {
@@ -154,6 +184,7 @@ bool Scheduler::block_and_wait_for(Task& t, Nanos timeout) {
 }
 
 void Scheduler::wake(Task& t) {
+    if (enqueue_hook_ && t.state == TaskState::kBlocked) enqueue_hook_();
     rq_lock_.lock();
     switch (t.state) {
     case TaskState::kBlocked: {

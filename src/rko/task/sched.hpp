@@ -17,6 +17,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "rko/base/stats.hpp"
@@ -37,8 +38,26 @@ public:
               trace::MetricsRegistry* metrics = nullptr);
 
     /// Takes a core for `t`, queueing and parking until one frees up.
-    /// Called on the task's own actor.
+    /// Called on the task's own actor. While queued the task is *stealable*:
+    /// steal_queued() may detach it, in which case acquire returns with the
+    /// task core-less in state kMigrating and `balance_target` naming the
+    /// kernel it should ship itself to (the api layer runs the migration).
     void acquire(Task& t);
+
+    /// Detaches one queued-but-never-run task (pid 0 = any process) for
+    /// migration to `target`. Only tasks parked inside acquire() qualify —
+    /// a task that already owns or owned a core here is never grabbed
+    /// mid-flight — and `filter` (when set) must approve the candidate
+    /// (the balancer's hysteresis). Returns the task (now kMigrating,
+    /// unparked) or null. Callable from any actor, including leaf message
+    /// handlers.
+    Task* steal_queued(Pid pid, topo::KernelId target,
+                       const std::function<bool(const Task&)>& filter = {});
+
+    /// Invoked (outside the runqueue lock) whenever a task arrives on this
+    /// scheduler — acquire entry or a blocked->runnable wake. The balancer
+    /// uses it as a doorbell to re-arm its parked tick loop.
+    void set_enqueue_hook(std::function<void()> hook) { enqueue_hook_ = std::move(hook); }
 
     /// Releases the core and parks until wake(t). If wake() already raced
     /// ahead (wake_pending), returns immediately without parking.
@@ -70,6 +89,11 @@ public:
     int ncores() const { return static_cast<int>(ncores_); }
     int idle_cores() const { return static_cast<int>(idle_.size()); }
     std::size_t runnable() const { return runq_.size(); }
+    /// Runnable + running: the load figure the balancer gossips.
+    std::size_t load() const { return runq_.size() + (ncores_ - idle_.size()); }
+    /// Host-side view of the queue for the cross-kernel invariant checkers
+    /// (read at quiesce only; never from guest code).
+    const std::deque<Task*>& queued_tasks() const { return runq_; }
     std::uint64_t context_switches() const { return switches_; }
     /// Queueing time on the runqueue lock (an SMP contention point).
     Nanos rq_lock_wait() const { return rq_lock_.wait_time(); }
@@ -95,6 +119,7 @@ private:
     std::uint64_t switches_ = 0;
     trace::Counter* switch_ctr_ = nullptr;
     base::Histogram* acquire_wait_ = nullptr;
+    std::function<void()> enqueue_hook_;
 };
 
 } // namespace rko::task

@@ -64,6 +64,22 @@ struct Task {
     int exit_status = 0;
     std::string name;
 
+    // --- load balancing (balance/) ---
+    /// Where the balancer wants this thread to run next; -1 = stay put.
+    /// Written under the scheduler's run-queue lock or by the local balancer,
+    /// consumed at the thread's next preemption checkpoint (api layer).
+    topo::KernelId balance_target = -1;
+    /// True only while the task is parked inside Scheduler::acquire waiting
+    /// for a core — the one state in which steal_queued() may detach it.
+    bool stealable = false;
+    /// Virtual time this record was (re)activated on this kernel; the
+    /// balancer's min-residency hysteresis reads it.
+    Nanos arrived = 0;
+    /// Remote-fault attribution: faults serviced with bytes held by each
+    /// kernel since the balancer last decayed the counters. Indexed by
+    /// KernelId; feeds the affinity policy.
+    std::array<std::uint32_t, topo::kMaxKernels> fault_from{};
+
     bool on_core() const { return core >= 0; }
 };
 

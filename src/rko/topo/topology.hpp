@@ -19,6 +19,11 @@ namespace rko::topo {
 using CoreId = int;
 using KernelId = int;
 
+/// Upper bound on kernels per machine — the page directory and group
+/// replica masks are 32-bit kernel bitmasks, and fixed-size per-kernel
+/// arrays (e.g. Task::fault_from) are sized by it.
+constexpr int kMaxKernels = 32;
+
 /// Every virtual-time constant in one place. Units: ns unless noted.
 struct CostModel {
     // --- CPU / kernel entry ---

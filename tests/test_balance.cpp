@@ -1,0 +1,181 @@
+// rko/balance: autonomous distributed load balancing.
+//
+// Behavioural coverage: threshold-push drains an overloaded kernel,
+// idle-steal converges a skewed burst to near-SMP makespan, affinity chases
+// a thread's page-owner kernel, hysteresis bounds balancer moves on a
+// two-kernel tug-of-war, and same-seed runs are bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+
+#include "rko/api/machine.hpp"
+#include "rko/core/page_owner.hpp"
+
+namespace rko::api {
+namespace {
+
+using namespace rko::time_literals;
+using mem::kPageSize;
+using mem::Vaddr;
+
+MachineConfig balance_config(int ncores, int nkernels, balance::Policy policy) {
+    MachineConfig config;
+    config.ncores = ncores;
+    config.nkernels = nkernels;
+    config.frames_per_kernel = 4096;
+    config.balance.policy = policy;
+    config.balance.period = 20_us;
+    config.balance.min_residency = 50_us;
+    config.balance.migration_budget = 4;
+    return config;
+}
+
+std::uint64_t counter_value(trace::MetricsRegistry& m, std::string_view name) {
+    const trace::Counter* c = m.find_counter(name);
+    return c == nullptr ? 0 : c->value;
+}
+
+struct BurstResult {
+    Nanos makespan = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t steals = 0;
+};
+
+/// The skewed burst: every thread spawns on kernel 0 and computes, with no
+/// guest-side placement calls at all — any spreading is the balancer's.
+BurstResult run_skewed_burst(MachineConfig config, int nthreads = 12) {
+    Machine machine(config);
+    auto& process = machine.create_process(0);
+    for (int i = 0; i < nthreads; ++i) {
+        process.spawn([](Guest& g) { g.compute(1_ms); }, 0);
+    }
+    machine.run();
+    process.check_all_joined();
+    BurstResult r;
+    r.makespan = machine.now();
+    r.messages = machine.total_messages();
+    r.bytes = machine.total_message_bytes();
+    auto metrics = machine.collect_metrics();
+    r.pushes = counter_value(metrics, "balance.pushes");
+    r.steals = counter_value(metrics, "balance.steals");
+    return r;
+}
+
+TEST(Balance, ThresholdPushDrainsOverloadedKernel) {
+    const BurstResult stay =
+        run_skewed_burst(balance_config(8, 4, balance::Policy::kNone));
+    const BurstResult push =
+        run_skewed_burst(balance_config(8, 4, balance::Policy::kThresholdPush));
+    EXPECT_GE(push.pushes, 1u);
+    // 12 threads on k0's 2 cores serialize to ~6 ms; pushing queued threads
+    // to the 6 idle cores elsewhere must recover most of that.
+    EXPECT_LT(push.makespan, stay.makespan * 6 / 10);
+}
+
+TEST(Balance, IdleStealConvergesSkewedBurst) {
+    const BurstResult stay =
+        run_skewed_burst(balance_config(8, 4, balance::Policy::kNone));
+    const BurstResult smp =
+        run_skewed_burst(balance_config(8, 1, balance::Policy::kNone));
+    const BurstResult steal =
+        run_skewed_burst(balance_config(8, 4, balance::Policy::kIdleSteal));
+    EXPECT_GE(steal.steals, 1u);
+    EXPECT_LT(steal.makespan, stay.makespan);
+    // The subsystem's headline claim: autonomous stealing lands within 1.25x
+    // of the SMP machine that shares one runqueue across all 8 cores.
+    EXPECT_LE(steal.makespan, smp.makespan * 5 / 4);
+}
+
+TEST(Balance, AffinityFollowsPageOwnerKernel) {
+    MachineConfig config = balance_config(4, 2, balance::Policy::kAffinity);
+    config.balance.period = 100_us;
+    config.balance.affinity_min_faults = 2;
+    Machine machine(config);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    topo::KernelId reader_end = -1;
+    // The working set lives on k1: a writer there keeps re-dirtying the
+    // page, invalidating the k0 reader's replica so every read faults and
+    // attributes to k1 (PageFaultResp::source).
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(kPageSize);
+            g.write<std::uint32_t>(buf, 1);
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int i = 0; i < 40; ++i) {
+                g.write<std::uint32_t>(buf, static_cast<std::uint32_t>(i));
+                g.compute(20_us);
+            }
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int i = 0; i < 40; ++i) {
+                (void)g.read<std::uint32_t>(buf);
+                g.compute(20_us);
+            }
+            reader_end = g.kernel();
+        },
+        0);
+    machine.run();
+    process.check_all_joined();
+    auto metrics = machine.collect_metrics();
+    EXPECT_GE(counter_value(metrics, "balance.hints"), 1u);
+    EXPECT_GE(counter_value(metrics, "balance.hint_migrations"), 1u);
+    EXPECT_EQ(reader_end, 1);
+}
+
+TEST(Balance, HysteresisBoundsTugOfWar) {
+    // Two single-core kernels, six threads dumped on k0, and the most
+    // trigger-happy push config possible (push on any queued thread, 10 us
+    // ticks). As k1 drains it re-advertises its idle core, and its own
+    // queue can try to push back — residency + a budget of one balancer
+    // move per thread per kernel must keep total moves bounded instead of
+    // letting threads ping-pong between the two kernels.
+    constexpr int kThreads = 6;
+    MachineConfig config = balance_config(2, 2, balance::Policy::kThresholdPush);
+    config.balance.period = 10_us;
+    config.balance.push_threshold = 0;
+    config.balance.min_residency = 100_us;
+    config.balance.migration_budget = 1;
+    Machine machine(config);
+    auto& process = machine.create_process(0);
+    for (int i = 0; i < kThreads; ++i) {
+        process.spawn([](Guest& g) { g.compute(500_us); }, 0);
+    }
+    machine.run();
+    process.check_all_joined();
+    auto metrics = machine.collect_metrics();
+    const std::uint64_t pushes = counter_value(metrics, "balance.pushes");
+    EXPECT_GE(pushes, 1u);
+    // budget(1) x kernels(2) x threads(6) is the hysteresis ceiling.
+    EXPECT_LE(pushes, 12u);
+    // The balancers kept evaluating the whole time; they just declined.
+    EXPECT_GE(counter_value(metrics, "balance.ticks"), 50u);
+}
+
+TEST(Balance, SameSeedRunsBitIdentical) {
+    auto run_once = [] {
+        MachineConfig config = balance_config(8, 4, balance::Policy::kIdleSteal);
+        config.shuffle_ties = true;
+        config.seed = 7;
+        return run_skewed_burst(config);
+    };
+    const BurstResult a = run_once();
+    const BurstResult b = run_once();
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.steals, b.steals);
+}
+
+} // namespace
+} // namespace rko::api

@@ -57,7 +57,7 @@ TEST(Check, GateToggles) {
 
 TEST(Check, RegistryListsEveryFamily) {
     const auto& invariants = check::Registry::builtin().invariants();
-    ASSERT_EQ(invariants.size(), 5u);
+    ASSERT_EQ(invariants.size(), 6u);
     std::vector<std::string> names;
     for (const auto& inv : invariants) names.emplace_back(inv.name);
     EXPECT_NE(std::find(names.begin(), names.end(), "pages"), names.end());
@@ -65,6 +65,7 @@ TEST(Check, RegistryListsEveryFamily) {
     EXPECT_NE(std::find(names.begin(), names.end(), "groups"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "msg"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "locks"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "balance"), names.end());
     for (const auto& inv : invariants) EXPECT_STRNE(inv.paper_ref, "");
 }
 

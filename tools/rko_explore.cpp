@@ -79,14 +79,18 @@ int main(int argc, char** argv) {
 
     bool all_ok = true;
     int total_runs = 0;
+    long long total_sim_ns = 0;
     for (const auto& s : rko::check::scenarios()) {
         if (scenario_name != "all" && scenario_name != s.name) continue;
         total_runs += options.seeds;
         const rko::check::SweepStats stats = rko::check::sweep(s, options);
-        std::printf("%-24s seeds=%d violations=%d replay_mismatches=%d "
-                    "content_mismatches=%d %s\n",
-                    s.name, stats.runs, stats.violations, stats.replay_mismatches,
-                    stats.content_mismatches, stats.ok() ? "OK" : "FAIL");
+        total_sim_ns += static_cast<long long>(stats.sim_time);
+        std::printf("%-24s seeds=%d sim_time=%.3fms violations=%d "
+                    "replay_mismatches=%d content_mismatches=%d %s\n",
+                    s.name, stats.runs,
+                    static_cast<double>(stats.sim_time) / 1e6, stats.violations,
+                    stats.replay_mismatches, stats.content_mismatches,
+                    stats.ok() ? "OK" : "FAIL");
         std::fflush(stdout);
         all_ok = all_ok && stats.ok();
     }
@@ -95,7 +99,8 @@ int main(int argc, char** argv) {
         list_scenarios();
         return 2;
     }
-    std::printf("rko_explore: %s (%d seed-runs x2 replays)\n",
-                all_ok ? "all clear" : "FAILURES ABOVE", total_runs);
+    std::printf("rko_explore: %s (%d seed-runs x2 replays, %.3fms simulated)\n",
+                all_ok ? "all clear" : "FAILURES ABOVE", total_runs,
+                static_cast<double>(total_sim_ns) / 1e6);
     return all_ok ? 0 : 1;
 }
