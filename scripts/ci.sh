@@ -8,6 +8,9 @@
 #   4. explore:  200-seed schedule-exploration sweep over every scenario
 #                with invariant audits armed (RKO_CHECK=1); failures print
 #                the offending seed and its repro line
+#   5. bench:    quick page-fault bench vs the committed baseline — virtual
+#                time is exactly reproducible, so any >10% drift in a key
+#                protocol latency is a real regression (bench_compare.py)
 #
 # Usage: scripts/ci.sh [--quick]   (--quick: 25 explore seeds, skip sanitizers)
 set -e
@@ -26,25 +29,34 @@ fail() {
   exit 1
 }
 
-echo "=== ci.sh stage 1/4: tier-1 build + tests ==="
+echo "=== ci.sh stage 1/5: tier-1 build + tests ==="
 cmake -B build -S . >/dev/null || fail tier-1 "cmake -B build -S ."
 cmake --build build -j "$JOBS" || fail tier-1 "cmake --build build -j"
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   || fail tier-1 "ctest --test-dir build --output-on-failure"
 
-echo "=== ci.sh stage 2/4: lint ==="
+echo "=== ci.sh stage 2/5: lint ==="
 scripts/lint.sh || fail lint "scripts/lint.sh"
 
 if [ "$QUICK" = 1 ]; then
-  echo "=== ci.sh stage 3/4: sanitizers skipped (--quick) ==="
+  echo "=== ci.sh stage 3/5: sanitizers skipped (--quick) ==="
 else
-  echo "=== ci.sh stage 3/4: ASan+UBSan and TSan ==="
+  echo "=== ci.sh stage 3/5: ASan+UBSan and TSan ==="
   scripts/check.sh || fail sanitizers "scripts/check.sh"
 fi
 
-echo "=== ci.sh stage 4/4: ${EXPLORE_SEEDS}-seed schedule exploration ==="
+echo "=== ci.sh stage 4/5: ${EXPLORE_SEEDS}-seed schedule exploration ==="
 RKO_CHECK=1 ./build/tools/rko_explore --seeds "$EXPLORE_SEEDS" \
   || fail explore "RKO_CHECK=1 ./build/tools/rko_explore --seeds $EXPLORE_SEEDS"
+
+echo "=== ci.sh stage 5/5: bench regression gate ==="
+mkdir -p build/bench_out
+./build/bench/bench_pagefault --quick \
+    --json=build/bench_out/bench_pagefault_quick.json >/dev/null \
+  || fail bench "./build/bench/bench_pagefault --quick --json=..."
+scripts/bench_compare.py bench/baselines/bench_pagefault_quick.json \
+    build/bench_out/bench_pagefault_quick.json \
+  || fail bench "scripts/bench_compare.py bench/baselines/bench_pagefault_quick.json build/bench_out/bench_pagefault_quick.json"
 
 echo ""
 echo "ci.sh: all stages green"

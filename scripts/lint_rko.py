@@ -20,6 +20,10 @@ a few idiom rules:
   lock-across-await  a SpinLock .lock() with an rpc/sleep/wait before the
                    matching .unlock(): shard locks must never be held
                    across awaits (the busy-bit pattern exists for that)
+  serial-fanout    a .rpc(/.rpc_all( inside a loop over a holder mask in
+                   src/rko/core/ — per-victim round trips serialize what
+                   the fabric can do concurrently; batch the posts into
+                   one rpc_scatter (or a ranged invalidate) instead
 
 Suppress a finding with a trailing comment:  // rko-lint: allow(<rule>)
 
@@ -74,6 +78,13 @@ AWAIT = re.compile(r"(\.rpc\(|\brpc_all\(|\.rpc_all\(|sleep_for\(|"
 LOCK_ACQUIRE = re.compile(r"([A-Za-z_][\w.\->\[\]]*lock)\s*\.\s*lock\s*\(\s*\)")
 LOCK_RELEASE = re.compile(r"([A-Za-z_][\w.\->\[\]]*lock)\s*\.\s*unlock\s*\(\s*\)")
 
+# A loop header that walks a holder mask (the two idioms used by the
+# ownership protocol: clear-lowest-set-bit iteration, or any loop seeded
+# from holder_mask()). An .rpc( issued inside one is a serial fan-out.
+SERIAL_FANOUT_LOOP = re.compile(
+    r"\b(for|while)\s*\(.*(mask\s*&=\s*mask\s*-\s*1|holder_mask\s*\(\s*\))")
+SERIAL_FANOUT_RPC = re.compile(r"\.rpc(_all)?\s*\(")
+
 ALLOW = re.compile(r"rko-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -83,6 +94,10 @@ def in_sim_layer(path):
 
 def in_base_layer(path):
     return f"src{os.sep}rko{os.sep}base{os.sep}" in path
+
+
+def in_core_layer(path):
+    return f"src{os.sep}rko{os.sep}core{os.sep}" in path
 
 
 def strip_comments_keep_allow(line):
@@ -118,6 +133,12 @@ def lint_file(path, findings):
     # Track awaits only in non-sim source (sim primitives implement the
     # waiting itself) and reset at function boundaries (column-0 '}').
     track_awaits = not in_sim_layer(path) and path.endswith(".cpp")
+    # Serial-fanout tracking (core layer only): brace depth plus the body
+    # depths of any open holder-mask loops.
+    track_fanout = in_core_layer(path)
+    depth = 0
+    fanout_loops = []  # (body depth, header line) of open holder-mask loops
+    pending_fanout = None  # header seen, body brace not yet
     for lineno, raw in enumerate(lines, start=1):
         code, allowance = strip_comments_keep_allow(raw)
         if not code.strip():
@@ -128,6 +149,29 @@ def lint_file(path, findings):
                                              "_assert" in code):
                     continue
                 findings.append((path, lineno, rule, message))
+        if track_fanout:
+            if (fanout_loops and SERIAL_FANOUT_RPC.search(code) and
+                    allowance != "serial-fanout"):
+                body_depth, header_line = fanout_loops[-1]
+                findings.append((path, lineno, "serial-fanout",
+                                 f"RPC inside a holder-mask loop (opened at "
+                                 f"line {header_line}): per-victim round "
+                                 f"trips serialize — batch the posts into "
+                                 f"one rpc_scatter"))
+                fanout_loops.clear()  # one report per loop nest
+            if (SERIAL_FANOUT_LOOP.search(code) and
+                    allowance != "serial-fanout"):
+                pending_fanout = lineno
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if pending_fanout is not None:
+                        fanout_loops.append((depth, pending_fanout))
+                        pending_fanout = None
+                elif ch == "}":
+                    depth -= 1
+                    while fanout_loops and fanout_loops[-1][0] > depth:
+                        fanout_loops.pop()
         if not track_awaits:
             continue
         if raw.startswith("}"):

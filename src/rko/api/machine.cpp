@@ -27,6 +27,7 @@ Machine::Machine(MachineConfig config)
     }
     for (auto& k : kernels_) {
         k->pages().set_read_replication(config_.read_replication);
+        k->pages().set_prefetch_window(config_.prefetch_window);
         k->install_services([this](Tid tid) -> sim::Actor* {
             Thread* thread = thread_of(tid);
             return thread == nullptr ? nullptr : thread->actor();
@@ -97,6 +98,10 @@ trace::MetricsRegistry Machine::collect_metrics() {
         msg::Node& node = fabric_->node(k);
         merged.counter("msg.dispatched").inc(node.total_dispatched());
         merged.histogram("msg.delivery_ns").merge(node.delivery_latency());
+        merged.counter("msg.scatter.batches").inc(node.scatter_batches());
+        merged.counter("msg.scatter.posts").inc(node.scatter_posts());
+        merged.histogram("msg.scatter.fanout").merge(node.scatter_fanout());
+        merged.histogram("msg.scatter.wait_ns").merge(node.scatter_wait());
     }
     for (topo::KernelId src = 0; src < config_.nkernels; ++src) {
         for (topo::KernelId dst = 0; dst < config_.nkernels; ++dst) {

@@ -40,6 +40,12 @@ struct MachineConfig {
     /// (the paper's protocol), false = migrate-on-any-fault (no Shared
     /// state; see DESIGN.md §5).
     bool read_replication = true;
+    /// Fault-around prefetch window in pages (DESIGN.md §10). A remote read
+    /// fault from a thread with a detected sequential stride is upgraded to
+    /// a batched transaction covering up to this many pages. <= 1 disables
+    /// the detector entirely: runs are bit-identical to the pre-prefetch
+    /// protocol (no kPageFaultBatch messages exist on the wire).
+    int prefetch_window = 1;
     /// Tracing & metrics; defaults follow the RKO_TRACE environment
     /// variable (see trace::TraceConfig::from_env). Metrics are collected
     /// regardless; `trace.enabled` only gates event recording.

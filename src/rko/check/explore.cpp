@@ -372,6 +372,134 @@ ScenarioResult run_balancer_storm(const ExploreConfig& cfg) {
     return finish(machine);
 }
 
+/// Every round three remote readers replicate an 8-page region and a
+/// writer at the origin then storms through it — each write upgrade fans
+/// its invalidations out to every sharer in one scatter batch. A fourth
+/// thread munmaps and remaps the region's upper half mid-storm so ranged
+/// revocation (kPageInvalidateRange) races the per-page fan-out on the
+/// same directory shards. Readers may legally segfault once the upper
+/// half vanishes, so final content is schedule-dependent; the audits and
+/// per-seed reproducibility are the assertions.
+ScenarioResult run_invalidate_storm(const ExploreConfig& cfg) {
+    constexpr int kPages = 8;
+    constexpr int kRounds = 3;
+    Machine machine(base_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(kPages * kPageSize);
+            for (int p = 0; p < kPages; ++p) {
+                g.write<std::uint64_t>(buf + static_cast<Vaddr>(p) * kPageSize,
+                                       static_cast<std::uint64_t>(p));
+            }
+        },
+        0);
+    for (int r = 0; r < 3; ++r) {
+        process.spawn(
+            [&](Guest& g) {
+                g.join(init);
+                for (int round = 0; round < kRounds; ++round) {
+                    for (int p = 0; p < kPages; ++p) {
+                        (void)g.read<std::uint64_t>(
+                            buf + static_cast<Vaddr>(p) * kPageSize);
+                    }
+                    g.compute(400_ns);
+                }
+            },
+            static_cast<topo::KernelId>(1 + r));
+    }
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int round = 0; round < kRounds; ++round) {
+                for (int p = 0; p < kPages; ++p) {
+                    g.write<std::uint64_t>(
+                        buf + static_cast<Vaddr>(p) * kPageSize,
+                        static_cast<std::uint64_t>(round * kPages + p));
+                }
+                g.compute(600_ns);
+            }
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int c = 0; c < kRounds; ++c) {
+                g.compute(2_us);
+                g.munmap(buf + (kPages / 2) * kPageSize,
+                         (kPages / 2) * kPageSize);
+                g.compute(1_us);
+                g.mmap((kPages / 2) * kPageSize); // often reuses the gap
+            }
+        },
+        0);
+    machine.run();
+    return finish(machine);
+}
+
+/// A streaming reader walks a 24-page region sequentially with
+/// prefetch_window=8, so its read faults upgrade into batched
+/// transactions whose kPagePush deliveries race (a) a writer storming the
+/// middle of the region — write upgrades must invalidate pushed copies
+/// that are still in flight or freshly installed — and (b) an unmapper
+/// cycling the tail, so pushes can arrive for a VMA that just vanished
+/// (the push must be dropped and its busy bit still released). The reader
+/// may legally segfault; audits + reproducibility only.
+ScenarioResult run_prefetch_race(const ExploreConfig& cfg) {
+    constexpr int kPages = 24;
+    MachineConfig mc = base_config(cfg);
+    mc.prefetch_window = 8;
+    Machine machine(mc);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) {
+            buf = g.mmap(kPages * kPageSize);
+            for (int p = 0; p < kPages; ++p) {
+                g.write<std::uint64_t>(buf + static_cast<Vaddr>(p) * kPageSize,
+                                       static_cast<std::uint64_t>(0x100 + p));
+            }
+        },
+        0);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int pass = 0; pass < 2; ++pass) {
+                for (int p = 0; p < kPages; ++p) {
+                    (void)g.read<std::uint64_t>(
+                        buf + static_cast<Vaddr>(p) * kPageSize);
+                    g.compute(200_ns);
+                }
+            }
+        },
+        1);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int i = 0; i < 12; ++i) {
+                g.write<std::uint64_t>(
+                    buf + static_cast<Vaddr>(8 + i % 8) * kPageSize,
+                    static_cast<std::uint64_t>(0x200 + i));
+                g.compute(500_ns);
+            }
+        },
+        2);
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int c = 0; c < 3; ++c) {
+                g.compute(3_us);
+                g.munmap(buf + (kPages - 6) * kPageSize, 6 * kPageSize);
+                g.compute(1_us);
+                g.mmap(6 * kPageSize);
+            }
+        },
+        0);
+    machine.run();
+    return finish(machine);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
@@ -455,6 +583,15 @@ const std::vector<Scenario>& scenarios() {
          "aggressive affinity balancer races migrations, faults, and exits",
          /*content_deterministic=*/true, /*expect_violation=*/false,
          &run_balancer_storm},
+        {"invalidate_storm",
+         "write storm fans invalidations out to 3 sharers while munmap "
+         "revokes half the region",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_invalidate_storm},
+        {"prefetch_race",
+         "fault-around pushes race write upgrades and munmap of the tail",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_prefetch_race},
     };
     return list;
 }

@@ -1,8 +1,11 @@
 #include "rko/core/page_owner.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "rko/base/log.hpp"
@@ -37,12 +40,21 @@ PageOwner::PageOwner(kernel::Kernel& k)
       remote_faults_(k.metrics().counter("pages.remote_faults")),
       invalidations_(k.metrics().counter("pages.invalidations")),
       fetches_(k.metrics().counter("pages.fetches")),
+      prefetch_issued_(k.metrics().counter("pages.prefetch.issued")),
+      prefetch_hit_(k.metrics().counter("pages.prefetch.hit")),
+      prefetch_wasted_(k.metrics().counter("pages.prefetch.wasted")),
+      range_rpcs_(k.metrics().counter("pages.range_rpcs")),
       remote_latency_(k.metrics().histogram("pages.remote_fault_ns")) {}
 
 void PageOwner::install() {
     k_.node().register_handler(
         msg::MsgType::kPageFault, msg::HandlerClass::kBlocking,
         [this](msg::Node& node, msg::MessagePtr m) { on_page_fault(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kPageFaultBatch, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_page_fault_batch(node, std::move(m));
+        });
     k_.node().register_handler(
         msg::MsgType::kPageFetch, msg::HandlerClass::kLeaf,
         [this](msg::Node& node, msg::MessagePtr m) { on_page_fetch(node, std::move(m)); });
@@ -52,10 +64,18 @@ void PageOwner::install() {
             on_page_invalidate(node, std::move(m));
         });
     k_.node().register_handler(
+        msg::MsgType::kPageInvalidateRange, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_page_invalidate_range(node, std::move(m));
+        });
+    k_.node().register_handler(
         msg::MsgType::kPageInstalled, msg::HandlerClass::kLeaf,
         [this](msg::Node& node, msg::MessagePtr m) {
             on_page_installed(node, std::move(m));
         });
+    k_.node().register_handler(
+        msg::MsgType::kPagePush, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) { on_page_push(node, std::move(m)); });
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +235,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                         source,
                         msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
                                           PageFetchReq{site.pid(), page, false}));
-                    const auto& fetched = reply->payload_as<PageFetchResp>();
+                    const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
                     RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-transaction");
                     out.data = fetched.data;
                     out.source = static_cast<std::uint8_t>(source);
@@ -232,7 +252,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                         snapshot.owner,
                         msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
                                           PageFetchReq{site.pid(), page, true}));
-                    const auto& fetched = reply->payload_as<PageFetchResp>();
+                    const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
                     RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-transaction");
                     out.data = fetched.data;
                 }
@@ -243,35 +263,60 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 updated.owner = -1;
             }
         } else {
-            // WRITE: invalidate every other copy; take the bytes with us.
+            // WRITE: invalidate every other copy CONCURRENTLY. Exactly one
+            // victim is asked for its bytes (`want_data`; all copies agree
+            // in Shared state, and Exclusive has a single holder) — the
+            // rest answer with a dataless two-byte reply — and all the
+            // round trips overlap in one rpc_scatter, so K sharers cost
+            // about one RTT instead of K.
             const bool requester_holds = snapshot.holds(requester);
             std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
             if (inject_lost_invalidate_ && victims != 0) {
                 // Fault injection (see set_inject_lost_invalidate): one
-                // victim keeps its stale copy.
+                // victim keeps its stale copy. Trimmed BEFORE the data
+                // source is designated, as the serial loop skipped it too.
                 victims &= victims - 1;
             }
+            const bool need_data = !requester_holds;
             bool have_data = false;
+            // The origin's own copy drops inline (no message) and is the
+            // cheapest byte source when one is needed.
+            if ((victims & (1u << k_.id())) != 0) {
+                invalidations_.inc();
+                bool included = false;
+                const bool had = local_invalidate(site, page, need_data,
+                                                  out.data.data(), &included);
+                if (had && included) {
+                    out.source = static_cast<std::uint8_t>(k_.id());
+                    have_data = true;
+                }
+                victims &= ~(1u << k_.id());
+            }
+            const topo::KernelId data_source =
+                (need_data && !have_data && victims != 0)
+                    ? static_cast<topo::KernelId>(std::countr_zero(victims))
+                    : -1;
+            std::vector<msg::Node::ScatterItem> posts;
+            std::vector<topo::KernelId> post_holder;
             for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
                 invalidations_.inc();
-                if (holder == k_.id()) {
-                    bool included = false;
-                    const bool had = local_invalidate(site, page, !have_data,
-                                                      out.data.data(), &included);
-                    if (had && included && !have_data) {
-                        out.source = static_cast<std::uint8_t>(holder);
-                    }
-                    have_data |= (had && included);
-                } else {
-                    auto reply = k_.node().rpc(
-                        holder, msg::make_message(
-                                    msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
-                                    PageInvalidateReq{site.pid(), page, !have_data}));
-                    const auto& inv = reply->payload_as<PageInvalidateResp>();
+                posts.push_back(
+                    {holder,
+                     msg::make_message(msg::MsgType::kPageInvalidate,
+                                       msg::MsgKind::kRequest,
+                                       PageInvalidateReq{site.pid(), page,
+                                                         holder == data_source})});
+                post_holder.push_back(holder);
+            }
+            if (!posts.empty()) {
+                auto replies = k_.node().rpc_scatter(std::move(posts));
+                for (std::size_t i = 0; i < replies.size(); ++i) {
+                    const auto& inv =
+                        replies[i]->payload_prefix_as<PageInvalidateResp>();
                     if (inv.had_page && inv.data_included) {
                         out.data = inv.data;
-                        out.source = static_cast<std::uint8_t>(holder);
+                        out.source = static_cast<std::uint8_t>(post_holder[i]);
                         have_data = true;
                     }
                 }
@@ -418,13 +463,52 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
 
     remote_faults_.inc();
     trace::Span span(k_.engine(), k_.id(), "page.fault.remote", page);
+
+    // Fault-around: a thread on a sequential read streak upgrades this
+    // fault into a batched transaction — the origin services the faulting
+    // page as usual and pushes the window's remaining pages unsolicited
+    // (kPagePush), turning one RTT per page into one RTT per window. With
+    // the knob off (window <= 1) none of this code runs and the wire
+    // traffic is bit-identical to the plain protocol.
+    std::uint32_t window = 0;
+    if (prefetch_window_ > 1 && t != nullptr && (access & mem::kProtWrite) == 0) {
+        if (t->last_fault_page + mem::kPageSize == page) {
+            ++t->fault_run;
+        } else {
+            t->fault_run = 1;
+        }
+        t->last_fault_page = page;
+        if (t->fault_run >= kPrefetchMinRun) {
+            // Clip to the (replica) VMA; the origin re-clips against the
+            // master and the non-busy directory entries it can claim.
+            const std::uint64_t avail = (vma.end - page) >> mem::kPageShift;
+            const std::uint64_t cap =
+                std::min<std::uint64_t>(std::min<std::uint64_t>(
+                                            static_cast<std::uint64_t>(prefetch_window_),
+                                            kMaxFaultAround),
+                                        avail);
+            if (cap >= 2) window = static_cast<std::uint32_t>(cap);
+        }
+    }
+
     const Nanos t0 = k_.engine().now();
-    auto reply = k_.node().rpc(
-        site.origin(),
-        msg::make_message(msg::MsgType::kPageFault, msg::MsgKind::kRequest,
-                          PageFaultReq{site.pid(), page, access, k_.id()}));
+    msg::MessagePtr reply;
+    if (window >= 2) {
+        reply = k_.node().rpc(
+            site.origin(),
+            msg::make_message(msg::MsgType::kPageFaultBatch, msg::MsgKind::kRequest,
+                              PageFaultBatchReq{site.pid(), page, access, k_.id(),
+                                                window}));
+    } else {
+        reply = k_.node().rpc(
+            site.origin(),
+            msg::make_message(msg::MsgType::kPageFault, msg::MsgKind::kRequest,
+                              PageFaultReq{site.pid(), page, access, k_.id()}));
+    }
     remote_latency_.add(k_.engine().now() - t0);
-    const auto& fault_resp = reply->payload_as<PageFaultResp>();
+    const PageFaultResp& fault_resp =
+        window >= 2 ? reply->payload_prefix_as<PageFaultBatchResp>().first
+                    : reply->payload_prefix_as<PageFaultResp>();
     if (fault_resp.status == FaultStatus::kSegv) return mem::Mmu::FaultResult::kSegv;
     if (fault_resp.status == FaultStatus::kRetry) return mem::Mmu::FaultResult::kFixed;
     const bool installed = install_locally(site, vma, page, access, fault_resp);
@@ -464,84 +548,18 @@ std::byte* PageOwner::ensure_readable(ProcessSite& site, mem::Vaddr page) {
     return nullptr;
 }
 
-std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
-                                      mem::Vaddr end) {
-    RKO_ASSERT(site.is_origin());
-    const std::uint64_t vpn_lo = mem::vpn_of(start);
-    const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
-    std::uint32_t revoked = 0;
-
-    for (auto& shard : site.dir_shards()) {
-        // Collect candidates under the lock, then transact one by one.
-        std::vector<std::uint64_t> vpns;
-        shard.lock.lock();
-        for (const auto& [vpn, entry] : shard.entries) {
-            if (vpn >= vpn_lo && vpn < vpn_hi) vpns.push_back(vpn);
-        }
-        shard.lock.unlock();
-
-        for (const std::uint64_t vpn : vpns) {
-            shard.lock.lock();
-            auto it = shard.entries.find(vpn);
-            while (it != shard.entries.end() && it->second.busy) {
-                shard.lock.unlock();
-                shard.busy_wait.wait(k_.engine());
-                shard.lock.lock();
-                it = shard.entries.find(vpn);
-            }
-            if (it == shard.entries.end()) {
-                shard.lock.unlock();
-                continue;
-            }
-            it->second.busy = true;
-            const std::uint32_t holders = it->second.holder_mask();
-            shard.lock.unlock();
-
-            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
-            for (std::uint32_t mask = holders; mask != 0; mask &= mask - 1) {
-                const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
-                invalidations_.inc();
-                if (holder == k_.id()) {
-                    bool included = false;
-                    std::array<std::byte, mem::kPageSize> discard;
-                    local_invalidate(site, page, false, discard.data(), &included);
-                } else {
-                    k_.node().rpc(
-                        holder, msg::make_message(
-                                    msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
-                                    PageInvalidateReq{site.pid(), page, false}));
-                }
-            }
-
-            shard.lock.lock();
-            shard.entries.erase(vpn);
-            shard.busy_wait.notify_all();
-            shard.lock.unlock();
-            ++revoked;
-        }
-    }
-
-    if (check::enabled()) {
-        // Post-condition: no directory entry in the range survives. The
-        // caller removed the VMA (under vma_op_lock) before revoking, so no
-        // new entry can be born in the range concurrently.
-        for (auto& shard : site.dir_shards()) {
-            shard.lock.lock();
-            for (const auto& [vpn, entry] : shard.entries) {
-                RKO_ASSERT_MSG(vpn < vpn_lo || vpn >= vpn_hi,
-                               "directory entry survived revoke_range");
-            }
-            shard.lock.unlock();
-        }
-    }
-    return revoked;
-}
-
 namespace {
 
 /// Claims the busy bit of `vpn`'s entry, waiting out other transactions.
 /// Returns false if the entry does not exist (nothing to do). On success
 /// the snapshot holds the pre-claim state and the entry is busy.
+///
+/// Deadlock note for the ranged paths, which claim MANY busy bits before
+/// releasing any: a fault transaction holds exactly one busy bit and never
+/// waits on another (its protocol work is RPCs to leaf handlers, which
+/// always complete), a prefetch batch claims extra bits only with try-claim
+/// semantics (never waits), and destructive ops serialize on the
+/// vma_op_lock — so the wait graph has no cycle.
 bool claim_busy(sim::Engine& engine, ProcessSite::DirShard& shard, std::uint64_t vpn,
                 PageDirEntry* snapshot) {
     shard.lock.lock();
@@ -562,7 +580,9 @@ bool claim_busy(sim::Engine& engine, ProcessSite::DirShard& shard, std::uint64_t
     return true;
 }
 
-/// Collects the vpns in [lo, hi) present in the shard right now.
+/// Collects the vpns in [lo, hi) present in the shard right now, sorted —
+/// hash-map iteration order must not leak into message contents, or
+/// same-seed runs would stop being bit-identical.
 std::vector<std::uint64_t> collect_vpns(ProcessSite::DirShard& shard,
                                         std::uint64_t vpn_lo, std::uint64_t vpn_hi) {
     std::vector<std::uint64_t> vpns;
@@ -571,46 +591,176 @@ std::vector<std::uint64_t> collect_vpns(ProcessSite::DirShard& shard,
         if (vpn >= vpn_lo && vpn < vpn_hi) vpns.push_back(vpn);
     }
     shard.lock.unlock();
+    std::sort(vpns.begin(), vpns.end());
     return vpns;
 }
 
+/// Chunks each holder's VPN list into kPageInvalidateRange requests and
+/// appends them to `posts`. Lists are sorted first: offsets are encoded
+/// relative to the chunk's first vpn and must not underflow (per-shard
+/// collection concatenates the 16 shards' sorted runs out of order).
+void append_ranged_posts(
+    Pid pid, std::array<std::vector<std::uint64_t>, topo::kMaxKernels>& by_holder,
+    InvalidateRangeOp op, std::vector<msg::Node::ScatterItem>* posts) {
+    for (std::size_t h = 0; h < by_holder.size(); ++h) {
+        auto& vpns = by_holder[h];
+        if (vpns.empty()) continue;
+        std::sort(vpns.begin(), vpns.end());
+        std::size_t i = 0;
+        while (i < vpns.size()) {
+            PageInvalidateRangeReq req{};
+            req.pid = pid;
+            req.op = op;
+            req.base_vpn = vpns[i];
+            std::uint32_t n = 0;
+            while (i + n < vpns.size() && n < PageInvalidateRangeReq::kMaxPages &&
+                   vpns[i + n] - req.base_vpn <=
+                       std::numeric_limits<std::uint32_t>::max()) {
+                req.vpn_offset[n] =
+                    static_cast<std::uint32_t>(vpns[i + n] - req.base_vpn);
+                ++n;
+            }
+            req.count = n;
+            posts->push_back(
+                {static_cast<topo::KernelId>(h),
+                 msg::make_message_prefix(msg::MsgType::kPageInvalidateRange,
+                                          msg::MsgKind::kRequest, req,
+                                          wire_bytes(req))});
+            i += n;
+        }
+    }
+}
+
 } // namespace
+
+std::uint32_t PageOwner::scatter_ranged(
+    ProcessSite& site,
+    const std::array<std::vector<std::uint64_t>, topo::kMaxKernels>& by_holder,
+    InvalidateRangeOp op) {
+    std::vector<msg::Node::ScatterItem> posts;
+    auto buckets = by_holder; // append_ranged_posts sorts in place
+    append_ranged_posts(site.pid(), buckets, op, &posts);
+    if (posts.empty()) return 0;
+    range_rpcs_.inc(posts.size());
+    auto replies = k_.node().rpc_scatter(std::move(posts));
+    std::uint32_t touched = 0;
+    for (const auto& reply : replies) {
+        touched += reply->payload_as<PageInvalidateRangeResp>().touched;
+    }
+    return touched;
+}
+
+std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
+                                      mem::Vaddr end) {
+    RKO_ASSERT(site.is_origin());
+    const std::uint64_t vpn_lo = mem::vpn_of(start);
+    const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
+
+    // Phase 1: claim every in-range entry's busy bit (waiting out live
+    // transactions), bucketing the holders for the ranged fan-out.
+    std::vector<std::pair<ProcessSite::DirShard*, std::uint64_t>> claimed;
+    std::vector<std::uint64_t> local_vpns;
+    std::array<std::vector<std::uint64_t>, topo::kMaxKernels> by_holder;
+    for (auto& shard : site.dir_shards()) {
+        for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
+            PageDirEntry snapshot;
+            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            claimed.emplace_back(&shard, vpn);
+            for (std::uint32_t mask = snapshot.holder_mask(); mask != 0;
+                 mask &= mask - 1) {
+                const auto holder =
+                    static_cast<topo::KernelId>(std::countr_zero(mask));
+                invalidations_.inc();
+                if (holder == k_.id()) {
+                    local_vpns.push_back(vpn);
+                } else {
+                    by_holder[static_cast<std::size_t>(holder)].push_back(vpn);
+                }
+            }
+        }
+    }
+
+    // Phase 2: one batched local drop (a single modeled shootdown for the
+    // whole range) plus one ranged RPC per holder chunk, every round trip
+    // overlapped — where the serial protocol paid (pages x holders) RPCs
+    // and a shootdown per page.
+    local_drop_range(site, local_vpns);
+    scatter_ranged(site, by_holder, InvalidateRangeOp::kDrop);
+
+    // Phase 3: erase the claimed entries and release any waiters.
+    std::uint32_t revoked = 0;
+    for (const auto& [shard, vpn] : claimed) {
+        shard->lock.lock();
+        shard->entries.erase(vpn);
+        shard->busy_wait.notify_all();
+        shard->lock.unlock();
+        ++revoked;
+    }
+
+    if (check::enabled()) {
+        // Post-condition: no directory entry in the range survives. The
+        // caller removed the VMA (under vma_op_lock) before revoking, so no
+        // new entry can be born in the range concurrently.
+        for (auto& shard : site.dir_shards()) {
+            shard.lock.lock();
+            for (const auto& [vpn, entry] : shard.entries) {
+                RKO_ASSERT_MSG(vpn < vpn_lo || vpn >= vpn_hi,
+                               "directory entry survived revoke_range");
+            }
+            shard.lock.unlock();
+        }
+    }
+    return revoked;
+}
 
 std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
                                          mem::Vaddr end) {
     RKO_ASSERT(site.is_origin());
     const std::uint64_t vpn_lo = mem::vpn_of(start);
     const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
-    std::uint32_t touched = 0;
 
+    struct Claim {
+        ProcessSite::DirShard* shard;
+        std::uint64_t vpn;
+        PageDirEntry updated;
+    };
+    std::vector<Claim> claimed;
+    std::vector<std::uint64_t> local_vpns;
+    std::array<std::vector<std::uint64_t>, topo::kMaxKernels> by_owner;
     for (auto& shard : site.dir_shards()) {
         for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
             PageDirEntry snapshot;
             if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
-            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
             PageDirEntry updated = snapshot;
+            updated.busy = false;
             if (snapshot.state == PageDirEntry::State::kExclusive) {
-                std::array<std::byte, mem::kPageSize> discard;
+                // Exclusive demotes to Shared with the data left in place.
+                // The ranged kDowngrade carries no page bytes — the old
+                // per-page path fetched (and discarded) 4 KiB per page just
+                // to strip a write bit.
                 if (snapshot.owner == k_.id()) {
-                    local_fetch(site, page, /*downgrade=*/true, discard.data());
+                    local_vpns.push_back(vpn);
                 } else {
-                    fetches_.inc();
-                    k_.node().rpc(snapshot.owner,
-                                  msg::make_message(msg::MsgType::kPageFetch,
-                                                    msg::MsgKind::kRequest,
-                                                    PageFetchReq{site.pid(), page, true}));
+                    by_owner[static_cast<std::size_t>(snapshot.owner)].push_back(vpn);
                 }
                 updated.state = PageDirEntry::State::kShared;
                 updated.sharers = 1u << snapshot.owner;
                 updated.owner = -1;
             }
-            shard.lock.lock();
-            updated.busy = false;
-            shard.entries[vpn] = updated;
-            shard.busy_wait.notify_all();
-            shard.lock.unlock();
-            ++touched;
+            claimed.push_back({&shard, vpn, updated});
         }
+    }
+
+    local_downgrade_range(site, local_vpns);
+    scatter_ranged(site, by_owner, InvalidateRangeOp::kDowngrade);
+
+    std::uint32_t touched = 0;
+    for (const auto& c : claimed) {
+        c.shard->lock.lock();
+        c.shard->entries[c.vpn] = c.updated;
+        c.shard->busy_wait.notify_all();
+        c.shard->lock.unlock();
+        ++touched;
     }
     return touched;
 }
@@ -620,69 +770,280 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
     RKO_ASSERT(site.is_origin());
     const std::uint64_t vpn_lo = mem::vpn_of(start);
     const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
-    std::uint32_t touched = 0;
 
+    struct SeqPage {
+        ProcessSite::DirShard* shard;
+        std::uint64_t vpn;
+        bool origin_holds = false;
+        int source_post = -1; ///< scatter index of this page's want_data invalidate
+        bool have_data = false;
+        std::array<std::byte, mem::kPageSize> data;
+    };
+    std::vector<SeqPage> pages;
+    std::vector<std::size_t> post_page; // want_data post index -> pages index
+    std::vector<msg::Node::ScatterItem> posts;
+    std::array<std::vector<std::uint64_t>, topo::kMaxKernels> drop_by_holder;
+
+    // Phase 1: claim everything in range. For each page the origin does
+    // not hold, ONE holder is asked for the bytes (per-page invalidate with
+    // want_data); every other holder lands in a ranged dataless drop. All
+    // of it ships in a single scatter below.
     for (auto& shard : site.dir_shards()) {
         for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
             PageDirEntry snapshot;
             if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            SeqPage p;
+            p.shard = &shard;
+            p.vpn = vpn;
+            p.origin_holds = snapshot.holds(k_.id());
             const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
-            const bool origin_holds = snapshot.holds(k_.id());
-            std::array<std::byte, mem::kPageSize> data;
-            bool have_data = false;
-
-            // Invalidate every non-origin holder, grabbing the bytes if the
-            // origin has no copy of its own.
-            for (std::uint32_t mask = snapshot.holder_mask() & ~(1u << k_.id());
-                 mask != 0; mask &= mask - 1) {
-                const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
+            std::uint32_t rest = snapshot.holder_mask() & ~(1u << k_.id());
+            if (!p.origin_holds && rest != 0) {
+                const auto source =
+                    static_cast<topo::KernelId>(std::countr_zero(rest));
+                rest &= rest - 1;
                 invalidations_.inc();
-                auto reply = k_.node().rpc(
-                    holder, msg::make_message(
-                                msg::MsgType::kPageInvalidate, msg::MsgKind::kRequest,
-                                PageInvalidateReq{site.pid(), page,
-                                                  !origin_holds && !have_data}));
-                const auto& inv = reply->payload_as<PageInvalidateResp>();
-                if (inv.had_page && inv.data_included) {
-                    data = inv.data;
-                    have_data = true;
-                }
+                p.source_post = static_cast<int>(posts.size());
+                post_page.push_back(pages.size());
+                posts.push_back(
+                    {source,
+                     msg::make_message(msg::MsgType::kPageInvalidate,
+                                       msg::MsgKind::kRequest,
+                                       PageInvalidateReq{site.pid(), page, true})});
             }
-
-            bool keep = true;
-            {
-                WriteGuard guard(site.space().mmap_lock());
-                if (origin_holds) {
-                    site.space().page_table().protect(page, mem::kProtNone);
-                    site.space().bump_tlb_generation();
-                    sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
-                } else if (have_data) {
-                    const mem::Paddr frame = k_.frames().alloc();
-                    RKO_ASSERT(frame != 0);
-                    std::memcpy(k_.phys().frame_ptr(frame), data.data(), mem::kPageSize);
-                    sim::current_actor().sleep_for(k_.costs().page_copy);
-                    site.space().page_table().map(page, frame, mem::kProtNone);
-                } else {
-                    keep = false; // every holder vanished: nothing to keep
-                }
+            for (std::uint32_t mask = rest; mask != 0; mask &= mask - 1) {
+                const auto holder =
+                    static_cast<topo::KernelId>(std::countr_zero(mask));
+                invalidations_.inc();
+                drop_by_holder[static_cast<std::size_t>(holder)].push_back(vpn);
             }
-
-            shard.lock.lock();
-            if (keep) {
-                PageDirEntry updated;
-                updated.state = PageDirEntry::State::kExclusive;
-                updated.owner = k_.id();
-                updated.busy = false;
-                shard.entries[vpn] = updated;
-            } else {
-                shard.entries.erase(vpn);
-            }
-            shard.busy_wait.notify_all();
-            shard.lock.unlock();
-            ++touched;
+            pages.push_back(p);
         }
     }
+
+    // Phase 2: one scatter for the whole range — byte-source invalidates
+    // and ranged drops fly together.
+    const std::size_t nsources = posts.size();
+    append_ranged_posts(site.pid(), drop_by_holder, InvalidateRangeOp::kDrop, &posts);
+    range_rpcs_.inc(posts.size() - nsources);
+    if (!posts.empty()) {
+        auto replies = k_.node().rpc_scatter(std::move(posts));
+        for (std::size_t i = 0; i < nsources; ++i) {
+            const auto& inv = replies[i]->payload_prefix_as<PageInvalidateResp>();
+            SeqPage& p = pages[post_page[i]];
+            if (inv.had_page && inv.data_included) {
+                p.data = inv.data;
+                p.have_data = true;
+            }
+        }
+    }
+
+    // Phase 3: batched local application. All PROT_NONE protects share one
+    // generation bump and one modeled shootdown; the fetched pages land in
+    // fresh origin frames mapped inaccessible (their copies may yield — the
+    // protect+bump no-yield window above is already closed by then).
+    {
+        WriteGuard guard(site.space().mmap_lock());
+        std::uint32_t protected_pages = 0;
+        for (const SeqPage& p : pages) {
+            if (!p.origin_holds) continue;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(p.vpn) << mem::kPageShift;
+            site.space().page_table().protect(page, mem::kProtNone);
+            ++protected_pages;
+        }
+        if (protected_pages != 0) site.space().bump_tlb_generation();
+        for (const SeqPage& p : pages) {
+            if (p.origin_holds || !p.have_data) continue;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(p.vpn) << mem::kPageShift;
+            const mem::Paddr frame = k_.frames().alloc();
+            RKO_ASSERT(frame != 0);
+            std::memcpy(k_.phys().frame_ptr(frame), p.data.data(), mem::kPageSize);
+            sim::current_actor().sleep_for(k_.costs().page_copy);
+            site.space().page_table().map(page, frame, mem::kProtNone);
+        }
+        if (protected_pages != 0) {
+            sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+        }
+    }
+
+    // Phase 4: directory entries collapse to Exclusive-at-origin (or die if
+    // every holder had vanished — only possible transiently).
+    std::uint32_t touched = 0;
+    for (const SeqPage& p : pages) {
+        const bool keep = p.origin_holds || p.have_data;
+        p.shard->lock.lock();
+        if (keep) {
+            PageDirEntry updated;
+            updated.state = PageDirEntry::State::kExclusive;
+            updated.owner = k_.id();
+            updated.busy = false;
+            p.shard->entries[p.vpn] = updated;
+        } else {
+            p.shard->entries.erase(p.vpn);
+        }
+        p.shard->busy_wait.notify_all();
+        p.shard->lock.unlock();
+        ++touched;
+    }
     return touched;
+}
+
+// ---------------------------------------------------------------------------
+// Batched local holder ops & fault-around prefetch.
+// ---------------------------------------------------------------------------
+
+std::uint32_t PageOwner::local_drop_range(ProcessSite& site,
+                                          const std::vector<std::uint64_t>& vpns) {
+    if (vpns.empty()) return 0;
+    WriteGuard guard(site.space().mmap_lock());
+    // INVARIANT (see local_invalidate): every PTE clear and the generation
+    // bump must share a no-yield window — so clear them ALL, bump once,
+    // and only then free the frames and pay the one modeled shootdown.
+    std::vector<mem::Paddr> frames;
+    frames.reserve(vpns.size());
+    for (const std::uint64_t vpn : vpns) {
+        const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+        const mem::Pte* pte = site.space().page_table().find(page);
+        if (pte == nullptr || !pte->present) continue;
+        frames.push_back(site.space().page_table().clear(page).paddr);
+    }
+    if (frames.empty()) return 0;
+    site.space().bump_tlb_generation();
+    for (const mem::Paddr frame : frames) k_.frames().free(frame);
+    sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+    return static_cast<std::uint32_t>(frames.size());
+}
+
+std::uint32_t PageOwner::local_downgrade_range(
+    ProcessSite& site, const std::vector<std::uint64_t>& vpns) {
+    if (vpns.empty()) return 0;
+    WriteGuard guard(site.space().mmap_lock());
+    std::uint32_t touched = 0;
+    for (const std::uint64_t vpn : vpns) {
+        const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+        const mem::Pte* pte = site.space().page_table().find(page);
+        if (pte == nullptr || !pte->present || (pte->prot & mem::kProtWrite) == 0) {
+            continue;
+        }
+        site.space().page_table().protect(page, pte->prot & ~mem::kProtWrite);
+        ++touched;
+    }
+    if (touched != 0) {
+        site.space().bump_tlb_generation();
+        sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+    }
+    return touched;
+}
+
+std::vector<mem::Vaddr> PageOwner::claim_prefetch_pages(ProcessSite& site,
+                                                        mem::Vaddr first,
+                                                        std::uint32_t window,
+                                                        topo::KernelId requester) {
+    std::vector<mem::Vaddr> grants;
+    const std::uint32_t cap = std::min(window, kMaxFaultAround);
+    // Re-clip against the MASTER VMA — the requester clipped against its
+    // replica, which may be stale.
+    mem::Vaddr limit;
+    {
+        ReadGuard guard(site.space().mmap_lock());
+        const mem::Vma* vma = site.space().vmas().find(first);
+        if (vma == nullptr || (vma->prot & mem::kProtRead) == 0) return grants;
+        limit = vma->end;
+    }
+    for (std::uint32_t i = 1; i < cap; ++i) {
+        const mem::Vaddr page = first + static_cast<mem::Vaddr>(i) * mem::kPageSize;
+        if (page >= limit) break;
+        const std::uint64_t vpn = mem::vpn_of(page);
+        auto& shard = site.dir_shard(vpn);
+        // Try-claim only: a page that is absent (never touched — zero-fill
+        // is the requester's own cheap path), busy (live transaction), or
+        // already held by the requester is skipped, never waited for.
+        shard.lock.lock();
+        auto it = shard.entries.find(vpn);
+        if (it == shard.entries.end() || it->second.busy ||
+            it->second.holds(requester)) {
+            shard.lock.unlock();
+            continue;
+        }
+        it->second.busy = true;
+        shard.lock.unlock();
+        grants.push_back(page);
+    }
+    return grants;
+}
+
+void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
+                                   topo::KernelId requester) {
+    const std::uint64_t vpn = mem::vpn_of(page);
+    auto& shard = site.dir_shard(vpn);
+    shard.lock.lock();
+    auto it = shard.entries.find(vpn);
+    RKO_ASSERT_MSG(it != shard.entries.end() && it->second.busy,
+                   "prefetch lost its claimed entry");
+    const PageDirEntry snapshot = it->second;
+    shard.lock.unlock();
+
+    // Read-replication protocol work for one claimed page — the same
+    // transitions a demand read fault would make, but initiated by the
+    // origin and delivered as an unsolicited push.
+    PagePushMsg push{};
+    push.pid = site.pid();
+    push.va = page;
+    push.data_included = true;
+    push.zero_fill = false;
+    PageDirEntry updated = snapshot;
+    updated.busy = false;
+    if (snapshot.state == PageDirEntry::State::kShared) {
+        if (snapshot.holds(k_.id())) {
+            RKO_ASSERT(local_fetch(site, page, false, push.data.data()));
+            push.source = static_cast<std::uint8_t>(k_.id());
+        } else {
+            const auto source =
+                static_cast<topo::KernelId>(std::countr_zero(snapshot.sharers));
+            fetches_.inc();
+            auto reply = k_.node().rpc(
+                source, msg::make_message(msg::MsgType::kPageFetch,
+                                          msg::MsgKind::kRequest,
+                                          PageFetchReq{site.pid(), page, false}));
+            const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
+            RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-prefetch");
+            push.data = fetched.data;
+            push.source = static_cast<std::uint8_t>(source);
+        }
+        updated.sharers = snapshot.sharers | (1u << requester);
+    } else {
+        // Exclusive elsewhere (the requester was excluded at claim time):
+        // downgrade the owner exactly like a read fault would.
+        if (snapshot.owner == k_.id()) {
+            RKO_ASSERT(local_fetch(site, page, true, push.data.data()));
+        } else {
+            fetches_.inc();
+            auto reply = k_.node().rpc(
+                snapshot.owner, msg::make_message(msg::MsgType::kPageFetch,
+                                                  msg::MsgKind::kRequest,
+                                                  PageFetchReq{site.pid(), page, true}));
+            const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
+            RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-prefetch");
+            push.data = fetched.data;
+        }
+        push.source = static_cast<std::uint8_t>(snapshot.owner);
+        updated.state = PageDirEntry::State::kShared;
+        updated.sharers = (1u << snapshot.owner) | (1u << requester);
+        updated.owner = -1;
+    }
+
+    // Park the post-transaction state; the requester's kPageInstalled (sent
+    // by its on_page_push, success or not) commits or rolls back and
+    // releases the busy bit — the standard three-phase shape.
+    shard.lock.lock();
+    RKO_ASSERT(shard.entries.contains(vpn));
+    shard.pending[vpn] = updated;
+    shard.lock.unlock();
+    prefetch_issued_.inc();
+    k_.node().send(requester,
+                   msg::make_message_prefix(msg::MsgType::kPagePush,
+                                            msg::MsgKind::kOneway, push,
+                                            wire_bytes(push)));
 }
 
 // ---------------------------------------------------------------------------
@@ -691,27 +1052,51 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
 
 void PageOwner::on_page_fault(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageFaultReq>();
-    auto response = std::make_unique<msg::Message>();
-    response->hdr.type = msg::MsgType::kPageFault;
     PageFaultResp resp{};
     if (!k_.has_site(req.pid)) {
         resp.status = FaultStatus::kSegv;
     } else {
         origin_transaction(k_.site(req.pid), req.va, req.access, req.requester, resp);
     }
-    response->set_payload(resp);
-    node.reply(*m, std::move(response));
+    // Dataless outcomes (SEGV, retry, zero-fill, upgrade) ship 8 bytes, not
+    // 8 + 4 KiB — the wire carries only what the requester will read.
+    node.reply(*m, msg::make_message_prefix(msg::MsgType::kPageFault,
+                                            msg::MsgKind::kReply, resp,
+                                            wire_bytes(resp)));
+}
+
+void PageOwner::on_page_fault_batch(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<PageFaultBatchReq>();
+    PageFaultBatchResp resp{};
+    std::vector<mem::Vaddr> grants;
+    if (!k_.has_site(req.pid)) {
+        resp.first.status = FaultStatus::kSegv;
+    } else {
+        ProcessSite& site = k_.site(req.pid);
+        origin_transaction(site, req.va, req.access, req.requester, resp.first);
+        if (resp.first.status == FaultStatus::kOk) {
+            grants = claim_prefetch_pages(site, req.va, req.window, req.requester);
+        }
+    }
+    resp.extra_granted = static_cast<std::uint32_t>(grants.size());
+    // Reply FIRST: the channel is FIFO, so the requester installs the
+    // demand page while the pushes are still being generated behind it.
+    node.reply(*m, msg::make_message_prefix(msg::MsgType::kPageFaultBatch,
+                                            msg::MsgKind::kReply, resp,
+                                            wire_bytes(resp)));
+    for (const mem::Vaddr page : grants) {
+        push_prefetch_page(k_.site(req.pid), page, req.requester);
+    }
 }
 
 void PageOwner::on_page_fetch(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageFetchReq>();
-    auto response = std::make_unique<msg::Message>();
-    response->hdr.type = msg::MsgType::kPageFetch;
     PageFetchResp resp{};
     resp.ok = k_.has_site(req.pid) &&
               local_fetch(k_.site(req.pid), req.va, req.downgrade, resp.data.data());
-    response->set_payload(resp);
-    node.reply(*m, std::move(response));
+    node.reply(*m, msg::make_message_prefix(msg::MsgType::kPageFetch,
+                                            msg::MsgKind::kReply, resp,
+                                            wire_bytes(resp)));
 }
 
 void PageOwner::on_page_installed(msg::Node& node, msg::MessagePtr m) {
@@ -723,16 +1108,76 @@ void PageOwner::on_page_installed(msg::Node& node, msg::MessagePtr m) {
 
 void PageOwner::on_page_invalidate(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageInvalidateReq>();
-    auto response = std::make_unique<msg::Message>();
-    response->hdr.type = msg::MsgType::kPageInvalidate;
     PageInvalidateResp resp{};
     resp.data_included = false;
     resp.had_page =
         k_.has_site(req.pid) &&
         local_invalidate(k_.site(req.pid), req.va, req.want_data, resp.data.data(),
                          &resp.data_included);
-    response->set_payload(resp);
-    node.reply(*m, std::move(response));
+    node.reply(*m, msg::make_message_prefix(msg::MsgType::kPageInvalidate,
+                                            msg::MsgKind::kReply, resp,
+                                            wire_bytes(resp)));
+}
+
+void PageOwner::on_page_invalidate_range(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_prefix_as<PageInvalidateRangeReq>();
+    PageInvalidateRangeResp resp{};
+    if (k_.has_site(req.pid)) {
+        ProcessSite& site = k_.site(req.pid);
+        std::vector<std::uint64_t> vpns;
+        vpns.reserve(req.count);
+        for (std::uint32_t i = 0; i < req.count; ++i) {
+            vpns.push_back(req.base_vpn + req.vpn_offset[i]);
+        }
+        resp.touched = req.op == InvalidateRangeOp::kDrop
+                           ? local_drop_range(site, vpns)
+                           : local_downgrade_range(site, vpns);
+    }
+    node.reply(*m, msg::make_message(msg::MsgType::kPageInvalidateRange,
+                                     msg::MsgKind::kReply, resp));
+}
+
+void PageOwner::on_page_push(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& push = m->payload_prefix_as<PagePushMsg>();
+    bool installed = false;
+    if (k_.has_site(push.pid)) {
+        ProcessSite& site = k_.site(push.pid);
+        // Replica-side VMA lookup: the window was clipped against the
+        // master, but a racing munmap/mprotect may have landed here since —
+        // abandoning rolls the origin's parked transaction back.
+        mem::Vma vma;
+        bool found = false;
+        {
+            ReadGuard guard(site.space().mmap_lock());
+            const mem::Vma* v = site.space().vmas().find(push.va);
+            if (v != nullptr && (v->prot & mem::kProtRead) != 0) {
+                vma = *v;
+                found = true;
+            }
+        }
+        if (found) {
+            PageFaultResp resp{};
+            resp.status = FaultStatus::kOk;
+            resp.data_included = push.data_included;
+            resp.zero_fill = push.zero_fill;
+            resp.upgrade = false;
+            resp.source = push.source;
+            if (push.data_included) resp.data = push.data;
+            installed = install_locally(site, vma, push.va, mem::kProtRead, resp);
+        }
+    }
+    if (installed) {
+        prefetch_hit_.inc();
+    } else {
+        prefetch_wasted_.inc();
+    }
+    // ALWAYS confirm — success or not — or the origin's busy bit leaks and
+    // every later fault on the page hangs.
+    k_.node().send(m->hdr.src,
+                   msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,
+                                     PageInstalledMsg{push.pid, push.va, k_.id(),
+                                                      installed}));
 }
 
 } // namespace rko::core

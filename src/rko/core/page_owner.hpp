@@ -12,7 +12,9 @@
 // vma_epoch so racing munmaps cannot resurrect dead pages.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "rko/base/stats.hpp"
 #include "rko/core/process.hpp"
@@ -29,9 +31,17 @@ namespace rko::core {
 
 class PageOwner {
 public:
+    /// Hard cap on a fault-around window (pages, including the faulting
+    /// one) regardless of the configured prefetch_window.
+    static constexpr std::uint32_t kMaxFaultAround = 16;
+    /// Consecutive +1-page faults a thread must string together before a
+    /// read fault is upgraded to a batched transaction.
+    static constexpr std::uint32_t kPrefetchMinRun = 3;
+
     explicit PageOwner(kernel::Kernel& k);
 
-    /// Registers kPageFault (blocking), kPageFetch / kPageInvalidate (leaf).
+    /// Registers kPageFault / kPageFaultBatch (blocking), kPageFetch /
+    /// kPageInvalidate / kPageInvalidateRange / kPagePush (leaf).
     void install();
 
     /// Protocol ablation: when false, read faults also take exclusive
@@ -39,6 +49,12 @@ public:
     /// simplest DSM). Default true: MSI with reader replication.
     void set_read_replication(bool enabled) { read_replication_ = enabled; }
     bool read_replication() const { return read_replication_; }
+
+    /// Fault-around prefetch window (pages). <= 1 disables the stride
+    /// detector: no kPageFaultBatch / kPagePush traffic exists and runs are
+    /// bit-identical to the plain demand-fault protocol.
+    void set_prefetch_window(int pages) { prefetch_window_ = pages; }
+    int prefetch_window() const { return prefetch_window_; }
 
     /// TEST-ONLY fault injection: write transactions skip one victim's
     /// invalidation, planting exactly the stale-copy coherence bug the
@@ -79,6 +95,14 @@ public:
     std::uint64_t remote_faults() const { return remote_faults_.value; }
     std::uint64_t invalidations() const { return invalidations_.value; }
     std::uint64_t fetches() const { return fetches_.value; }
+    /// Pages pushed by this (origin) kernel's fault-around transactions.
+    std::uint64_t prefetch_issued() const { return prefetch_issued_.value; }
+    /// Pushed pages this (requester) kernel installed / failed to install.
+    std::uint64_t prefetch_hit() const { return prefetch_hit_.value; }
+    std::uint64_t prefetch_wasted() const { return prefetch_wasted_.value; }
+    /// kPageInvalidateRange RPCs issued by the ranged revoke/downgrade/
+    /// sequester paths (each replaces up to kMaxPages per-page round trips).
+    std::uint64_t range_rpcs() const { return range_rpcs_.value; }
     const base::Histogram& remote_fault_latency() const { return remote_latency_; }
 
 private:
@@ -109,19 +133,54 @@ private:
     bool local_invalidate(ProcessSite& site, mem::Vaddr page, bool want_data,
                           std::byte* out, bool* data_included);
 
+    // Batched local holder ops: N PTE changes share one TLB-generation bump
+    // and one modeled shootdown instead of paying both per page. Return the
+    // number of pages actually present.
+    std::uint32_t local_drop_range(ProcessSite& site,
+                                   const std::vector<std::uint64_t>& vpns);
+    std::uint32_t local_downgrade_range(ProcessSite& site,
+                                        const std::vector<std::uint64_t>& vpns);
+
+    /// Chunks each holder's (sorted) VPN list into kPageInvalidateRange
+    /// requests and posts them all in ONE rpc_scatter — every holder works
+    /// concurrently. Returns the machine-wide pages touched.
+    std::uint32_t scatter_ranged(
+        ProcessSite& site,
+        const std::array<std::vector<std::uint64_t>, topo::kMaxKernels>& by_holder,
+        InvalidateRangeOp op);
+
+    // Fault-around prefetch (origin side). claim_prefetch_pages try-claims
+    // the busy bits of up to window-1 pages after `first` (skipping absent,
+    // busy, or already-requester-held entries; clipped to the master VMA);
+    // push_prefetch_page then runs one claimed page's read-replication
+    // transaction and ships the bytes as an unsolicited kPagePush.
+    std::vector<mem::Vaddr> claim_prefetch_pages(ProcessSite& site, mem::Vaddr first,
+                                                 std::uint32_t window,
+                                                 topo::KernelId requester);
+    void push_prefetch_page(ProcessSite& site, mem::Vaddr page,
+                            topo::KernelId requester);
+
     void on_page_fault(msg::Node& node, msg::MessagePtr m);
+    void on_page_fault_batch(msg::Node& node, msg::MessagePtr m);
     void on_page_fetch(msg::Node& node, msg::MessagePtr m);
     void on_page_invalidate(msg::Node& node, msg::MessagePtr m);
+    void on_page_invalidate_range(msg::Node& node, msg::MessagePtr m);
     void on_page_installed(msg::Node& node, msg::MessagePtr m);
+    void on_page_push(msg::Node& node, msg::MessagePtr m);
 
     kernel::Kernel& k_;
     bool read_replication_ = true;
     bool inject_lost_invalidate_ = false;
+    int prefetch_window_ = 1;
     // Registry-backed ("pages.*" in the kernel's MetricsRegistry).
     trace::Counter& local_faults_;
     trace::Counter& remote_faults_;
     trace::Counter& invalidations_;
     trace::Counter& fetches_;
+    trace::Counter& prefetch_issued_;
+    trace::Counter& prefetch_hit_;
+    trace::Counter& prefetch_wasted_;
+    trace::Counter& range_rpcs_;
     base::Histogram& remote_latency_;
 };
 

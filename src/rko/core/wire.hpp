@@ -112,6 +112,100 @@ struct PageInstalledMsg {
     bool ok;
 };
 
+// --- Coherence batching & fault-around prefetch (DESIGN.md §10) -------------
+
+/// What a ranged invalidation asks the holder to do with each page.
+enum class InvalidateRangeOp : std::uint32_t {
+    kDrop = 0,      ///< clear the PTE and free the frame (munmap)
+    kDowngrade = 1, ///< strip the write bit only (Exclusive -> Shared)
+};
+
+/// One ranged invalidation RPC: `count` VPN offsets relative to base_vpn,
+/// all of whose busy bits the origin already claimed. An explicit offset
+/// list — not a [start, end) span — because the holder may hold in-range
+/// pages whose busy bits belong to *other* transactions; only pages the
+/// origin claimed may be touched. Truncated on the wire to the offsets
+/// actually carried (see wire_bytes).
+struct PageInvalidateRangeReq {
+    static constexpr std::uint32_t kMaxPages = 512;
+    Pid pid;
+    InvalidateRangeOp op;
+    std::uint32_t count;
+    std::uint64_t base_vpn;
+    std::array<std::uint32_t, kMaxPages> vpn_offset;
+};
+
+struct PageInvalidateRangeResp {
+    std::uint32_t touched; ///< pages the holder actually dropped/downgraded
+};
+
+/// A remote read fault upgraded by the stride detector: service `va`
+/// exactly like kPageFault, then opportunistically push up to window-1
+/// following pages (kPagePush) whose transactions can start immediately.
+struct PageFaultBatchReq {
+    Pid pid;
+    mem::Vaddr va;        ///< the faulting page
+    std::uint32_t access; ///< mem::Prot bits (read streams only in practice)
+    topo::KernelId requester;
+    std::uint32_t window; ///< total pages including the faulting one, >= 2
+};
+
+/// The faulting page's result plus how many pushes follow it down the
+/// origin->requester channel. The data array sits last (inside `first`) so
+/// dataless outcomes truncate like a plain PageFaultResp.
+struct PageFaultBatchResp {
+    std::uint32_t extra_granted;
+    PageFaultResp first;
+};
+
+/// Origin -> requester: one prefetched page. The requester installs it
+/// read-only and confirms with kPageInstalled (the normal third leg), so
+/// the directory commits or rolls back the parked transaction exactly as
+/// for a demand fault.
+struct PagePushMsg {
+    Pid pid;
+    mem::Vaddr va;
+    bool data_included;
+    bool zero_fill; ///< reserved; pushes always carry bytes today
+    std::uint8_t source; ///< kernel that supplied the bytes (affinity)
+    std::array<std::byte, mem::kPageSize> data;
+};
+
+// --- Size-on-wire helpers ---------------------------------------------------
+//
+// Replies whose trailing `data` array is only meaningful when a flag says
+// so are truncated on the wire to the fields actually carried: the structs
+// keep their full in-memory size, only hdr.payload_size (and with it
+// msg.bytes and the modeled copy cost) shrinks. Receivers must use
+// Message::payload_prefix_as and gate on the flags.
+
+static_assert(offsetof(PageFaultResp, data) == 8,
+              "dataless PageFaultResp wire size");
+static_assert(offsetof(PageFetchResp, data) == 1,
+              "dataless PageFetchResp wire size");
+static_assert(offsetof(PageInvalidateResp, data) == 2,
+              "dataless PageInvalidateResp wire size");
+
+inline std::size_t wire_bytes(const PageFaultResp& r) {
+    return offsetof(PageFaultResp, data) + (r.data_included ? mem::kPageSize : 0);
+}
+inline std::size_t wire_bytes(const PageFetchResp& r) {
+    return offsetof(PageFetchResp, data) + (r.ok ? mem::kPageSize : 0);
+}
+inline std::size_t wire_bytes(const PageInvalidateResp& r) {
+    return offsetof(PageInvalidateResp, data) + (r.data_included ? mem::kPageSize : 0);
+}
+inline std::size_t wire_bytes(const PagePushMsg& r) {
+    return offsetof(PagePushMsg, data) + (r.data_included ? mem::kPageSize : 0);
+}
+inline std::size_t wire_bytes(const PageFaultBatchResp& r) {
+    return offsetof(PageFaultBatchResp, first) + wire_bytes(r.first);
+}
+inline std::size_t wire_bytes(const PageInvalidateRangeReq& r) {
+    return offsetof(PageInvalidateRangeReq, vpn_offset) +
+           static_cast<std::size_t>(r.count) * sizeof(std::uint32_t);
+}
+
 // --- Distributed futex (kFutexWait / kFutexWake / kFutexGrant) -------------
 
 struct FutexWaitReq {

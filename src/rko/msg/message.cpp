@@ -27,6 +27,9 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kLoadReport: return "load_report";
     case MsgType::kLoadGossip: return "load_gossip";
     case MsgType::kSteal: return "steal";
+    case MsgType::kPageInvalidateRange: return "page_invalidate_range";
+    case MsgType::kPageFaultBatch: return "page_fault_batch";
+    case MsgType::kPagePush: return "page_push";
     case MsgType::kCount: break;
     }
     return "unknown";

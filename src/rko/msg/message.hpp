@@ -51,6 +51,10 @@ enum class MsgType : std::uint16_t {
     // Load balancing (balance/)
     kLoadGossip,        ///< one-way balancer load broadcast (nb)
     kSteal,             ///< thief asks victim to surrender a queued thread (leaf)
+    // Coherence batching & fault-around prefetch (core/page_owner, §10)
+    kPageInvalidateRange, ///< directory -> holder: drop/downgrade a VPN batch (leaf)
+    kPageFaultBatch,    ///< remote fault upgraded to a multi-page window (blk)
+    kPagePush,          ///< origin -> requester: one prefetched page (leaf)
     kCount
 };
 
@@ -91,10 +95,39 @@ struct Message {
         std::memcpy(payload.data(), &value, sizeof(T));
     }
 
+    /// Truncated-payload variant for messages whose trailing page-data
+    /// array travels only when flags say so: charges `bytes` on the wire
+    /// instead of sizeof(T), so msg.bytes and modeled copy costs reflect
+    /// what actually crosses the fabric. `bytes` must cover every field the
+    /// receiver reads unconditionally (everything before the data array) —
+    /// pair with payload_prefix_as on the receiving side.
+    template <typename T>
+    void set_payload_prefix(const T& value, std::size_t bytes) {
+        static_assert(std::is_trivially_copyable_v<T>, "payloads must be PODs");
+        static_assert(sizeof(T) <= kMaxPayload, "payload too large for a slot");
+        RKO_ASSERT_MSG(bytes > 0 && bytes <= sizeof(T),
+                       "payload prefix must be within the payload type");
+        hdr.payload_size = static_cast<std::uint32_t>(bytes);
+        std::memcpy(payload.data(), &value, bytes);
+    }
+
     template <typename T>
     const T& payload_as() const {
         static_assert(std::is_trivially_copyable_v<T>, "payloads must be PODs");
         RKO_ASSERT_MSG(hdr.payload_size == sizeof(T), "payload size mismatch");
+        return *reinterpret_cast<const T*>(payload.data());
+    }
+
+    /// Reads a possibly-truncated T (see set_payload_prefix). The slot is
+    /// kMaxPayload wide, so the reference is always in bounds; bytes past
+    /// hdr.payload_size are unspecified and the caller must gate on the
+    /// flags the prefix carries (data_included and friends).
+    template <typename T>
+    const T& payload_prefix_as() const {
+        static_assert(std::is_trivially_copyable_v<T>, "payloads must be PODs");
+        static_assert(sizeof(T) <= kMaxPayload, "payload too large for a slot");
+        RKO_ASSERT_MSG(hdr.payload_size > 0 && hdr.payload_size <= sizeof(T),
+                       "payload prefix size out of range");
         return *reinterpret_cast<const T*>(payload.data());
     }
 
@@ -124,6 +157,17 @@ inline MessagePtr make_message(MsgType type, MsgKind kind) {
     auto m = std::make_unique<Message>();
     m->hdr.type = type;
     m->hdr.kind = kind;
+    return m;
+}
+
+/// make_message with a truncated payload (see Message::set_payload_prefix).
+template <typename T>
+MessagePtr make_message_prefix(MsgType type, MsgKind kind, const T& payload,
+                               std::size_t bytes) {
+    auto m = std::make_unique<Message>();
+    m->hdr.type = type;
+    m->hdr.kind = kind;
+    m->set_payload_prefix(payload, bytes);
     return m;
 }
 

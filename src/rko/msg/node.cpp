@@ -100,26 +100,40 @@ MessagePtr Node::rpc(KernelId dst, MessagePtr request) {
 
 std::vector<MessagePtr> Node::rpc_all(const std::vector<KernelId>& dsts,
                                       const Message& request) {
+    std::vector<ScatterItem> items;
+    items.reserve(dsts.size());
+    for (const KernelId dst : dsts) {
+        items.push_back({dst, std::make_unique<Message>(request)});
+    }
+    return rpc_scatter(std::move(items));
+}
+
+std::vector<MessagePtr> Node::rpc_scatter(std::vector<ScatterItem> items) {
     sim::Actor& self = engine_.current();
     RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
     RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
-    std::vector<MessagePtr> replies(dsts.size());
-    if (dsts.empty()) return replies;
+    std::vector<MessagePtr> replies(items.size());
+    if (items.empty()) return replies;
 
     PendingReply slot;
     slot.waiter = &self;
-    slot.outstanding = static_cast<int>(dsts.size());
+    slot.outstanding = static_cast<int>(items.size());
     slot.sink = &replies;
 
-    for (std::size_t i = 0; i < dsts.size(); ++i) {
-        auto copy = std::make_unique<Message>(request);
-        copy->hdr.kind = MsgKind::kRequest;
-        copy->hdr.ticket = next_ticket_++;
-        pending_.emplace(copy->hdr.ticket, &slot);
-        ticket_index_.emplace(copy->hdr.ticket, i);
-        send(dsts[i], std::move(copy));
+    ++scatter_batches_;
+    scatter_posts_ += items.size();
+    scatter_fanout_.add(static_cast<Nanos>(items.size()));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        MessagePtr request = std::move(items[i].request);
+        request->hdr.kind = MsgKind::kRequest;
+        request->hdr.ticket = next_ticket_++;
+        pending_.emplace(request->hdr.ticket, &slot);
+        ticket_index_.emplace(request->hdr.ticket, i);
+        send(items[i].dst, std::move(request));
     }
+    const Nanos wait_start = engine_.now();
     while (slot.outstanding > 0) self.park();
+    scatter_wait_.add(engine_.now() - wait_start);
     return replies;
 }
 

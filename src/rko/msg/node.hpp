@@ -83,12 +83,34 @@ public:
     std::vector<MessagePtr> rpc_all(const std::vector<KernelId>& dsts,
                                     const Message& request);
 
+    /// Heterogeneous scatter-gather: posts every (dst, request) pair and
+    /// parks ONCE until all replies arrive; returns them in post order.
+    /// Unlike rpc_all the payloads differ per destination, and a
+    /// destination may appear more than once (tickets, not kernel ids,
+    /// correlate replies). The caller pays the posts' enqueue costs
+    /// serially but waits out every round trip concurrently — the fan-out
+    /// primitive the page-ownership protocol's parallel invalidation and
+    /// ranged revokes are built on.
+    struct ScatterItem {
+        KernelId dst;
+        MessagePtr request;
+    };
+    std::vector<MessagePtr> rpc_scatter(std::vector<ScatterItem> items);
+
     // --- Introspection ---
     std::uint64_t dispatched(MsgType type) const {
         return dispatched_[static_cast<std::size_t>(type)];
     }
     std::uint64_t total_dispatched() const;
     const base::Histogram& delivery_latency() const { return delivery_latency_; }
+    // Scatter-gather accounting (rpc_all and rpc_scatter; msg.scatter.* in
+    // Machine::collect_metrics): batches posted, total requests in them,
+    // the fan-out distribution, and the overlapped wait per batch — what a
+    // serial per-destination loop would have multiplied by the fan-out.
+    std::uint64_t scatter_batches() const { return scatter_batches_; }
+    std::uint64_t scatter_posts() const { return scatter_posts_; }
+    const base::Histogram& scatter_fanout() const { return scatter_fanout_; }
+    const base::Histogram& scatter_wait() const { return scatter_wait_; }
     bool in_nonblocking_handler() const { return in_nb_handler_; }
     /// RPCs awaiting a reply (must be 0 at quiesce).
     std::size_t pending_replies() const { return pending_.size(); }
@@ -151,6 +173,10 @@ private:
 
     std::array<std::uint64_t, kNumMsgTypes> dispatched_{};
     base::Histogram delivery_latency_;
+    std::uint64_t scatter_batches_ = 0;
+    std::uint64_t scatter_posts_ = 0;
+    base::Histogram scatter_fanout_;
+    base::Histogram scatter_wait_;
 };
 
 } // namespace rko::msg

@@ -80,6 +80,15 @@ struct Task {
     /// KernelId; feeds the affinity policy.
     std::array<std::uint32_t, topo::kMaxKernels> fault_from{};
 
+    // --- fault-around prefetch (core/page_owner, DESIGN.md §10) ---
+    /// Stride detector state: the last page this task faulted on and how
+    /// many consecutive faults advanced by exactly one page. A migrating
+    /// thread gets a fresh task record at the destination, so the run
+    /// restarts there — deliberately, since its fault stream now crosses
+    /// a different fabric edge.
+    mem::Vaddr last_fault_page = 0;
+    std::uint32_t fault_run = 0;
+
     bool on_core() const { return core >= 0; }
 };
 

@@ -433,5 +433,104 @@ TEST(Node, BlockingHandlersRunConcurrentlyOnWorkerPool) {
     h.finish();
 }
 
+TEST(Node, RpcScatterHeterogeneousPayloadsCollectInItemOrder) {
+    // Unlike rpc_all (one request copied to every destination), rpc_scatter
+    // ships a DIFFERENT message per item; replies land in item order.
+    Harness h(4);
+    for (KernelId k = 1; k < 4; ++k) {
+        h.fabric->node(k).register_handler(
+            MsgType::kPing, HandlerClass::kInline, [](Node& node, MessagePtr m) {
+                node.reply(*m, make_message(MsgType::kPing, MsgKind::kReply,
+                                            PingPayload{m->payload_as<PingPayload>().value * 2}));
+            });
+    }
+    h.start();
+    std::vector<int> answers;
+    Actor app(h.engine, "app", [&](Actor&) {
+        std::vector<Node::ScatterItem> items;
+        // Deliberately not in destination order.
+        for (const auto& [dst, v] : {std::pair{3, 30}, {1, 10}, {2, 20}}) {
+            items.push_back({static_cast<KernelId>(dst),
+                             make_message(MsgType::kPing, MsgKind::kRequest,
+                                          PingPayload{v})});
+        }
+        auto replies = h.fabric->node(0).rpc_scatter(std::move(items));
+        for (auto& r : replies) answers.push_back(r->payload_as<PingPayload>().value);
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(answers, (std::vector<int>{60, 20, 40}));
+    EXPECT_EQ(h.fabric->node(0).scatter_batches(), 1u);
+    EXPECT_EQ(h.fabric->node(0).scatter_posts(), 3u);
+    h.finish();
+}
+
+TEST(Node, RpcScatterRepeatedDestinationKeepsSlotsDistinct) {
+    // Two items to the SAME kernel: the ticket, not the source, must route
+    // each reply to its own slot.
+    Harness h(2);
+    h.fabric->node(1).register_handler(
+        MsgType::kPing, HandlerClass::kInline, [](Node& node, MessagePtr m) {
+            node.reply(*m, make_message(MsgType::kPing, MsgKind::kReply,
+                                        PingPayload{m->payload_as<PingPayload>().value + 1}));
+        });
+    h.start();
+    std::vector<int> answers;
+    Actor app(h.engine, "app", [&](Actor&) {
+        std::vector<Node::ScatterItem> items;
+        items.push_back({1, make_message(MsgType::kPing, MsgKind::kRequest,
+                                         PingPayload{100})});
+        items.push_back({1, make_message(MsgType::kPing, MsgKind::kRequest,
+                                         PingPayload{200})});
+        auto replies = h.fabric->node(0).rpc_scatter(std::move(items));
+        for (auto& r : replies) answers.push_back(r->payload_as<PingPayload>().value);
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(answers, (std::vector<int>{101, 201}));
+    h.finish();
+}
+
+TEST(Node, RpcScatterEmptyReturnsImmediately) {
+    Harness h(2);
+    h.start();
+    bool returned = false;
+    Actor app(h.engine, "app", [&](Actor&) {
+        auto replies = h.fabric->node(0).rpc_scatter({});
+        EXPECT_TRUE(replies.empty());
+        returned = true;
+    });
+    app.start();
+    h.engine.run_until(1_ms);
+    EXPECT_TRUE(returned);
+    h.finish();
+}
+
+TEST(Node, RpcAllCountsAsOneScatterBatch) {
+    // rpc_all delegates to rpc_scatter: N posts, one park, one batch.
+    Harness h(4);
+    for (KernelId k = 1; k < 4; ++k) {
+        h.fabric->node(k).register_handler(
+            MsgType::kPing, HandlerClass::kInline, [](Node& node, MessagePtr m) {
+                node.reply(*m, make_message(MsgType::kPing, MsgKind::kReply,
+                                            m->payload_as<PingPayload>()));
+            });
+    }
+    h.start();
+    Actor app(h.engine, "app", [&](Actor&) {
+        Message request;
+        request.hdr.type = MsgType::kPing;
+        request.set_payload(PingPayload{5});
+        auto replies = h.fabric->node(0).rpc_all({1, 2, 3}, request);
+        EXPECT_EQ(replies.size(), 3u);
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(h.fabric->node(0).scatter_batches(), 1u);
+    EXPECT_EQ(h.fabric->node(0).scatter_posts(), 3u);
+    EXPECT_EQ(h.fabric->node(0).scatter_fanout().count(), 1u);
+    h.finish();
+}
+
 } // namespace
 } // namespace rko::msg
