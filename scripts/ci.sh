@@ -3,14 +3,18 @@
 # repro command when it fails so a red run is immediately actionable.
 #
 #   1. tier-1:   plain build + ctest (the correctness floor)
-#   2. lint:     scripts/lint.sh (lint_rko.py + clang-tidy if installed)
-#   3. asan/tsan: scripts/check.sh (ASan+UBSan tree, then TSan tree)
-#   4. explore:  200-seed schedule-exploration sweep over every scenario
+#   2. checked:  the same ctest suite with RKO_CHECK=1, arming every gated
+#                inline protocol assertion (busy-bit audits, waiter dedup,
+#                post-revoke sweeps) — keeps the soak/invariant results of
+#                later stages trustworthy
+#   3. lint:     scripts/lint.sh (lint_rko.py + clang-tidy if installed)
+#   4. asan/tsan: scripts/check.sh (ASan+UBSan tree, then TSan tree)
+#   5. explore:  200-seed schedule-exploration sweep over every scenario
 #                with invariant audits armed (RKO_CHECK=1); failures print
 #                the offending seed and its repro line
-#   5. bench:    quick page-fault bench vs the committed baseline — virtual
-#                time is exactly reproducible, so any >10% drift in a key
-#                protocol latency is a real regression (bench_compare.py)
+#   6. bench:    quick page-fault + rebalance benches vs the committed
+#                baselines — virtual time is exactly reproducible, so any
+#                >10% drift in a key protocol latency is a real regression
 #
 # Usage: scripts/ci.sh [--quick]   (--quick: 25 explore seeds, skip sanitizers)
 set -e
@@ -29,27 +33,31 @@ fail() {
   exit 1
 }
 
-echo "=== ci.sh stage 1/5: tier-1 build + tests ==="
+echo "=== ci.sh stage 1/6: tier-1 build + tests ==="
 cmake -B build -S . >/dev/null || fail tier-1 "cmake -B build -S ."
 cmake --build build -j "$JOBS" || fail tier-1 "cmake --build build -j"
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   || fail tier-1 "ctest --test-dir build --output-on-failure"
 
-echo "=== ci.sh stage 2/5: lint ==="
+echo "=== ci.sh stage 2/6: tier-1 tests with RKO_CHECK=1 ==="
+RKO_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
+  || fail checked "RKO_CHECK=1 ctest --test-dir build --output-on-failure"
+
+echo "=== ci.sh stage 3/6: lint ==="
 scripts/lint.sh || fail lint "scripts/lint.sh"
 
 if [ "$QUICK" = 1 ]; then
-  echo "=== ci.sh stage 3/5: sanitizers skipped (--quick) ==="
+  echo "=== ci.sh stage 4/6: sanitizers skipped (--quick) ==="
 else
-  echo "=== ci.sh stage 3/5: ASan+UBSan and TSan ==="
+  echo "=== ci.sh stage 4/6: ASan+UBSan and TSan ==="
   scripts/check.sh || fail sanitizers "scripts/check.sh"
 fi
 
-echo "=== ci.sh stage 4/5: ${EXPLORE_SEEDS}-seed schedule exploration ==="
+echo "=== ci.sh stage 5/6: ${EXPLORE_SEEDS}-seed schedule exploration ==="
 RKO_CHECK=1 ./build/tools/rko_explore --seeds "$EXPLORE_SEEDS" \
   || fail explore "RKO_CHECK=1 ./build/tools/rko_explore --seeds $EXPLORE_SEEDS"
 
-echo "=== ci.sh stage 5/5: bench regression gate ==="
+echo "=== ci.sh stage 6/6: bench regression gate ==="
 mkdir -p build/bench_out
 ./build/bench/bench_pagefault --quick \
     --json=build/bench_out/bench_pagefault_quick.json >/dev/null \
@@ -57,6 +65,14 @@ mkdir -p build/bench_out
 scripts/bench_compare.py bench/baselines/bench_pagefault_quick.json \
     build/bench_out/bench_pagefault_quick.json \
   || fail bench "scripts/bench_compare.py bench/baselines/bench_pagefault_quick.json build/bench_out/bench_pagefault_quick.json"
+./build/bench/bench_rebalance --quick \
+    --json=build/bench_out/bench_rebalance_quick.json >/dev/null \
+  || fail bench "./build/bench/bench_rebalance --quick --json=..."
+scripts/bench_compare.py bench/baselines/bench_rebalance_quick.json \
+    build/bench_out/bench_rebalance_quick.json \
+    --key "burst.*.migrate_ns" --key "burst.*.auto_*_ns" \
+    --key "degraded.*_round_ns" \
+  || fail bench "scripts/bench_compare.py bench/baselines/bench_rebalance_quick.json build/bench_out/bench_rebalance_quick.json --key 'burst.*.migrate_ns' --key 'burst.*.auto_*_ns' --key 'degraded.*_round_ns'"
 
 echo ""
 echo "ci.sh: all stages green"

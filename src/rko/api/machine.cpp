@@ -1,8 +1,14 @@
 #include "rko/api/machine.hpp"
 
+#include <cstring>
+#include <limits>
+#include <vector>
+
 #include "rko/base/log.hpp"
 #include "rko/check/invariants.hpp"
+#include "rko/core/dfutex.hpp"
 #include "rko/core/page_owner.hpp"
+#include "rko/task/sched.hpp"
 
 namespace rko::api {
 
@@ -35,16 +41,121 @@ Machine::Machine(MachineConfig config)
         if (config_.balance.policy != balance::Policy::kNone) {
             k->install_balancer(config_.balance);
         }
+        if (config_.elastic.enabled) {
+            k->install_elastic(config_.elastic);
+            install_elastic_hooks(*k);
+        }
     }
     fabric_->start_all();
     for (auto& k : kernels_) {
-        if (k->balancer() != nullptr) k->balancer()->start();
+        if (k->elastic() != nullptr) k->elastic()->start();
+        // Deferred-boot kernels (hot-join targets) sit parted with no
+        // balancer until Machine::join_kernel starts one.
+        const bool deferred =
+            config_.elastic.enabled &&
+            (config_.elastic.deferred_mask & (1u << k->id())) != 0;
+        if (k->balancer() != nullptr && !deferred) k->balancer()->start();
     }
+}
+
+void Machine::install_elastic_hooks(kernel::Kernel& k) {
+    kernel::Kernel* kp = &k;
+    // Kill: unwind every guest fiber hosted here. Runs on the reaper actor
+    // (actor context — Scheduler::wake may sleep). Collect tids first: the
+    // woken threads erase themselves from the task map as they exit.
+    k.elastic()->set_thread_killer([this, kp] {
+        std::vector<Tid> tids;
+        kp->for_each_task([&tids](const task::Task& t) {
+            if (t.state == task::TaskState::kExited ||
+                t.state == task::TaskState::kShadow) {
+                return;
+            }
+            tids.push_back(t.tid);
+        });
+        for (const Tid tid : tids) {
+            task::Task* t = kp->find_task(tid);
+            if (t == nullptr || t->state == task::TaskState::kExited ||
+                t->state == task::TaskState::kShadow) {
+                continue;
+            }
+            if (Thread* thread = thread_of(tid)) thread->request_kill();
+            // Blocked threads need a spurious wake to reach the kill check;
+            // queued/running ones hit it at their next guest operation.
+            if (t->state == task::TaskState::kBlocked) kp->sched().wake(*t);
+        }
+    });
+    // Reap (at the origin): a member died with its kernel — publish its
+    // CLEARTID word through the normal coherence machinery so joiners
+    // parked on the ctid futex unblock with the usual protocol.
+    k.elastic()->set_thread_lost([this, kp](Pid pid, Tid tid) {
+        Thread* thread = thread_of(tid);
+        if (thread == nullptr || !kp->has_site(pid)) return;
+        auto& site = kp->site(pid);
+        const mem::Vaddr ctid = thread->ctid();
+        const mem::Vaddr page = ctid & ~static_cast<mem::Vaddr>(mem::kPageSize - 1);
+        mem::Vma vma;
+        {
+            const mem::Vma* found = site.space().vmas().find(ctid);
+            if (found == nullptr) return; // process already torn down
+            vma = *found;
+        }
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            if (kp->pages().acquire(site, vma, page,
+                                    mem::kProtRead | mem::kProtWrite) !=
+                mem::Mmu::FaultResult::kFixed) {
+                return;
+            }
+            const mem::Pte* pte = site.space().page_table().find(page);
+            if (pte == nullptr || !pte->present ||
+                (pte->prot & mem::kProtWrite) == 0) {
+                continue; // transaction retried; fault again
+            }
+            const std::uint32_t one = 1;
+            std::memcpy(kp->phys().frame_ptr(pte->paddr) + (ctid - page), &one,
+                        sizeof one);
+            kp->futex().wake_at_origin(site, pid, ctid,
+                                       std::numeric_limits<std::uint32_t>::max());
+            return;
+        }
+    });
+}
+
+void Machine::kill_kernel(topo::KernelId id) {
+    kernel::Kernel& k = kernel(id);
+    RKO_ASSERT_MSG(k.elastic() != nullptr, "kill_kernel requires elastic.enabled");
+    k.for_each_site([](core::ProcessSite& site) {
+        RKO_ASSERT_MSG(!site.is_origin(),
+                       "origin kernels are immortal: cannot kill a process home");
+    });
+    k.elastic()->request_kill();
+}
+
+void Machine::drain_kernel(topo::KernelId id) {
+    kernel::Kernel& k = kernel(id);
+    RKO_ASSERT_MSG(k.elastic() != nullptr, "drain_kernel requires elastic.enabled");
+    k.for_each_site([](core::ProcessSite& site) {
+        RKO_ASSERT_MSG(!site.is_origin(),
+                       "origin kernels are immortal: cannot drain a process home");
+    });
+    k.elastic()->request_drain();
+}
+
+void Machine::join_kernel(topo::KernelId id) {
+    kernel::Kernel& k = kernel(id);
+    RKO_ASSERT_MSG(k.elastic() != nullptr, "join_kernel requires elastic.enabled");
+    k.elastic()->request_join();
+}
+
+bool Machine::is_killed(topo::KernelId id) {
+    kernel::Kernel& k = kernel(id);
+    return k.elastic() != nullptr &&
+           k.elastic()->peer_state(id) != elastic::PeerState::kAlive;
 }
 
 Machine::~Machine() {
     for (auto& k : kernels_) {
         if (k->balancer() != nullptr) k->balancer()->request_stop();
+        if (k->elastic() != nullptr) k->elastic()->request_stop();
     }
     fabric_->request_stop_all();
     engine_.run();
@@ -100,6 +211,8 @@ trace::MetricsRegistry Machine::collect_metrics() {
         merged.histogram("msg.delivery_ns").merge(node.delivery_latency());
         merged.counter("msg.scatter.batches").inc(node.scatter_batches());
         merged.counter("msg.scatter.posts").inc(node.scatter_posts());
+        merged.counter("msg.dead_letters").inc(node.dead_letters());
+        merged.counter("msg.rpc_failures").inc(node.rpc_failures());
         merged.histogram("msg.scatter.fanout").merge(node.scatter_fanout());
         merged.histogram("msg.scatter.wait_ns").merge(node.scatter_wait());
     }

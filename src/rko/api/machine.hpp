@@ -20,6 +20,7 @@
 #include "rko/api/process.hpp"
 #include "rko/balance/balance.hpp"
 #include "rko/check/gate.hpp"
+#include "rko/elastic/elastic.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/mem/phys.hpp"
 #include "rko/msg/fabric.hpp"
@@ -63,6 +64,10 @@ struct MachineConfig {
     /// kNone no balancer actors or handlers exist and runs are
     /// bit-identical to the pre-balancer machine.
     balance::BalanceConfig balance;
+    /// Kernel elasticity (rko/elastic): lease-based failure detection,
+    /// drain, and hot add/remove. Disabled by default — no elastic actors
+    /// or handlers exist and runs are bit-identical to the static machine.
+    elastic::ElasticConfig elastic;
 };
 
 class Machine {
@@ -95,6 +100,21 @@ public:
     Nanos run();
     Nanos run_until(Nanos deadline);
 
+    // --- Elasticity (requires config().elastic.enabled) ---
+    /// Fail-stops `id` at the current virtual time: its node goes dead, its
+    /// guest threads are unwound with status 137, and peers detect the
+    /// silence via expired leases. The kernel must not home any process.
+    void kill_kernel(topo::KernelId id);
+    /// Gracefully evacuates `id`: threads re-place onto peers, owned page
+    /// copies are handed back to their origins, then the kernel parts.
+    void drain_kernel(topo::KernelId id);
+    /// Hot add: a parted (or deferred-boot) kernel rejoins and its balancer
+    /// starts, so idle-steal pulls work within one balance period.
+    void join_kernel(topo::KernelId id);
+    /// True when `id` is out of the membership (killed, drained, or booted
+    /// deferred and not yet joined). Invariant checkers exempt such kernels.
+    bool is_killed(topo::KernelId id);
+
     /// Virtual time now.
     Nanos now() const { return engine_.now(); }
 
@@ -116,6 +136,10 @@ public:
     Thread* thread_of(Tid tid);
 
 private:
+    /// Installs the kill/reap callbacks the elastic subsystem needs from
+    /// the layer that owns the Thread objects.
+    void install_elastic_hooks(kernel::Kernel& k);
+
     MachineConfig config_;
     sim::Engine engine_;
     topo::Topology topo_;

@@ -11,6 +11,7 @@
 #include "rko/core/migration.hpp"
 #include "rko/core/vma_server.hpp"
 #include "rko/kernel/kernel.hpp"
+#include "rko/msg/node.hpp"
 #include "rko/trace/trace.hpp"
 
 namespace rko::api {
@@ -129,10 +130,10 @@ bool Thread::finished() const {
 
 void Thread::body() {
     Guest guest(machine_, *this);
-    guest.place(kernel_id_);
 
     int status = 0;
     try {
+        guest.place(kernel_id_);
         fn_(guest);
     } catch (const mem::GuestFault& fault) {
         segfaulted_ = true;
@@ -140,22 +141,45 @@ void Thread::body() {
         RKO_WARN("tid %lld SIGSEGV at guest address 0x%llx",
                  static_cast<long long>(tid_),
                  static_cast<unsigned long long>(fault.addr));
+    } catch (const ThreadKilled&) {
+        status = 137; // 128 + SIGKILL: this kernel was fail-stopped
+    } catch (const msg::LocalNodeDead&) {
+        status = 137; // kernel died under a syscall in flight
     }
     exit_status_ = status;
 
+    kernel::Kernel& k = machine_.kernel(kernel_id_);
+    if (k.node().dead()) {
+        // Fail-stop exit: no wire traffic. The origin reaps the group
+        // record when the failure detector fires and publishes the ctid
+        // word through the Machine's thread_lost hook.
+        mmu_->detach();
+        k.sys_exit_local(*task_, status);
+        return;
+    }
+
     // CLEARTID: publish exit and wake joiners through the normal guest
     // futex machinery (glibc's pthread_join protocol).
-    kernel::Kernel& k = machine_.kernel(kernel_id_);
     try {
         mmu_->write<std::uint32_t>(ctid_, 1);
         mmu_->flush_charges();
         k.sys_futex_wake(*task_, ctid_, std::numeric_limits<std::uint32_t>::max());
     } catch (const mem::GuestFault&) {
         RKO_WARN("tid %lld: ctid word unreachable at exit", static_cast<long long>(tid_));
+    } catch (const msg::LocalNodeDead&) {
+        // Kernel fail-stopped mid-exit; fall through to the local path.
     }
 
     mmu_->detach();
-    k.sys_exit(*task_, status);
+    if (k.node().dead()) {
+        k.sys_exit_local(*task_, status);
+        return;
+    }
+    try {
+        k.sys_exit(*task_, status);
+    } catch (const msg::LocalNodeDead&) {
+        k.sys_exit_local(*task_, status);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -180,7 +204,10 @@ void Guest::place(topo::KernelId kernel_id) {
     for (;;) {
         bind(where);
         machine_.kernel(where).sched().acquire(t());
-        if (t().on_core()) return;
+        if (t().on_core()) {
+            check_killed();
+            return;
+        }
         // A balancer claimed this task while it sat queued: acquire returned
         // core-less with the task marked kMigrating. The thread ships itself
         // (the fiber cannot travel on a wire) and queues at the target.
@@ -188,9 +215,17 @@ void Guest::place(topo::KernelId kernel_id) {
         RKO_ASSERT(t().state == task::TaskState::kMigrating);
         RKO_ASSERT(dest >= 0 && dest != where);
         thread_.mmu_->detach();
-        RKO_ASSERT(machine_.kernel(where).migration().migrate_out(t(), dest, nullptr));
+        if (!machine_.kernel(where).migration().migrate_out(t(), dest, nullptr)) {
+            // Destination refused or died mid-transfer; the task record
+            // stayed here (kMigrating, hint cleared) — re-acquire locally.
+            continue;
+        }
         where = dest;
     }
+}
+
+void Guest::check_killed() {
+    if (thread_.kill_requested_) throw ThreadKilled{};
 }
 
 void Guest::rebalance_checkpoint() {
@@ -239,12 +274,22 @@ std::uint32_t Guest::cas_u32(mem::Vaddr addr, std::uint32_t expect,
 
 int Guest::futex_wait(mem::Vaddr uaddr, std::uint32_t val) {
     thread_.mmu_->flush_charges();
-    return k().sys_futex_wait(t(), uaddr, val);
+    check_killed();
+    const int rc = k().sys_futex_wait(t(), uaddr, val);
+    // A drain (or kill) wakes waiters spuriously with a balance hint or
+    // the kill flag set; honor them before returning to guest code.
+    check_killed();
+    rebalance_checkpoint();
+    return rc;
 }
 
 int Guest::futex_wait_for(mem::Vaddr uaddr, std::uint32_t val, Nanos timeout) {
     thread_.mmu_->flush_charges();
-    return k().sys_futex_wait(t(), uaddr, val, timeout);
+    check_killed();
+    const int rc = k().sys_futex_wait(t(), uaddr, val, timeout);
+    check_killed();
+    rebalance_checkpoint();
+    return rc;
 }
 
 mem::Vaddr Guest::brk(mem::Vaddr new_brk) {
@@ -315,7 +360,12 @@ core::MigrationBreakdown Guest::migrate(topo::KernelId dest) {
     if (dest == thread_.kernel_id_) return breakdown;
     thread_.mmu_->detach();
     kernel::Kernel& src = k();
-    RKO_ASSERT(src.migration().migrate_out(t(), dest, &breakdown));
+    if (!src.migration().migrate_out(t(), dest, &breakdown)) {
+        // Destination dead or refusing: resume locally as if the
+        // migration had never been requested.
+        place(thread_.kernel_id_);
+        return breakdown;
+    }
     const Nanos resumed_from = now();
 
     // place() rather than bind+acquire: a balancer may claim the task while
@@ -336,6 +386,7 @@ core::MigrationBreakdown Guest::migrate(topo::KernelId dest) {
 void Guest::yield() {
     thread_.mmu_->flush_charges();
     k().sys_yield(t());
+    check_killed();
     rebalance_checkpoint();
 }
 
@@ -346,6 +397,7 @@ void Guest::compute(Nanos ns) {
         const Nanos chunk = std::min(ns, kQuantum);
         thread_.actor_->sleep_for(chunk);
         ns -= chunk;
+        check_killed();
         k().sched().maybe_preempt(t());
         rebalance_checkpoint();
     }

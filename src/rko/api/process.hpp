@@ -35,6 +35,11 @@ class Guest;
 
 using GuestFn = std::function<void(Guest&)>;
 
+/// Thrown inside guest code when this thread's kernel was fail-stopped
+/// (rko/elastic): unwinds the fiber back to Thread::body, which exits the
+/// task locally with status 137 (128 + SIGKILL).
+struct ThreadKilled {};
+
 /// Handle to one guest thread (the continuously-executing entity; the
 /// per-kernel task records come and go as it migrates).
 class Thread {
@@ -53,6 +58,11 @@ public:
     sim::Actor* actor() { return actor_.get(); }
     topo::KernelId current_kernel() const { return kernel_id_; }
 
+    /// Elastic kill: the next guest operation throws ThreadKilled. Called
+    /// by the kernel's reaper via the Machine's thread_killer hook.
+    void request_kill() { kill_requested_ = true; }
+    bool kill_requested() const { return kill_requested_; }
+
 private:
     friend class Guest;
     friend class Process;
@@ -70,6 +80,7 @@ private:
     task::Task* task_ = nullptr;
     int exit_status_ = 0;
     bool segfaulted_ = false;
+    bool kill_requested_ = false;
 };
 
 class Process {
@@ -209,6 +220,10 @@ private:
     /// Preemption-checkpoint hook: consumes a pending balancer hint
     /// (Task::balance_target) by self-migrating. No-op when none is set.
     void rebalance_checkpoint();
+    /// Elastic kill checkpoint: throws ThreadKilled when this thread's
+    /// kernel was fail-stopped. Checked at syscall entries and compute
+    /// quanta — the same user-space boundaries migration uses.
+    void check_killed();
 
     Machine& machine_;
     Thread& thread_;

@@ -9,6 +9,7 @@
 #include "rko/core/wire.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/elastic/elastic.hpp"
 #include "rko/task/sched.hpp"
 #include "rko/trace/trace.hpp"
 
@@ -47,7 +48,12 @@ void Balancer::install() {
 }
 
 void Balancer::start() {
-    RKO_ASSERT(actor_ == nullptr);
+    // Restartable (elastic hot-join): a finished tick actor from a previous
+    // life is simply replaced.
+    RKO_ASSERT(actor_ == nullptr || actor_->finished());
+    stop_ = false;
+    idle_parked_ = false;
+    was_active_ = false;
     k_.ssi().set_balance_period(config_.period);
     k_.ssi().set_gossip_hook([this] { doorbell(); });
     k_.sched().set_enqueue_hook([this] { doorbell(); });
@@ -78,6 +84,9 @@ void Balancer::note_moved(const task::Task& t) { ++moves_[t.tid]; }
 
 bool Balancer::has_work() const {
     if (k_.live_task_count() > 0) return true;
+    // In-flight RPCs keep the tick alive so the lease checker can notice a
+    // peer that died while we were waiting on it.
+    if (k_.node().pending_replies() > 0) return true;
     // An otherwise idle kernel keeps ticking only while the gossip table
     // shows a peer with queued threads: thieves need to steal from it, and
     // under threshold-push the periodic gossip is what advertises this
@@ -86,6 +95,7 @@ bool Balancer::has_work() const {
     // drained machine still quiesces.
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (k_.elastic() != nullptr && !k_.elastic()->alive(peer)) continue;
         const core::LoadEntry& e = k_.ssi().table_entry(peer);
         if (e.stamp >= 0 && e.nrunnable > 0) return true;
     }
@@ -110,8 +120,16 @@ void Balancer::tick_body(sim::Actor& self) {
         ticks_.inc();
         const Nanos age = k_.ssi().table_age(k_.engine().now());
         if (age >= 0) staleness_.add(age);
-        gossip();
-        decide();
+        try {
+            gossip();
+            // The lease check rides the gossip tick: peers whose renewals
+            // went missing get probed (and possibly declared dead) here.
+            if (k_.elastic() != nullptr) k_.elastic()->check_leases();
+            decide();
+        } catch (const msg::LocalNodeDead&) {
+            // This kernel was killed mid-tick; the actor winds down.
+            break;
+        }
         if (stop_) break;
         // park_for (not sleep_for) so a doorbell raised mid-tick — or the
         // stop request — shortens the wait instead of tripping on a banked
@@ -128,6 +146,7 @@ void Balancer::gossip() {
     k_.ssi().note_load(k_.id(), ntasks, nrunnable, idle, now);
     const core::LoadGossipMsg row{k_.id(), ntasks, nrunnable, idle, now};
     for (const topo::KernelId peer : k_.fabric().peers_of(k_.id())) {
+        if (k_.elastic() != nullptr && !k_.elastic()->alive(peer)) continue;
         k_.node().send(peer, msg::make_message(msg::MsgType::kLoadGossip,
                                                msg::MsgKind::kOneway, row));
         gossip_sent_.inc();
@@ -161,6 +180,7 @@ void Balancer::decide_push() {
     std::array<std::int64_t, static_cast<std::size_t>(topo::kMaxKernels)> spare{};
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (k_.elastic() != nullptr && !k_.elastic()->alive(peer)) continue;
         const core::LoadEntry& e = k_.ssi().table_entry(peer);
         spare[static_cast<std::size_t>(peer)] =
             e.stamp >= 0 ? static_cast<std::int64_t>(e.idle_cores) : 0;
@@ -197,6 +217,7 @@ void Balancer::decide_steal() {
     std::array<std::int64_t, static_cast<std::size_t>(topo::kMaxKernels)> depth{};
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (k_.elastic() != nullptr && !k_.elastic()->alive(peer)) continue;
         const core::LoadEntry& e = k_.ssi().table_entry(peer);
         depth[static_cast<std::size_t>(peer)] =
             e.stamp >= 0 ? static_cast<std::int64_t>(e.nrunnable) : 0;
@@ -212,9 +233,18 @@ void Balancer::decide_steal() {
             }
         }
         if (victim < 0) return;
-        auto reply = k_.node().rpc(
+        // Timed: a victim that dies mid-request must not hang the balancer
+        // (and with it the whole kernel's lease checking) forever.
+        msg::RpcStatus st = msg::RpcStatus::kOk;
+        auto reply = k_.node().rpc_timed(
             victim, msg::make_message(msg::MsgType::kSteal, msg::MsgKind::kRequest,
-                                      core::StealReq{k_.id(), 0}));
+                                      core::StealReq{k_.id(), 0}),
+            2 * config_.period, &st);
+        if (reply == nullptr) {
+            steal_denied_.inc();
+            depth[static_cast<std::size_t>(victim)] = 0;
+            continue;
+        }
         const auto& resp = reply->payload_as<core::StealResp>();
         if (!resp.granted) {
             steal_denied_.inc();

@@ -501,6 +501,103 @@ ScenarioResult run_prefetch_race(const ExploreConfig& cfg) {
 }
 
 // ---------------------------------------------------------------------------
+// Elastic-membership storms (§11): kernels fail-stop, hot-join, and drain
+// mid-run while the load balancer is moving the very threads affected.
+// ---------------------------------------------------------------------------
+
+MachineConfig elastic_storm_config(const ExploreConfig& cfg) {
+    MachineConfig mc = base_config(cfg);
+    mc.balance.policy = balance::Policy::kIdleSteal;
+    mc.balance.period = 20_us;
+    mc.balance.min_residency = 50_us;
+    mc.balance.migration_budget = 8;
+    mc.elastic.enabled = true;
+    mc.elastic.lease_misses = 4;
+    return mc;
+}
+
+/// Two kernels fail-stop in sequence under a mixed compute/futex/shared-
+/// page load. k0 and k1 each run two saturating 4 ms "anchor" computes:
+/// their cores are never idle, so idle-steal cannot pull the doomed
+/// threads to safety, and the failure detector keeps ticking long past
+/// both deaths. The victims on k2/k3 hammer one shared page (homed at the
+/// immortal origin) and take short timed futex waits, so each kill lands
+/// on running, queued, blocked, and rpc-parked fibers alike — and steals
+/// between k2 and k3 during the wait windows keep threads in flight when
+/// the axe falls. k3 dies at 300 us and k2 at 700 us, so the second reap
+/// runs against a membership that already lost a kernel. Which victim
+/// dies where is schedule-dependent, so the assertions are the audits
+/// (including the elastic family) and per-seed replay reproducibility.
+ScenarioResult run_kill_storm(const ExploreConfig& cfg) {
+    Machine machine(elastic_storm_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    for (topo::KernelId k = 0; k < 2; ++k) {
+        for (int c = 0; c < 2; ++c) {
+            process.spawn([](Guest& g) { g.compute(4_ms); }, k);
+        }
+    }
+    for (int i = 0; i < 6; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                const Vaddr slot = buf + static_cast<Vaddr>(i) * 8;
+                for (int r = 0; r < 40; ++r) {
+                    g.rmw_u32(slot, [](std::uint32_t v) { return v + 1; });
+                    // Never signalled: a bounded blocking window per round.
+                    g.futex_wait_for(buf + 512, 0, 3_us);
+                    g.compute(30_us);
+                }
+            },
+            static_cast<topo::KernelId>(2 + i % 2));
+    }
+    machine.run_until(300_us);
+    machine.kill_kernel(3);
+    machine.run_until(700_us);
+    machine.kill_kernel(2);
+    machine.run();
+    return finish(machine);
+}
+
+/// Capacity churn without failures: half the machine boots parted (k2 and
+/// k3 deferred) while a 10-thread burst lands on k0/k1. The missing
+/// kernels hot-join mid-run — k2 at 100 us, k3 at 200 us — so the joins
+/// race in-flight steals, gossip, and each other; then k1 drains at
+/// 400 us, pushing its share of threads and page copies onto the freshly
+/// joined capacity. Every thread finishes cleanly wherever it lands and
+/// every slot ends at exactly its increment count, so the final content
+/// is schedule-independent and hashed across seeds.
+ScenarioResult run_join_storm(const ExploreConfig& cfg) {
+    MachineConfig mc = elastic_storm_config(cfg);
+    mc.elastic.deferred_mask = (1u << 2) | (1u << 3);
+    Machine machine(mc);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    for (int i = 0; i < 10; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                const Vaddr slot = buf + static_cast<Vaddr>(i) * 8;
+                for (int r = 0; r < 10; ++r) {
+                    g.rmw_u32(slot, [](std::uint32_t v) { return v + 1; });
+                    g.compute(60_us);
+                }
+            },
+            static_cast<topo::KernelId>(i % 2));
+    }
+    machine.run_until(100_us);
+    machine.join_kernel(2);
+    machine.run_until(200_us);
+    machine.join_kernel(3);
+    machine.run_until(400_us);
+    machine.drain_kernel(1);
+    machine.run();
+    return finish(machine);
+}
+
+// ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
 
@@ -592,6 +689,16 @@ const std::vector<Scenario>& scenarios() {
          "fault-around pushes race write upgrades and munmap of the tail",
          /*content_deterministic=*/false, /*expect_violation=*/false,
          &run_prefetch_race},
+        {"kill_storm",
+         "two kernels fail-stop mid-run; leases expire and the survivors "
+         "re-home their state",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_kill_storm},
+        {"join_storm",
+         "half the machine boots parted, hot-joins under load, then one "
+         "kernel drains onto the new capacity",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_join_storm},
     };
     return list;
 }

@@ -38,6 +38,12 @@ std::string fmt(const char* f, ...) {
     return std::string(buf);
 }
 
+/// Kernels outside the membership (killed, drained, or deferred-boot,
+/// rko/elastic). Their leftover local footprint is exempt from the
+/// cross-kernel checks; check_elastic verifies instead that no survivor
+/// still references them.
+bool kernel_out(api::Machine& m, topo::KernelId k) { return m.is_killed(k); }
+
 /// One present PTE somewhere on the machine.
 struct PteSite {
     topo::KernelId kernel;
@@ -49,6 +55,7 @@ struct PteSite {
 std::vector<PteSite> collect_ptes(api::Machine& m) {
     std::vector<PteSite> out;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // fail-stopped footprint is exempt
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
             site.space().page_table().for_each_present(
                 0, kVaSpaceEnd, [&](mem::Vaddr va, mem::Pte& pte) {
@@ -306,6 +313,7 @@ void check_groups(api::Machine& m, Report& r) {
     }
 
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // leftover replica sites are exempt
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
             if (site.is_origin()) {
                 const core::ThreadGroup& group = site.group();
@@ -363,6 +371,7 @@ void check_groups(api::Machine& m, Report& r) {
     // to its origin (a remote shadow's real record must have a location).
     std::map<Tid, topo::KernelId> live_at;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // elastic.* reports live tasks there
         m.kernel(k).for_each_task([&](const task::Task& t) {
             if (!task_is_live(t)) return;
             const auto [it, inserted] = live_at.emplace(t.tid, k);
@@ -440,6 +449,7 @@ void check_msg(api::Machine& m, Report& r) {
 
 void check_locks(api::Machine& m, Report& r) {
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // a dead kernel's locks died with it
         if (m.kernel(k).sched().rq_lock_held()) {
             r.fail("locks.runqueue_held", fmt("k%d runqueue lock held", k));
         }
@@ -484,6 +494,7 @@ void check_balance(api::Machine& m, Report& r) {
     std::map<Tid, topo::KernelId> queued_at;
     std::map<Tid, topo::KernelId> core_at;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // elastic.* reports queued tasks there
         for (const task::Task* t : m.kernel(k).sched().queued_tasks()) {
             if (t->kernel != k) {
                 r.fail("balance.queued_foreign",
@@ -513,6 +524,7 @@ void check_balance(api::Machine& m, Report& r) {
         }
     }
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue;
         m.kernel(k).for_each_task([&](const task::Task& t) {
             if (t.balance_target < -1 || t.balance_target >= m.nkernels()) {
                 r.fail("balance.bad_target",
@@ -533,6 +545,122 @@ void check_balance(api::Machine& m, Report& r) {
                            queued_at.at(t.tid)));
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// elastic.* — membership & re-homing (rko/elastic, DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+void check_elastic(api::Machine& m, Report& r) {
+    if (!m.config().elastic.enabled) return;
+    std::vector<bool> out(static_cast<std::size_t>(m.nkernels()));
+    std::uint32_t out_mask = 0;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        out[static_cast<std::size_t>(k)] = kernel_out(m, k);
+        if (out[static_cast<std::size_t>(k)]) out_mask |= 1u << k;
+    }
+    if (out_mask == 0) return;
+
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (!out[static_cast<std::size_t>(k)]) continue;
+        // An out kernel runs nothing: every task record exited, runqueue
+        // empty (the kill unwound them; the drain shipped them away).
+        m.kernel(k).for_each_task([&](const task::Task& t) {
+            if (!task_is_live(t)) return;
+            r.fail("elastic.live_task_on_out_kernel",
+                   fmt("k%d is out of the membership but hosts live tid=%lld "
+                       "(%s)",
+                       k, static_cast<long long>(t.tid),
+                       task_state_name(t.state)));
+        });
+        const std::size_t queued = m.kernel(k).sched().queued_tasks().size();
+        if (queued != 0) {
+            r.fail("elastic.runqueue_on_out_kernel",
+                   fmt("k%d is out of the membership but still queues %zu "
+                       "task(s)",
+                       k, queued));
+        }
+        // A parted (drained) kernel handed every page home before leaving:
+        // no sites survive. (A killed kernel keeps its final footprint —
+        // fail-stop semantics — and the survivors just stop referencing it.)
+        if (m.kernel(k).elastic()->peer_state(k) == elastic::PeerState::kParted) {
+            m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+                r.fail("elastic.parted_site",
+                       fmt("k%d parted but still hosts a site for pid=%lld "
+                           "(drain left state behind)",
+                           k, static_cast<long long>(site.pid())));
+            });
+        }
+    }
+
+    // Survivor side: nothing may reference an out kernel.
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (out[static_cast<std::size_t>(k)]) continue;
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (!site.is_origin()) return;
+            for (auto& shard : site.dir_shards()) {
+                for (const auto& [vpn, entry] : shard.entries) {
+                    if (entry.busy) continue;
+                    for (std::uint32_t mask = entry.holder_mask() & out_mask;
+                         mask != 0; mask &= mask - 1) {
+                        r.fail("elastic.dead_holder",
+                               fmt("pid=%lld page=%llx: directory still names "
+                                   "out kernel k%d as holder (lease never "
+                                   "re-homed)",
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(
+                                       static_cast<mem::Vaddr>(vpn)
+                                       << mem::kPageShift),
+                                   static_cast<topo::KernelId>(
+                                       __builtin_ctz(mask))));
+                    }
+                }
+            }
+            const core::ThreadGroup& group = site.group();
+            for (const auto& [tid, where] : group.location) {
+                if (where >= 0 && where < m.nkernels() &&
+                    out[static_cast<std::size_t>(where)]) {
+                    r.fail("elastic.member_on_out_kernel",
+                           fmt("pid=%lld tid=%lld: origin still locates it on "
+                               "out kernel k%d (never reaped)",
+                               static_cast<long long>(site.pid()),
+                               static_cast<long long>(tid), where));
+                }
+            }
+            if ((group.replica_mask & out_mask) != 0) {
+                r.fail("elastic.replica_mask_stale",
+                       fmt("pid=%lld: replica_mask=%x still names out "
+                           "kernel(s) %x",
+                           static_cast<long long>(site.pid()),
+                           group.replica_mask, group.replica_mask & out_mask));
+            }
+        });
+        // No futex waiter may stay registered to an out kernel (it could
+        // never be woken: the wake RPC would dead-letter).
+        m.kernel(k).futex().for_each_waiter(
+            [&](const core::DFutex::WaiterView& w) {
+                if (w.kernel >= 0 && w.kernel < m.nkernels() &&
+                    out[static_cast<std::size_t>(w.kernel)]) {
+                    r.fail("elastic.orphan_waiter",
+                           fmt("pid=%lld tid=%lld queued at k%d but waits on "
+                               "out kernel k%d (lost spurious wake)",
+                               static_cast<long long>(w.pid),
+                               static_cast<long long>(w.tid), k, w.kernel));
+                }
+            });
+        // Membership agreement: every survivor's view matches each
+        // kernel's own (split-brain detector).
+        for (topo::KernelId p = 0; p < m.nkernels(); ++p) {
+            if (p == k) continue;
+            const bool thinks_alive = m.kernel(k).elastic()->alive(p);
+            if (thinks_alive == out[static_cast<std::size_t>(p)]) {
+                r.fail("elastic.membership_split",
+                       fmt("k%d believes k%d is %s but k%d reports itself %s",
+                           k, p, thinks_alive ? "alive" : "out", p,
+                           out[static_cast<std::size_t>(p)] ? "out" : "alive"));
+            }
+        }
     }
 }
 
@@ -558,6 +686,7 @@ const Registry& Registry::builtin() {
         r.add({"msg", "IV-B/V", &check_msg});
         r.add({"locks", "IV", &check_locks});
         r.add({"balance", "V", &check_balance});
+        r.add({"elastic", "§11", &check_elastic});
         return r;
     }();
     return registry;

@@ -94,6 +94,14 @@ std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
                                "futex waiter queued twice");
             }
         }
+        if (waiter_kernel != k_.id() && k_.node().peer_dead(waiter_kernel)) {
+            // The waiter's kernel was declared dead while ensure_readable
+            // above parked this handler on the fault protocol — the reaper
+            // already swept the buckets, so enqueueing now would leave an
+            // entry nothing can ever cancel.
+            bucket.lock.unlock();
+            return kEfault;
+        }
         bucket.queue.push_back(Waiter{pid, tid, waiter_kernel, uaddr});
         bucket.lock.unlock();
         return 0;
@@ -136,6 +144,22 @@ void DFutex::deliver_grant(const Waiter& waiter) {
 }
 
 bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
+    if (uaddr == 0) {
+        // Wildcard: the word is unknown, so the bucket is too. A tid sleeps
+        // on at most one word, so stop at the first hit.
+        for (Bucket& bucket : table_) {
+            bucket.lock.lock();
+            for (auto it = bucket.queue.begin(); it != bucket.queue.end(); ++it) {
+                if (it->pid == pid && it->tid == tid) {
+                    bucket.queue.erase(it);
+                    bucket.lock.unlock();
+                    return true;
+                }
+            }
+            bucket.lock.unlock();
+        }
+        return false;
+    }
     Bucket& bucket = bucket_of(pid, uaddr);
     bucket.lock.lock();
     for (auto it = bucket.queue.begin(); it != bucket.queue.end(); ++it) {
@@ -147,6 +171,23 @@ bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
     }
     bucket.lock.unlock();
     return false;
+}
+
+std::size_t DFutex::remove_kernel_waiters(topo::KernelId kernel) {
+    std::size_t removed = 0;
+    for (Bucket& bucket : table_) {
+        bucket.lock.lock();
+        for (auto it = bucket.queue.begin(); it != bucket.queue.end();) {
+            if (it->kernel == kernel) {
+                it = bucket.queue.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+        bucket.lock.unlock();
+    }
+    return removed;
 }
 
 int DFutex::wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
@@ -186,7 +227,14 @@ int DFutex::wait(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
                               FutexCancelReq{t.pid, t.tid, uaddr}));
         removed = reply->payload_as<FutexCancelResp>().removed;
     }
-    return removed ? kEtimedout : 0;
+    if (removed) return kEtimedout;
+    // The entry was already gone: a grant is in flight (or has landed as a
+    // banked wake_pending). Consume it before returning, otherwise the
+    // stale wake poisons this task's *next* wait — it would dequeue-and-run
+    // instantly while its queue entry stays behind, tripping the
+    // "queued twice" audit on the wait after that.
+    k_.sched().block_and_wait(t);
+    return 0;
 }
 
 int DFutex::wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
@@ -205,7 +253,12 @@ int DFutex::wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
 void DFutex::on_futex_wait(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<FutexWaitReq>();
     FutexWaitResp resp{kEfault};
-    if (k_.has_site(req.pid)) {
+    // A registration from an already-declared-dead kernel must not enter
+    // the queue after the reaper swept that kernel's waiters — the request
+    // can arrive late when its handler sat behind a lock whose holder was
+    // itself stuck rpc-ing the corpse. Mirrors the page-fault guard; the
+    // refusal reply dead-letters at the dead node.
+    if (k_.has_site(req.pid) && !node.peer_dead(req.waiter_kernel)) {
         resp.result = origin_wait(k_.site(req.pid), req.pid, req.tid,
                                   req.waiter_kernel, req.uaddr, req.val);
     }

@@ -54,6 +54,18 @@ public:
     int wake(task::Task& t, ProcessSite& site, mem::Vaddr uaddr,
              std::uint32_t max_wake);
 
+    // --- Elastic membership hooks (rko/elastic; origin-side) ---
+    /// Dequeues every waiter whose task record lives on `kernel` — a grant
+    /// to a dead kernel would be a lost wake for the bucket's survivors.
+    /// Returns the number removed.
+    std::size_t remove_kernel_waiters(topo::KernelId kernel);
+    /// origin_wake for non-syscall callers (the reaper publishing a lost
+    /// thread's CLEARTID word). Returns waiters woken.
+    std::uint32_t wake_at_origin(ProcessSite& site, Pid pid, mem::Vaddr uaddr,
+                                 std::uint32_t max_wake) {
+        return origin_wake(site, pid, uaddr, max_wake);
+    }
+
     std::uint64_t waits() const { return waits_.value; }
     std::uint64_t wakes() const { return wakes_.value; }
     std::uint64_t remote_grants() const { return remote_grants_.value; }
@@ -99,6 +111,8 @@ private:
     std::uint32_t origin_wake(ProcessSite& site, Pid pid, mem::Vaddr uaddr,
                               std::uint32_t max_wake);
     /// Removes a timed-out waiter; false if it was already granted.
+    /// uaddr 0 is a wildcard (any word; drain's spurious-wake path — only
+    /// the waiting fiber knows its own word): all buckets are scanned.
     bool origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr);
     void deliver_grant(const Waiter& waiter);
 

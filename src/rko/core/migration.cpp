@@ -29,6 +29,9 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
                             MigrationBreakdown* breakdown) {
     RKO_ASSERT(t.actor == &k_.engine().current());
     if (dest == k_.id()) return false;
+    // Pre-flight (elastic): a destination already declared dead cannot
+    // accept; fail fast so the caller re-places the thread.
+    if (k_.node().peer_dead(dest)) return false;
     out_.inc();
     trace::Tracer* tr = trace::active(k_.engine());
     ProcessSite& site = k_.site(t.pid);
@@ -60,11 +63,20 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
 
     // --- Phase 2: transfer + remote instantiation.
     const bool back = dest == t.origin;
+    msg::RpcStatus st = msg::RpcStatus::kOk;
     auto reply = k_.node().rpc(
         dest, msg::make_message(back ? msg::MsgType::kMigrateBack : msg::MsgType::kMigrate,
                                 msg::MsgKind::kRequest,
-                                MigrateReq{t.pid, t.tid, t.origin, k_.id(), ctx}));
-    RKO_ASSERT_MSG(reply->payload_as<MigrateResp>().ok, "destination rejected migration");
+                                MigrateReq{t.pid, t.tid, t.origin, k_.id(), ctx}),
+        &st);
+    if (reply == nullptr || !reply->payload_as<MigrateResp>().ok) {
+        // Destination died mid-transfer or refused (finished entity): the
+        // thread never left — put the record back in limbo for the caller
+        // to re-place (it still runs on this kernel's actor).
+        t.state = task::TaskState::kMigrating;
+        t.balance_target = -1;
+        return false;
+    }
     const Nanos t2 = k_.engine().now();
     transfer_ns_.add(t2 - t1);
     if (tr != nullptr) {
@@ -112,6 +124,19 @@ void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
     in_.inc();
     trace::Span span(k_.engine(), k_.id(), "migrate.instantiate",
                      static_cast<std::uint64_t>(req.tid));
+
+    // Elastic: a thread whose fiber already finished (killed mid-flight, or
+    // this kernel is itself going down) cannot be re-instantiated here.
+    if (k_.node().dead()) {
+        node.reply(*m, msg::make_message(m->hdr.type, msg::MsgKind::kReply,
+                                         MigrateResp{false}));
+        return;
+    }
+    if (sim::Actor* a = k_.resolve_actor(req.tid); a == nullptr || a->finished()) {
+        node.reply(*m, msg::make_message(m->hdr.type, msg::MsgKind::kReply,
+                                         MigrateResp{false}));
+        return;
+    }
 
     task::Task* t = k_.find_task(req.tid);
     if (t != nullptr) {

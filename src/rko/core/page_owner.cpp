@@ -32,6 +32,34 @@ std::uint32_t effective_prot(std::uint32_t vma_prot, bool writable) {
     return writable ? vma_prot : (vma_prot & ~mem::kProtWrite);
 }
 
+/// Shared tail of commit_install/abandon_pending: applies `updated` (ok) or
+/// removes the requester from the holder set (!ok). Shard lock held.
+void apply_commit_locked(ProcessSite::DirShard& shard, std::uint64_t vpn,
+                         PageDirEntry updated, topo::KernelId requester, bool ok) {
+    auto it = shard.entries.find(vpn);
+    RKO_ASSERT(it != shard.entries.end() && it->second.busy);
+    if (ok) {
+        it->second = updated; // updated.busy is already false
+        return;
+    }
+    // The requester abandoned the install (racing munmap, or it died):
+    // remove it from the holder set; an empty holder set retires the entry.
+    if (updated.state == PageDirEntry::State::kExclusive) {
+        if (updated.owner == requester) {
+            shard.entries.erase(it);
+        } else {
+            it->second = updated;
+        }
+    } else {
+        updated.sharers &= ~(1u << requester);
+        if (updated.sharers == 0) {
+            shard.entries.erase(it);
+        } else {
+            it->second = updated;
+        }
+    }
+}
+
 } // namespace
 
 PageOwner::PageOwner(kernel::Kernel& k)
@@ -180,6 +208,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             busy_marker.busy = true;
             shard.entries.emplace(vpn, busy_marker);
             shard.pending[vpn] = entry;
+            shard.pending_from[vpn] = requester;
             shard.lock.unlock();
             out.status = FaultStatus::kOk;
             out.zero_fill = true;
@@ -223,44 +252,89 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 // refault if it cannot recover locally.
                 out.upgrade = true;
             } else if (snapshot.state == PageDirEntry::State::kShared) {
-                // Copy from the most convenient sharer.
+                // Copy from the most convenient live sharer. A sharer that
+                // died mid-transaction (elastic) returns a null reply; its
+                // copy died with it, so try the next one. With every sharer
+                // dead the data is lost and the requester zero-fills.
+                bool have_data = false;
+                std::uint32_t live = snapshot.sharers;
                 if (snapshot.holds(k_.id())) {
                     RKO_ASSERT(local_fetch(site, page, false, out.data.data()));
                     out.source = static_cast<std::uint8_t>(k_.id());
+                    have_data = true;
                 } else {
-                    const auto source = static_cast<topo::KernelId>(
-                        std::countr_zero(snapshot.sharers));
-                    fetches_.inc();
-                    auto reply = k_.node().rpc(
-                        source,
-                        msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
-                                          PageFetchReq{site.pid(), page, false}));
-                    const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
-                    RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-transaction");
-                    out.data = fetched.data;
-                    out.source = static_cast<std::uint8_t>(source);
+                    for (std::uint32_t mask = snapshot.sharers; mask != 0;
+                         mask &= mask - 1) {
+                        const auto source =
+                            static_cast<topo::KernelId>(std::countr_zero(mask));
+                        if (k_.node().peer_dead(source)) {
+                            live &= ~(1u << source);
+                            continue;
+                        }
+                        fetches_.inc();
+                        msg::RpcStatus st = msg::RpcStatus::kOk;
+                        auto reply = k_.node().rpc(
+                            source,
+                            msg::make_message(msg::MsgType::kPageFetch,
+                                              msg::MsgKind::kRequest,
+                                              PageFetchReq{site.pid(), page, false}),
+                            &st);
+                        if (reply == nullptr) {
+                            live &= ~(1u << source);
+                            continue;
+                        }
+                        const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
+                        RKO_ASSERT_MSG(fetched.ok,
+                                       "sharer lost its copy mid-transaction");
+                        out.data = fetched.data;
+                        out.source = static_cast<std::uint8_t>(source);
+                        have_data = true;
+                        break;
+                    }
                 }
-                out.data_included = true;
-                updated.sharers = snapshot.sharers | (1u << requester);
+                if (have_data) {
+                    out.data_included = true;
+                    updated.sharers = live | (1u << requester);
+                } else {
+                    out.zero_fill = true;
+                    out.source = static_cast<std::uint8_t>(requester);
+                    updated.sharers = 1u << requester;
+                }
             } else {
-                // Exclusive elsewhere: downgrade the owner, go Shared.
+                // Exclusive elsewhere: downgrade the owner, go Shared. A
+                // dead owner took the only copy with it — zero-fill.
+                bool have_data = false;
                 if (snapshot.owner == k_.id()) {
                     RKO_ASSERT(local_fetch(site, page, true, out.data.data()));
-                } else {
+                    have_data = true;
+                } else if (!k_.node().peer_dead(snapshot.owner)) {
                     fetches_.inc();
+                    msg::RpcStatus st = msg::RpcStatus::kOk;
                     auto reply = k_.node().rpc(
                         snapshot.owner,
                         msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
-                                          PageFetchReq{site.pid(), page, true}));
-                    const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
-                    RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-transaction");
-                    out.data = fetched.data;
+                                          PageFetchReq{site.pid(), page, true}),
+                        &st);
+                    if (reply != nullptr) {
+                        const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
+                        RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-transaction");
+                        out.data = fetched.data;
+                        have_data = true;
+                    }
                 }
-                out.data_included = true;
-                out.source = static_cast<std::uint8_t>(snapshot.owner);
-                updated.state = PageDirEntry::State::kShared;
-                updated.sharers = (1u << snapshot.owner) | (1u << requester);
-                updated.owner = -1;
+                if (have_data) {
+                    out.data_included = true;
+                    out.source = static_cast<std::uint8_t>(snapshot.owner);
+                    updated.state = PageDirEntry::State::kShared;
+                    updated.sharers = (1u << snapshot.owner) | (1u << requester);
+                    updated.owner = -1;
+                } else {
+                    out.zero_fill = true;
+                    out.source = static_cast<std::uint8_t>(requester);
+                    updated.state = PageDirEntry::State::kShared;
+                    updated.sharers = 1u << requester;
+                    updated.owner = -1;
+                }
             }
         } else {
             // WRITE: invalidate every other copy CONCURRENTLY. Exactly one
@@ -271,6 +345,16 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             // about one RTT instead of K.
             const bool requester_holds = snapshot.holds(requester);
             std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
+            // Dead holders (elastic) cannot answer an invalidate and their
+            // copies died with them — drop them from the victim set so the
+            // data source is always a live kernel.
+            for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
+                const auto holder =
+                    static_cast<topo::KernelId>(std::countr_zero(mask));
+                if (holder != k_.id() && k_.node().peer_dead(holder)) {
+                    victims &= ~(1u << holder);
+                }
+            }
             if (inject_lost_invalidate_ && victims != 0) {
                 // Fault injection (see set_inject_lost_invalidate): one
                 // victim keeps its stale copy. Trimmed BEFORE the data
@@ -312,6 +396,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             if (!posts.empty()) {
                 auto replies = k_.node().rpc_scatter(std::move(posts));
                 for (std::size_t i = 0; i < replies.size(); ++i) {
+                    if (replies[i] == nullptr) continue; // victim died mid-scatter
                     const auto& inv =
                         replies[i]->payload_prefix_as<PageInvalidateResp>();
                     if (inv.had_page && inv.data_included) {
@@ -343,6 +428,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                        "directory entry vanished while busy (revoke must queue)");
         updated.busy = false;
         shard.pending[vpn] = updated;
+        shard.pending_from[vpn] = requester;
         shard.lock.unlock();
         out.status = FaultStatus::kOk;
         return out.status;
@@ -360,34 +446,34 @@ void PageOwner::commit_install(ProcessSite& site, mem::Vaddr page,
     RKO_ASSERT_MSG(pending_it != shard.pending.end(), "commit without pending state");
     PageDirEntry updated = pending_it->second;
     shard.pending.erase(pending_it);
-    auto it = shard.entries.find(vpn);
-    RKO_ASSERT(it != shard.entries.end() && it->second.busy);
-
-    if (ok) {
-        it->second = updated; // updated.busy is already false
-    } else {
-        // The requester abandoned the install (racing munmap): remove it
-        // from the holder set; an empty holder set retires the entry.
-        if (updated.state == PageDirEntry::State::kExclusive) {
-            if (updated.owner == requester) {
-                shard.entries.erase(it);
-            } else {
-                it->second = updated;
-            }
-        } else {
-            updated.sharers &= ~(1u << requester);
-            if (updated.sharers == 0) {
-                shard.entries.erase(it);
-            } else {
-                it->second = updated;
-            }
-        }
-    }
+    shard.pending_from.erase(vpn);
+    apply_commit_locked(shard, vpn, updated, requester, ok);
     shard.busy_wait.notify_all();
     shard.lock.unlock();
     RKO_TRACE("%lld commit page=%llx req=%d ok=%d",
               static_cast<long long>(k_.engine().now()),
               static_cast<unsigned long long>(page), requester, static_cast<int>(ok));
+}
+
+bool PageOwner::abandon_pending(ProcessSite& site, mem::Vaddr page,
+                                topo::KernelId requester) {
+    const std::uint64_t vpn = mem::vpn_of(page);
+    auto& shard = site.dir_shard(vpn);
+    shard.lock.lock();
+    auto pending_it = shard.pending.find(vpn);
+    auto from_it = shard.pending_from.find(vpn);
+    if (pending_it == shard.pending.end() || from_it == shard.pending_from.end() ||
+        from_it->second != requester) {
+        shard.lock.unlock();
+        return false;
+    }
+    const PageDirEntry updated = pending_it->second;
+    shard.pending.erase(pending_it);
+    shard.pending_from.erase(from_it);
+    apply_commit_locked(shard, vpn, updated, requester, /*ok=*/false);
+    shard.busy_wait.notify_all();
+    shard.lock.unlock();
+    return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -645,6 +731,7 @@ std::uint32_t PageOwner::scatter_ranged(
     auto replies = k_.node().rpc_scatter(std::move(posts));
     std::uint32_t touched = 0;
     for (const auto& reply : replies) {
+        if (reply == nullptr) continue; // holder died mid-scatter (elastic)
         touched += reply->payload_as<PageInvalidateRangeResp>().touched;
     }
     return touched;
@@ -829,6 +916,7 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
     if (!posts.empty()) {
         auto replies = k_.node().rpc_scatter(std::move(posts));
         for (std::size_t i = 0; i < nsources; ++i) {
+            if (replies[i] == nullptr) continue; // source died mid-scatter
             const auto& inv = replies[i]->payload_prefix_as<PageInvalidateResp>();
             SeqPage& p = pages[post_page[i]];
             if (inv.had_page && inv.data_included) {
@@ -886,6 +974,188 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
         ++touched;
     }
     return touched;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership hooks (rko/elastic).
+// ---------------------------------------------------------------------------
+
+std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site,
+                                                               topo::KernelId dead) {
+    RKO_ASSERT(site.is_origin());
+    std::uint32_t rehomed = 0;
+    std::uint32_t lost = 0;
+    for (auto& shard : site.dir_shards()) {
+        // 1. Roll back installs the dead requester never confirmed. Sorted
+        // for determinism; abandon_pending is tolerant of a racing kworker
+        // having already done the same rollback.
+        std::vector<std::uint64_t> stale;
+        shard.lock.lock();
+        for (const auto& [vpn, from] : shard.pending_from) {
+            if (from == dead) stale.push_back(vpn);
+        }
+        shard.lock.unlock();
+        std::sort(stale.begin(), stale.end());
+        for (const std::uint64_t vpn : stale) {
+            abandon_pending(site, static_cast<mem::Vaddr>(vpn) << mem::kPageShift,
+                            dead);
+        }
+        // 2. Strip the corpse from every settled entry — no messages, the
+        // dead kernel cannot answer. Entries busy under a live transaction
+        // are skipped: the transaction itself routes around dead peers and
+        // commits a post-death holder set.
+        shard.lock.lock();
+        for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+            PageDirEntry& entry = it->second;
+            if (entry.busy || !entry.holds(dead)) {
+                ++it;
+                continue;
+            }
+            if (entry.state == PageDirEntry::State::kExclusive) {
+                // Sole copy died with its kernel; later faults zero-fill.
+                it = shard.entries.erase(it);
+                ++lost;
+            } else {
+                entry.sharers &= ~(1u << dead);
+                if (entry.sharers == 0) {
+                    it = shard.entries.erase(it);
+                    ++lost;
+                } else {
+                    ++rehomed;
+                    ++it;
+                }
+            }
+        }
+        shard.busy_wait.notify_all();
+        shard.lock.unlock();
+    }
+    return {rehomed, lost};
+}
+
+std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) {
+    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(holder != k_.id());
+    // Serialize against the destructive ranged ops: like them, this claims
+    // MANY busy bits before releasing any, and two such sweeps interleaved
+    // could deadlock on each other's claims.
+    WriteGuard op_guard(site.vma_op_lock());
+
+    struct EvictPage {
+        ProcessSite::DirShard* shard;
+        std::uint64_t vpn;
+        bool sole = false; ///< the parting holder had the only copy
+        bool have_data = false;
+        std::array<std::byte, mem::kPageSize> data;
+    };
+    std::vector<EvictPage> pages;
+    std::vector<std::size_t> post_page; // want_data post index -> pages index
+    std::vector<msg::Node::ScatterItem> posts;
+    std::array<std::vector<std::uint64_t>, topo::kMaxKernels> drop_by_holder;
+
+    // Phase 1: claim every entry the holder appears in. Sole copies are
+    // pulled home with a per-page want_data invalidate; shared copies get a
+    // ranged dataless drop.
+    for (auto& shard : site.dir_shards()) {
+        for (const std::uint64_t vpn :
+             collect_vpns(shard, 0, std::numeric_limits<std::uint64_t>::max())) {
+            PageDirEntry snapshot;
+            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            if (!snapshot.holds(holder)) {
+                shard.lock.lock();
+                auto it = shard.entries.find(vpn);
+                if (it != shard.entries.end()) it->second.busy = false;
+                shard.busy_wait.notify_all();
+                shard.lock.unlock();
+                continue;
+            }
+            EvictPage p;
+            p.shard = &shard;
+            p.vpn = vpn;
+            p.sole = (snapshot.holder_mask() & ~(1u << holder)) == 0;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+            invalidations_.inc();
+            if (p.sole) {
+                post_page.push_back(pages.size());
+                posts.push_back(
+                    {holder,
+                     msg::make_message(msg::MsgType::kPageInvalidate,
+                                       msg::MsgKind::kRequest,
+                                       PageInvalidateReq{site.pid(), page, true})});
+            } else {
+                drop_by_holder[static_cast<std::size_t>(holder)].push_back(vpn);
+            }
+            pages.push_back(p);
+        }
+    }
+
+    // Phase 2: one scatter for everything.
+    const std::size_t nsources = posts.size();
+    append_ranged_posts(site.pid(), drop_by_holder, InvalidateRangeOp::kDrop, &posts);
+    range_rpcs_.inc(posts.size() - nsources);
+    if (!posts.empty()) {
+        auto replies = k_.node().rpc_scatter(std::move(posts));
+        for (std::size_t i = 0; i < nsources; ++i) {
+            if (replies[i] == nullptr) continue; // holder died mid-drain
+            const auto& inv = replies[i]->payload_prefix_as<PageInvalidateResp>();
+            EvictPage& p = pages[post_page[i]];
+            if (inv.had_page && inv.data_included) {
+                p.data = inv.data;
+                p.have_data = true;
+            }
+        }
+    }
+
+    // Phase 3: land the pulled-home bytes in fresh origin frames with the
+    // master VMA's protection (fresh maps need no shootdown).
+    {
+        WriteGuard guard(site.space().mmap_lock());
+        for (EvictPage& p : pages) {
+            if (!p.sole || !p.have_data) continue;
+            const mem::Vaddr page = static_cast<mem::Vaddr>(p.vpn) << mem::kPageShift;
+            const mem::Vma* vma = site.space().vmas().find(page);
+            if (vma == nullptr) {
+                p.have_data = false; // raced with munmap: the data is dead
+                continue;
+            }
+            const mem::Paddr frame = k_.frames().alloc();
+            RKO_ASSERT(frame != 0);
+            std::memcpy(k_.phys().frame_ptr(frame), p.data.data(), mem::kPageSize);
+            sim::current_actor().sleep_for(k_.costs().page_copy);
+            if (const mem::Pte* old = site.space().page_table().find(page);
+                old != nullptr && old->present) {
+                const mem::Pte cleared = site.space().page_table().clear(page);
+                site.space().bump_tlb_generation();
+                k_.frames().free(cleared.paddr);
+            }
+            site.space().page_table().map(page, frame, vma->prot);
+        }
+    }
+
+    // Phase 4: commit the directory updates and release the claims.
+    std::uint32_t stripped = 0;
+    for (const EvictPage& p : pages) {
+        p.shard->lock.lock();
+        if (p.sole) {
+            if (p.have_data) {
+                PageDirEntry updated;
+                updated.state = PageDirEntry::State::kExclusive;
+                updated.owner = k_.id();
+                updated.busy = false;
+                p.shard->entries[p.vpn] = updated;
+            } else {
+                p.shard->entries.erase(p.vpn);
+            }
+        } else {
+            auto it = p.shard->entries.find(p.vpn);
+            RKO_ASSERT(it != p.shard->entries.end());
+            it->second.sharers &= ~(1u << holder);
+            it->second.busy = false;
+        }
+        p.shard->busy_wait.notify_all();
+        p.shard->lock.unlock();
+        ++stripped;
+    }
+    return stripped;
 }
 
 // ---------------------------------------------------------------------------
@@ -986,6 +1256,17 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
     // Read-replication protocol work for one claimed page — the same
     // transitions a demand read fault would make, but initiated by the
     // origin and delivered as an unsolicited push.
+    // Prefetch is best-effort: a fetch source that died (elastic) simply
+    // cancels this page's push — release the claimed busy bit and let the
+    // requester demand-fault it later.
+    const auto cancel_claim = [&] {
+        shard.lock.lock();
+        auto entry_it = shard.entries.find(vpn);
+        if (entry_it != shard.entries.end()) entry_it->second.busy = false;
+        shard.busy_wait.notify_all();
+        shard.lock.unlock();
+    };
+
     PagePushMsg push{};
     push.pid = site.pid();
     push.va = page;
@@ -1001,10 +1282,16 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
             const auto source =
                 static_cast<topo::KernelId>(std::countr_zero(snapshot.sharers));
             fetches_.inc();
+            msg::RpcStatus st = msg::RpcStatus::kOk;
             auto reply = k_.node().rpc(
                 source, msg::make_message(msg::MsgType::kPageFetch,
                                           msg::MsgKind::kRequest,
-                                          PageFetchReq{site.pid(), page, false}));
+                                          PageFetchReq{site.pid(), page, false}),
+                &st);
+            if (reply == nullptr) {
+                cancel_claim();
+                return;
+            }
             const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
             RKO_ASSERT_MSG(fetched.ok, "sharer lost its copy mid-prefetch");
             push.data = fetched.data;
@@ -1018,10 +1305,16 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
             RKO_ASSERT(local_fetch(site, page, true, push.data.data()));
         } else {
             fetches_.inc();
+            msg::RpcStatus st = msg::RpcStatus::kOk;
             auto reply = k_.node().rpc(
                 snapshot.owner, msg::make_message(msg::MsgType::kPageFetch,
                                                   msg::MsgKind::kRequest,
-                                                  PageFetchReq{site.pid(), page, true}));
+                                                  PageFetchReq{site.pid(), page, true}),
+                &st);
+            if (reply == nullptr) {
+                cancel_claim();
+                return;
+            }
             const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
             RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-prefetch");
             push.data = fetched.data;
@@ -1031,6 +1324,12 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
         updated.sharers = (1u << snapshot.owner) | (1u << requester);
         updated.owner = -1;
     }
+    if (k_.node().peer_dead(requester)) {
+        // The requester died while we were fetching: nobody will ever
+        // confirm the push — do not park a pending that cannot commit.
+        cancel_claim();
+        return;
+    }
 
     // Park the post-transaction state; the requester's kPageInstalled (sent
     // by its on_page_push, success or not) commits or rolls back and
@@ -1038,6 +1337,7 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
     shard.lock.lock();
     RKO_ASSERT(shard.entries.contains(vpn));
     shard.pending[vpn] = updated;
+    shard.pending_from[vpn] = requester;
     shard.lock.unlock();
     prefetch_issued_.inc();
     k_.node().send(requester,
@@ -1053,10 +1353,19 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
 void PageOwner::on_page_fault(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageFaultReq>();
     PageFaultResp resp{};
-    if (!k_.has_site(req.pid)) {
+    if (!k_.has_site(req.pid) || k_.node().peer_dead(req.requester)) {
+        // A fault from an already-declared-dead requester must not park a
+        // pending install nobody will ever confirm; the reply dead-letters.
         resp.status = FaultStatus::kSegv;
     } else {
-        origin_transaction(k_.site(req.pid), req.va, req.access, req.requester, resp);
+        ProcessSite& site = k_.site(req.pid);
+        origin_transaction(site, req.va, req.access, req.requester, resp);
+        if (resp.status == FaultStatus::kOk && k_.node().peer_dead(req.requester)) {
+            // The requester died while we worked: its kPageInstalled will
+            // never arrive — roll the parked install back now (idempotent
+            // versus the reaper's own sweep).
+            abandon_pending(site, req.va, req.requester);
+        }
     }
     // Dataless outcomes (SEGV, retry, zero-fill, upgrade) ship 8 bytes, not
     // 8 + 4 KiB — the wire carries only what the requester will read.
@@ -1069,13 +1378,18 @@ void PageOwner::on_page_fault_batch(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageFaultBatchReq>();
     PageFaultBatchResp resp{};
     std::vector<mem::Vaddr> grants;
-    if (!k_.has_site(req.pid)) {
+    if (!k_.has_site(req.pid) || k_.node().peer_dead(req.requester)) {
         resp.first.status = FaultStatus::kSegv;
     } else {
         ProcessSite& site = k_.site(req.pid);
         origin_transaction(site, req.va, req.access, req.requester, resp.first);
         if (resp.first.status == FaultStatus::kOk) {
-            grants = claim_prefetch_pages(site, req.va, req.window, req.requester);
+            if (k_.node().peer_dead(req.requester)) {
+                abandon_pending(site, req.va, req.requester);
+            } else {
+                grants = claim_prefetch_pages(site, req.va, req.window,
+                                              req.requester);
+            }
         }
     }
     resp.extra_granted = static_cast<std::uint32_t>(grants.size());
@@ -1102,8 +1416,21 @@ void PageOwner::on_page_fetch(msg::Node& node, msg::MessagePtr m) {
 void PageOwner::on_page_installed(msg::Node& node, msg::MessagePtr m) {
     (void)node;
     const auto& done = m->payload_as<PageInstalledMsg>();
-    RKO_ASSERT(k_.has_site(done.pid));
-    commit_install(k_.site(done.pid), done.va, done.requester, done.ok);
+    if (!k_.has_site(done.pid)) return;
+    ProcessSite& site = k_.site(done.pid);
+    // Stale-confirm guard (elastic): if this requester was reaped, the
+    // reaper already rolled its pending back — and a NEWER transaction may
+    // own the pending slot for the same vpn by now. Commit only when the
+    // parked install is still waiting on exactly this requester.
+    const std::uint64_t vpn = mem::vpn_of(done.va);
+    auto& shard = site.dir_shard(vpn);
+    shard.lock.lock();
+    auto from_it = shard.pending_from.find(vpn);
+    const bool current =
+        from_it != shard.pending_from.end() && from_it->second == done.requester;
+    shard.lock.unlock();
+    if (!current) return;
+    commit_install(site, done.va, done.requester, done.ok);
 }
 
 void PageOwner::on_page_invalidate(msg::Node& node, msg::MessagePtr m) {

@@ -91,6 +91,25 @@ public:
     /// a later mprotect back to accessibility.
     std::uint32_t sequester_range(ProcessSite& site, mem::Vaddr start, mem::Vaddr end);
 
+    // --- Elastic membership hooks (rko/elastic; origin-side) ---
+
+    /// Strips a DEAD kernel from every directory entry (its leases expired;
+    /// no messages — the corpse cannot answer). Surviving sharers keep the
+    /// data; pages whose only copy died are erased and refault as zero-fill.
+    /// Pending installs the dead requester never confirmed are rolled back.
+    /// Entries busy under a live transaction are skipped — the transaction
+    /// itself routes around dead peers. Returns {entries stripped, sole-copy
+    /// pages lost}.
+    std::pair<std::uint32_t, std::uint32_t> rehome_dead(ProcessSite& site,
+                                                        topo::KernelId dead);
+
+    /// Drain support: evicts every page copy a LIVE, parting `holder` still
+    /// holds (kElasticEvict handler). Sole copies are pulled home into
+    /// origin frames (want_data invalidate); shared copies get a ranged
+    /// dataless drop. Runs the full claim/scatter/commit shape, so it is
+    /// safe against concurrent faults. Returns entries stripped.
+    std::uint32_t evict_holder(ProcessSite& site, topo::KernelId holder);
+
     std::uint64_t local_faults() const { return local_faults_.value; }
     std::uint64_t remote_faults() const { return remote_faults_.value; }
     std::uint64_t invalidations() const { return invalidations_.value; }
@@ -120,6 +139,12 @@ private:
     /// pending state and releases the busy bit.
     void commit_install(ProcessSite& site, mem::Vaddr page, topo::KernelId requester,
                         bool ok);
+
+    /// Tolerant rollback of a pending install: no-op (false) unless a
+    /// pending for `page` exists AND is waiting on `requester`. Idempotent —
+    /// the reaper and a kworker's dead-requester check may both try.
+    bool abandon_pending(ProcessSite& site, mem::Vaddr page,
+                         topo::KernelId requester);
 
     /// Requester-side: installs the transaction result into the local
     /// address space. Returns false if the local VMA vanished meanwhile.

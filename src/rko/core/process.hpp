@@ -85,6 +85,11 @@ public:
         /// once the requester confirms its PTE install (by vpn; at most one
         /// per page because busy serializes transactions).
         std::unordered_map<std::uint64_t, PageDirEntry> pending;
+        /// Which kernel each pending install is waiting on — so a reaper
+        /// can roll back a dead requester's parked transaction, and a
+        /// straggling confirm from a reaped requester is recognized as
+        /// stale (rko/elastic).
+        std::unordered_map<std::uint64_t, topo::KernelId> pending_from;
         /// Busy-release broadcast: transactions blocked on a busy entry
         /// wait here and re-look-up after every release. Shard-level (not
         /// per-entry) so erasing an entry can never strand parked waiters.

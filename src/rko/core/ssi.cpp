@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "rko/elastic/elastic.hpp"
 #include "rko/kernel/kernel.hpp"
 
 namespace rko::core {
+
+namespace {
+
+/// Elastic membership filter: without the subsystem every peer counts.
+bool peer_alive(kernel::Kernel& k, topo::KernelId peer) {
+    return k.elastic() == nullptr || k.elastic()->alive(peer);
+}
+
+std::vector<topo::KernelId> alive_peers(kernel::Kernel& k) {
+    auto peers = k.fabric().peers_of(k.id());
+    std::erase_if(peers,
+                  [&k](topo::KernelId p) { return !peer_alive(k, p); });
+    return peers;
+}
+
+} // namespace
 
 void Ssi::install() {
     k_.node().register_handler(
@@ -33,12 +50,16 @@ void Ssi::on_load_gossip(msg::Node& node, msg::MessagePtr m) {
     (void)node;
     const auto& g = m->payload_as<LoadGossipMsg>();
     note_load(g.sender, g.ntasks, g.nrunnable, g.idle_cores, g.stamp);
+    // Gossip doubles as the elastic lease renewal (the cheap common case;
+    // the failure detector only probes when renewals stop).
+    if (k_.elastic() != nullptr) k_.elastic()->note_peer_seen(g.sender);
     if (gossip_hook_) gossip_hook_();
 }
 
 bool Ssi::table_fresh(Nanos now, Nanos max_age) const {
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (!peer_alive(k_, peer)) continue; // dead/parted rows never refresh
         const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
         if (e.stamp < 0 || now - e.stamp > max_age) return false;
     }
@@ -49,6 +70,7 @@ Nanos Ssi::table_age(Nanos now) const {
     Nanos oldest = 0;
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (!peer_alive(k_, peer)) continue;
         const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
         if (e.stamp < 0) return -1;
         oldest = std::max(oldest, now - e.stamp);
@@ -64,6 +86,7 @@ std::vector<KernelLoad> Ssi::table_snapshot() const {
     loads.push_back(KernelLoad{k_.id(), mine.ntasks, mine.nrunnable, mine.idle_cores});
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
+        if (!peer_alive(k_, peer)) continue;
         const LoadEntry& e = table_[static_cast<std::size_t>(peer)];
         loads.push_back(KernelLoad{peer, e.ntasks, e.nrunnable, e.idle_cores});
     }
@@ -98,8 +121,9 @@ std::uint32_t Ssi::global_task_count(Pid pid) {
     msg::Message request;
     request.hdr.type = msg::MsgType::kTaskCensus;
     request.set_payload(CensusReq{pid});
-    auto replies = k_.node().rpc_all(k_.fabric().peers_of(k_.id()), request);
+    auto replies = k_.node().rpc_all(alive_peers(k_), request);
     for (const auto& reply : replies) {
+        if (reply == nullptr) continue; // peer died mid-census
         total += reply->payload_as<CensusResp>().ntasks;
     }
     return total;
@@ -113,10 +137,11 @@ std::vector<KernelLoad> Ssi::load_snapshot() {
     msg::Message request;
     request.hdr.type = msg::MsgType::kTaskCensus;
     request.set_payload(CensusReq{0});
-    const auto peers = k_.fabric().peers_of(k_.id());
+    const auto peers = alive_peers(k_);
     auto replies = k_.node().rpc_all(peers, request);
     const Nanos now = k_.engine().now();
     for (std::size_t i = 0; i < peers.size(); ++i) {
+        if (replies[i] == nullptr) continue; // peer died mid-census
         const auto& resp = replies[i]->payload_as<CensusResp>();
         loads.push_back(KernelLoad{peers[i], resp.ntasks, resp.nrunnable,
                                    resp.idle_cores});
@@ -178,8 +203,9 @@ std::vector<TaskInfo> Ssi::ps(Pid pid) {
     msg::Message request;
     request.hdr.type = msg::MsgType::kLoadReport; // task-list request channel
     request.set_payload(CensusReq{pid});
-    auto replies = k_.node().rpc_all(k_.fabric().peers_of(k_.id()), request);
+    auto replies = k_.node().rpc_all(alive_peers(k_), request);
     for (const auto& reply : replies) {
+        if (reply == nullptr) continue; // peer died mid-listing
         const auto& list = reply->payload_as<TaskListResp>();
         for (std::uint32_t i = 0; i < list.count; ++i) all.push_back(list.entries[i]);
     }

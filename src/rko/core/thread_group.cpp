@@ -114,7 +114,10 @@ void ThreadGroups::origin_exit(Pid pid, Tid tid, int status) {
     ProcessSite& site = k_.site(pid);
     RKO_ASSERT(site.is_origin());
     ThreadGroup& group = site.group();
-    group.location.erase(tid);
+    // Idempotent: an elastic reap and a straggling kTaskExit (or a
+    // mid-migration death reported from both ends) may both announce the
+    // same tid; whichever lands first does the bookkeeping.
+    if (group.location.erase(tid) == 0) return;
     RKO_ASSERT(group.alive > 0);
     if (--group.alive == 0) {
         group.exit_waiters.notify_all();
@@ -124,6 +127,18 @@ void ThreadGroups::origin_exit(Pid pid, Tid tid, int status) {
         shadow != nullptr && shadow->state == task::TaskState::kShadow) {
         shadow->state = task::TaskState::kExited;
     }
+}
+
+std::vector<Tid> ThreadGroups::reap_kernel(ProcessSite& site, topo::KernelId dead) {
+    RKO_ASSERT(site.is_origin());
+    ThreadGroup& group = site.group();
+    std::vector<Tid> reaped;
+    for (const auto& [tid, where] : group.location) {
+        if (where == dead) reaped.push_back(tid);
+    }
+    for (const Tid tid : reaped) origin_exit(site.pid(), tid, 137);
+    group.replica_mask &= ~(1u << dead);
+    return reaped;
 }
 
 void ThreadGroups::teardown(ProcessSite& site) {

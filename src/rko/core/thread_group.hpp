@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
@@ -56,6 +57,12 @@ public:
 
     /// Origin-side bookkeeping, also used directly at boot.
     void origin_join(Pid pid, Tid tid, topo::KernelId where);
+
+    /// Elastic reap (rko/elastic, at the origin): every group member
+    /// located on `dead` died with its kernel. Marks each exited (guarded —
+    /// a kTaskExit that raced ahead of the death declaration wins) and
+    /// strips `dead` from the replica mask. Returns the tids reaped.
+    std::vector<Tid> reap_kernel(ProcessSite& site, topo::KernelId dead);
 
     /// Creates the local task record for a thread landing on this kernel
     /// (local spawn, remote-clone handler, and boot).

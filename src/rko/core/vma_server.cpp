@@ -120,6 +120,10 @@ mem::Vaddr VmaServer::origin_brk(ProcessSite& site, mem::Vaddr new_brk) {
     const mem::Vaddr old_end = mem::page_ceil(old_brk);
     const mem::Vaddr new_end = mem::page_ceil(new_brk);
     if (new_end > old_end) {
+        // Shared hold on the vma_op_lock: a concurrent destructive op
+        // (munmap/mprotect) must not observe the new tail appearing inside
+        // the range it is revoking.
+        ReadGuard op_guard(site.vma_op_lock());
         WriteGuard guard(site.space().mmap_lock());
         // Growing: map the new tail read-write. Failure (overlap with an
         // mmap'd region) leaves the break unchanged, like Linux.
@@ -143,7 +147,11 @@ std::int64_t VmaServer::origin_mmap(ProcessSite& site, std::uint64_t length,
                                     std::uint32_t prot, mem::Vaddr* out_addr) {
     RKO_ASSERT(site.is_origin());
     // New mappings propagate lazily (replicas fetch on fault), so no
-    // broadcast: just the master-tree insert under the mmap lock.
+    // broadcast: just the master-tree insert under the mmap lock. The
+    // shared vma_op_lock hold keeps find_gap from reusing a range that a
+    // concurrent destructive op is still revoking — faults on the new
+    // mapping would otherwise race the revoke's directory sweep.
+    ReadGuard op_guard(site.vma_op_lock());
     WriteGuard guard(site.space().mmap_lock());
     const mem::Vaddr addr =
         site.space().vmas().find_gap(length, mem::kMmapBase, mem::kMmapTop);

@@ -337,4 +337,28 @@ struct TaskListResp {
     std::array<TaskInfo, kMaxEntries> entries;
 };
 
+// --- Elastic membership (rko/elastic; kMembershipUpdate / kElasticEvict) ----
+
+/// What happened to `subject`: declared dead by the failure detector,
+/// parted voluntarily after a drain, or (re)joined the cluster.
+enum class MembershipEvent : std::uint32_t { kDead = 0, kParted, kJoin };
+
+struct MembershipUpdateMsg {
+    topo::KernelId subject;
+    MembershipEvent event;
+    topo::KernelId reporter; ///< who observed/initiated it (dedup + tracing)
+};
+
+/// Drain, final leg: a parting holder asks the origin to evict every page
+/// copy it still holds for `pid` (pull dirty bytes home, strip the holder
+/// from the directory) so the kernel can leave with empty page tables.
+struct ElasticEvictReq {
+    Pid pid;
+    topo::KernelId holder;
+};
+
+struct ElasticEvictResp {
+    std::uint32_t evicted; ///< directory entries the origin stripped
+};
+
 } // namespace rko::core

@@ -9,6 +9,7 @@
 #include "rko/core/ssi.hpp"
 #include "rko/core/thread_group.hpp"
 #include "rko/core/vma_server.hpp"
+#include "rko/elastic/elastic.hpp"
 
 namespace rko::kernel {
 
@@ -48,6 +49,12 @@ void Kernel::install_balancer(const balance::BalanceConfig& config) {
     RKO_ASSERT(balancer_ == nullptr);
     balancer_ = std::make_unique<balance::Balancer>(*this, config);
     balancer_->install();
+}
+
+void Kernel::install_elastic(const elastic::ElasticConfig& config) {
+    RKO_ASSERT(elastic_ == nullptr);
+    elastic_ = std::make_unique<elastic::Elastic>(*this, config);
+    elastic_->install();
 }
 
 core::ProcessSite& Kernel::site(Pid pid) {
@@ -168,6 +175,14 @@ void Kernel::sys_exit(task::Task& t, int status) {
     syscall_entry();
     counters_.bump("sys_exit");
     groups_->task_exited(t, status);
+    sched_.exit(t);
+}
+
+void Kernel::sys_exit_local(task::Task& t, int status) {
+    syscall_entry();
+    counters_.bump("sys_exit_local");
+    t.exit_status = status;
+    if (has_site(t.pid)) site(t.pid).local_tasks().erase(t.tid);
     sched_.exit(t);
 }
 

@@ -42,6 +42,11 @@ class Balancer;
 struct BalanceConfig;
 } // namespace rko::balance
 
+namespace rko::elastic {
+class Elastic;
+struct ElasticConfig;
+} // namespace rko::elastic
+
 namespace rko::kernel {
 
 class Kernel {
@@ -69,6 +74,14 @@ public:
     /// runs carry zero balancer state.
     void install_balancer(const balance::BalanceConfig& config);
     balance::Balancer* balancer() { return balancer_.get(); }
+
+    /// Creates and installs this kernel's elasticity service (registers
+    /// kPing / kMembershipUpdate / kElasticEvict). Same boot window as
+    /// install_balancer; the reaper actor boots with Elastic::start().
+    /// Only called when ElasticConfig::enabled, so static-membership runs
+    /// carry zero elastic state.
+    void install_elastic(const elastic::ElasticConfig& config);
+    elastic::Elastic* elastic() { return elastic_.get(); }
 
     // --- Accessors ---
     topo::KernelId id() const { return id_; }
@@ -143,6 +156,9 @@ public:
     int sys_futex_wake(task::Task& t, mem::Vaddr uaddr, std::uint32_t max_wake);
     void sys_yield(task::Task& t);
     void sys_exit(task::Task& t, int status);
+    /// Exit on a killed kernel: local bookkeeping only (no group messages —
+    /// the node is dead and the origin's reaper owns the group record).
+    void sys_exit_local(task::Task& t, int status);
 
     /// The page-fault entry (installed as the task MMU's handler).
     mem::Mmu::FaultResult handle_fault(task::Task& t, mem::Vaddr va,
@@ -176,6 +192,7 @@ private:
     std::unique_ptr<core::Migration> migration_;
     std::unique_ptr<core::Ssi> ssi_;
     std::unique_ptr<balance::Balancer> balancer_; ///< null when policy kNone
+    std::unique_ptr<elastic::Elastic> elastic_;   ///< null when not enabled
 };
 
 } // namespace rko::kernel

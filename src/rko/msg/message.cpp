@@ -30,6 +30,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kPageInvalidateRange: return "page_invalidate_range";
     case MsgType::kPageFaultBatch: return "page_fault_batch";
     case MsgType::kPagePush: return "page_push";
+    case MsgType::kMembershipUpdate: return "membership_update";
+    case MsgType::kElasticEvict: return "elastic_evict";
     case MsgType::kCount: break;
     }
     return "unknown";

@@ -55,6 +55,9 @@ enum class MsgType : std::uint16_t {
     kPageInvalidateRange, ///< directory -> holder: drop/downgrade a VPN batch (leaf)
     kPageFaultBatch,    ///< remote fault upgraded to a multi-page window (blk)
     kPagePush,          ///< origin -> requester: one prefetched page (leaf)
+    // Elastic membership (elastic/)
+    kMembershipUpdate,  ///< membership event broadcast: dead/parted/join (nb)
+    kElasticEvict,      ///< drain: evict a parting holder's page copies (blk)
     kCount
 };
 

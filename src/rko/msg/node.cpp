@@ -8,6 +8,15 @@
 
 namespace rko::msg {
 
+const char* rpc_status_name(RpcStatus status) {
+    switch (status) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kPeerDead: return "peer-dead";
+    case RpcStatus::kTimeout: return "timeout";
+    }
+    return "?";
+}
+
 Node::Node(sim::Engine& engine, const topo::CostModel& costs, KernelId id, int nworkers)
     : engine_(engine), costs_(costs), id_(id) {
     dispatcher_ = std::make_unique<sim::Actor>(
@@ -73,17 +82,44 @@ bool Node::is_leaf_worker(const sim::Actor* actor) const {
 
 void Node::send(KernelId dst, MessagePtr message) {
     RKO_ASSERT_MSG(dst != id_, "no loopback channel; callers must skip self");
+    if (dead_ || dead_peers_.count(dst) != 0) {
+        ++dead_letters_;
+        return;
+    }
     auto it = outbound_.find(dst);
     RKO_ASSERT_MSG(it != outbound_.end(), "no channel to destination kernel");
     it->second->send(std::move(message));
 }
 
-MessagePtr Node::rpc(KernelId dst, MessagePtr request) {
+MessagePtr Node::finish_rpc(PendingReply& slot, RpcStatus* status) {
+    // A kill of THIS node fails every pending ticket; the fiber must
+    // unwind, not interpret the failure as a dead peer.
+    if (dead_) throw LocalNodeDead{};
+    if (slot.status != RpcStatus::kOk) {
+        RKO_ASSERT_MSG(status != nullptr,
+                       "rpc destination died and the caller cannot handle it");
+        *status = slot.status;
+        return nullptr;
+    }
+    if (status != nullptr) *status = RpcStatus::kOk;
+    RKO_ASSERT(slot.reply != nullptr);
+    return std::move(slot.reply);
+}
+
+MessagePtr Node::rpc(KernelId dst, MessagePtr request, RpcStatus* status) {
     sim::Actor& self = engine_.current();
     // Inline handlers run on the dispatcher; leaf handlers on leaf workers.
     // Neither may await a reply (the discipline in the file comment).
     RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
     RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
+    if (dead_) throw LocalNodeDead{};
+    if (dead_peers_.count(dst) != 0) {
+        ++rpc_failures_;
+        RKO_ASSERT_MSG(status != nullptr,
+                       "rpc destination is dead and the caller cannot handle it");
+        *status = RpcStatus::kPeerDead;
+        return nullptr;
+    }
 
     PendingReply slot;
     slot.waiter = &self;
@@ -91,11 +127,57 @@ MessagePtr Node::rpc(KernelId dst, MessagePtr request) {
     request->hdr.kind = MsgKind::kRequest;
     request->hdr.ticket = next_ticket_++;
     pending_.emplace(request->hdr.ticket, &slot);
+    ticket_dst_.emplace(request->hdr.ticket, dst);
 
     send(dst, std::move(request));
     while (slot.outstanding > 0) self.park();
-    RKO_ASSERT(slot.reply != nullptr);
-    return std::move(slot.reply);
+    return finish_rpc(slot, status);
+}
+
+MessagePtr Node::rpc_timed(KernelId dst, MessagePtr request, Nanos timeout,
+                           RpcStatus* status) {
+    sim::Actor& self = engine_.current();
+    RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
+    RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
+    RKO_ASSERT(timeout > 0);
+    if (dead_) throw LocalNodeDead{};
+    if (dead_peers_.count(dst) != 0) {
+        ++rpc_failures_;
+        RKO_ASSERT_MSG(status != nullptr,
+                       "rpc destination is dead and the caller cannot handle it");
+        *status = RpcStatus::kPeerDead;
+        return nullptr;
+    }
+
+    PendingReply slot;
+    slot.waiter = &self;
+    slot.outstanding = 1;
+    request->hdr.kind = MsgKind::kRequest;
+    const std::uint64_t ticket = next_ticket_++;
+    request->hdr.ticket = ticket;
+    pending_.emplace(ticket, &slot);
+    ticket_dst_.emplace(ticket, dst);
+
+    send(dst, std::move(request));
+    const Nanos deadline = engine_.now() + timeout;
+    while (slot.outstanding > 0) {
+        const Nanos remaining = deadline - engine_.now();
+        if (remaining <= 0) break;
+        self.park_for(remaining);
+    }
+    if (slot.outstanding > 0 && !dead_) {
+        // Timed out: withdraw the ticket and tombstone it so the late reply
+        // (if the peer is merely slow, not dead) is dropped, not asserted.
+        pending_.erase(ticket);
+        ticket_dst_.erase(ticket);
+        cancelled_.insert(ticket);
+        ++rpc_failures_;
+        RKO_ASSERT_MSG(status != nullptr,
+                       "rpc timed out and the caller cannot handle it");
+        *status = RpcStatus::kTimeout;
+        return nullptr;
+    }
+    return finish_rpc(slot, status);
 }
 
 std::vector<MessagePtr> Node::rpc_all(const std::vector<KernelId>& dsts,
@@ -112,6 +194,7 @@ std::vector<MessagePtr> Node::rpc_scatter(std::vector<ScatterItem> items) {
     sim::Actor& self = engine_.current();
     RKO_ASSERT_MSG(&self != dispatcher_.get(), "dispatcher must never block on rpc");
     RKO_ASSERT_MSG(!is_leaf_worker(&self), "leaf handlers must never rpc");
+    if (dead_) throw LocalNodeDead{};
     std::vector<MessagePtr> replies(items.size());
     if (items.empty()) return replies;
 
@@ -124,15 +207,24 @@ std::vector<MessagePtr> Node::rpc_scatter(std::vector<ScatterItem> items) {
     scatter_posts_ += items.size();
     scatter_fanout_.add(static_cast<Nanos>(items.size()));
     for (std::size_t i = 0; i < items.size(); ++i) {
+        if (dead_peers_.count(items[i].dst) != 0) {
+            // Known-dead destination: its reply slot stays null.
+            --slot.outstanding;
+            ++rpc_failures_;
+            slot.status = RpcStatus::kPeerDead;
+            continue;
+        }
         MessagePtr request = std::move(items[i].request);
         request->hdr.kind = MsgKind::kRequest;
         request->hdr.ticket = next_ticket_++;
         pending_.emplace(request->hdr.ticket, &slot);
         ticket_index_.emplace(request->hdr.ticket, i);
+        ticket_dst_.emplace(request->hdr.ticket, items[i].dst);
         send(items[i].dst, std::move(request));
     }
     const Nanos wait_start = engine_.now();
     while (slot.outstanding > 0) self.park();
+    if (dead_) throw LocalNodeDead{};
     scatter_wait_.add(engine_.now() - wait_start);
     return replies;
 }
@@ -147,9 +239,17 @@ void Node::reply(const Message& request, MessagePtr response) {
 void Node::complete_reply(MessagePtr message) {
     const std::uint64_t ticket = message->hdr.ticket;
     auto it = pending_.find(ticket);
-    RKO_ASSERT_MSG(it != pending_.end(), "reply for unknown ticket");
+    if (it == pending_.end()) {
+        // A reply can legitimately outlive its ticket: rpc_timed withdrew
+        // it, or peer-death failed it while the reply (sent pre-death) was
+        // already in flight. Both tombstone the ticket; drop the straggler.
+        RKO_ASSERT_MSG(cancelled_.erase(ticket) != 0, "reply for unknown ticket");
+        ++dead_letters_;
+        return;
+    }
     PendingReply* slot = it->second;
     pending_.erase(it);
+    ticket_dst_.erase(ticket);
 
     if (slot->sink != nullptr) {
         auto idx_it = ticket_index_.find(ticket);
@@ -160,6 +260,53 @@ void Node::complete_reply(MessagePtr message) {
         slot->reply = std::move(message);
     }
     if (--slot->outstanding == 0) slot->waiter->unpark();
+}
+
+void Node::fail_ticket(std::uint64_t ticket, RpcStatus status) {
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) return;
+    PendingReply* slot = it->second;
+    pending_.erase(it);
+    ticket_dst_.erase(ticket);
+    ticket_index_.erase(ticket); // a scatter slot's reply entry stays null
+    cancelled_.insert(ticket);   // drop the reply if it was already in flight
+    slot->status = status;
+    ++rpc_failures_;
+    if (--slot->outstanding == 0) slot->waiter->unpark();
+}
+
+void Node::fail_pending(KernelId dead) {
+    std::vector<std::uint64_t> victims;
+    for (const auto& [ticket, dst] : ticket_dst_) {
+        if (dst == dead) victims.push_back(ticket);
+    }
+    // Deterministic unpark order (ticket_dst_ iteration order is not).
+    std::sort(victims.begin(), victims.end());
+    for (const std::uint64_t ticket : victims) {
+        fail_ticket(ticket, RpcStatus::kPeerDead);
+    }
+}
+
+void Node::set_peer_dead(KernelId dead) {
+    RKO_ASSERT(dead != id_);
+    dead_peers_.insert(dead);
+    fail_pending(dead);
+}
+
+void Node::set_dead() {
+    if (dead_) return;
+    dead_ = true;
+    std::vector<std::uint64_t> victims;
+    victims.reserve(pending_.size());
+    for (const auto& [ticket, slot] : pending_) victims.push_back(ticket);
+    std::sort(victims.begin(), victims.end());
+    for (const std::uint64_t ticket : victims) {
+        fail_ticket(ticket, RpcStatus::kPeerDead);
+    }
+    // Queued handler work dies with the node; the pools only drain.
+    blocking_pool_.queue.clear();
+    leaf_pool_.queue.clear();
+    doorbell();
 }
 
 MessagePtr Node::scan_inbound() {
@@ -213,6 +360,13 @@ void Node::note_flow_end(const Message& message, const char* name) {
 void Node::route(MessagePtr message) {
     const auto type_index = static_cast<std::size_t>(message->hdr.type);
     RKO_ASSERT(type_index < kNumMsgTypes);
+    if (dead_) {
+        // Black hole: a dead kernel's inbound channels keep draining (the
+        // fabric stays well-formed, teardown is unchanged) but nothing is
+        // handled and no replies are ever produced.
+        ++dead_letters_;
+        return;
+    }
     ++dispatched_[type_index];
     delivery_latency_.add(engine_.now() - message->ready_at);
     const char* name = msg_type_name(message->hdr.type);
@@ -254,12 +408,22 @@ void Node::worker_body(sim::Actor& self, Pool& pool) {
         }
         MessagePtr message = std::move(pool.queue.front());
         pool.queue.pop_front();
+        if (dead_) {
+            ++dead_letters_;
+            continue;
+        }
         const HandlerEntry& entry =
             handlers_[static_cast<std::size_t>(message->hdr.type)];
         const char* name = msg_type_name(message->hdr.type);
         trace::Span span(engine_, id_, name);
         note_flow_end(*message, name);
-        entry.fn(*this, std::move(message));
+        try {
+            entry.fn(*this, std::move(message));
+        } catch (const LocalNodeDead&) {
+            // The node was killed while this handler awaited a reply; the
+            // request it was serving dies with it.
+            ++dead_letters_;
+        }
         (void)self;
     }
 }
@@ -272,6 +436,29 @@ std::uint64_t Node::total_dispatched() const {
 
 void Node::doorbell() {
     if (dispatcher_idle_) dispatcher_->unpark(costs_.msg_doorbell);
+}
+
+MessagePtr rpc_retry(Node& node, KernelId dst,
+                     const std::function<MessagePtr()>& make_request, int attempts,
+                     Nanos backoff, RpcStatus* status) {
+    RKO_ASSERT(attempts >= 1);
+    RpcStatus last = RpcStatus::kOk;
+    Nanos delay = backoff;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            node.engine().current().sleep_for(delay);
+            delay *= 2;
+        }
+        MessagePtr reply = node.rpc(dst, make_request(), &last);
+        if (reply != nullptr) {
+            if (status != nullptr) *status = RpcStatus::kOk;
+            return reply;
+        }
+    }
+    RKO_ASSERT_MSG(status != nullptr,
+                   "rpc_retry exhausted and the caller cannot handle it");
+    *status = last;
+    return nullptr;
 }
 
 } // namespace rko::msg

@@ -57,7 +57,7 @@ TEST(Check, GateToggles) {
 
 TEST(Check, RegistryListsEveryFamily) {
     const auto& invariants = check::Registry::builtin().invariants();
-    ASSERT_EQ(invariants.size(), 6u);
+    ASSERT_EQ(invariants.size(), 7u);
     std::vector<std::string> names;
     for (const auto& inv : invariants) names.emplace_back(inv.name);
     EXPECT_NE(std::find(names.begin(), names.end(), "pages"), names.end());
@@ -66,6 +66,7 @@ TEST(Check, RegistryListsEveryFamily) {
     EXPECT_NE(std::find(names.begin(), names.end(), "msg"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "locks"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "balance"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "elastic"), names.end());
     for (const auto& inv : invariants) EXPECT_STRNE(inv.paper_ref, "");
 }
 
@@ -144,6 +145,8 @@ TEST(Check, ScenarioRegistry) {
     EXPECT_NE(check::find_scenario("futex_ping"), nullptr);
     EXPECT_NE(check::find_scenario("mprotect_demote"), nullptr);
     EXPECT_NE(check::find_scenario("inject_lost_invalidate"), nullptr);
+    EXPECT_NE(check::find_scenario("kill_storm"), nullptr);
+    EXPECT_NE(check::find_scenario("join_storm"), nullptr);
     EXPECT_EQ(check::find_scenario("no_such_scenario"), nullptr);
 }
 
@@ -202,6 +205,23 @@ TEST(Check, MprotectDemoteSeeds) {
     const check::SweepStats stats = check::sweep(*s, options);
     EXPECT_EQ(stats.runs, 6);
     EXPECT_TRUE(stats.ok());
+}
+
+// Satellite coverage: kernels fail-stop / hot-join / drain mid-run under
+// the elastic membership protocol; the audits (including the elastic
+// family) must stay clean across an explored seed window.
+TEST(Check, ElasticStormSeeds) {
+    ScopedCheck on(true);
+    for (const char* name : {"kill_storm", "join_storm"}) {
+        const check::Scenario* s = check::find_scenario(name);
+        ASSERT_NE(s, nullptr) << name;
+        check::SweepOptions options;
+        options.seeds = 4;
+        options.first_seed = 1;
+        const check::SweepStats stats = check::sweep(*s, options);
+        EXPECT_EQ(stats.runs, 4) << name;
+        EXPECT_TRUE(stats.ok()) << name;
+    }
 }
 
 // The sweep treats a *clean* report from the fault-injection scenario as

@@ -185,8 +185,9 @@ TEST(FutexTimeout, TimedMutexStillMutuallyExcludes) {
     process.spawn(
         [&](Guest& g) {
             g.join(init);
-            // Wait for everyone by polling the global count via ps().
-            while (g.ps().size() > 2) g.compute(100_us);
+            // Wait for everyone by polling the global count via ps()
+            // (only this checker thread left => all workers exited).
+            while (g.ps().size() > 1) g.compute(100_us);
             EXPECT_EQ(g.read<std::uint32_t>(counter), kThreads * kIters);
         },
         0);

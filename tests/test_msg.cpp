@@ -532,5 +532,201 @@ TEST(Node, RpcAllCountsAsOneScatterBatch) {
     h.finish();
 }
 
+TEST(NodeElastic, RpcToDeadPeerFailsImmediately) {
+    Harness h(2);
+    h.start();
+    RpcStatus status = RpcStatus::kOk;
+    Nanos elapsed = -1;
+    Actor app(h.engine, "app", [&](Actor& self) {
+        h.fabric->node(0).set_peer_dead(1);
+        const Nanos t0 = self.now();
+        MessagePtr reply = h.fabric->node(0).rpc(
+            1, make_message(MsgType::kPing, MsgKind::kRequest, PingPayload{1}),
+            &status);
+        elapsed = self.now() - t0;
+        EXPECT_EQ(reply, nullptr);
+    });
+    app.start();
+    h.engine.run_until(1_ms);
+    EXPECT_EQ(status, RpcStatus::kPeerDead);
+    EXPECT_EQ(elapsed, 0); // fails without touching the wire
+    EXPECT_EQ(h.fabric->node(0).rpc_failures(), 1u);
+    h.finish();
+}
+
+TEST(NodeElastic, FailPendingUnparksInFlightRpc) {
+    // The reply never comes (the handler swallows the request); declaring
+    // the peer dead mid-wait must synthesize the failure and unpark.
+    Harness h(2);
+    h.fabric->node(1).register_handler(MsgType::kPing, HandlerClass::kInline,
+                                       [](Node&, MessagePtr) { /* no reply */ });
+    h.start();
+    RpcStatus status = RpcStatus::kOk;
+    bool returned = false;
+    Actor app(h.engine, "app", [&](Actor&) {
+        MessagePtr reply = h.fabric->node(0).rpc(
+            1, make_message(MsgType::kPing, MsgKind::kRequest, PingPayload{1}),
+            &status);
+        EXPECT_EQ(reply, nullptr);
+        returned = true;
+    });
+    app.start();
+    Actor reaper(h.engine, "reaper",
+                 [&](Actor&) { h.fabric->node(0).set_peer_dead(1); });
+    reaper.start(200_us);
+    h.engine.run_until(1_ms);
+    EXPECT_TRUE(returned);
+    EXPECT_EQ(status, RpcStatus::kPeerDead);
+    EXPECT_EQ(h.fabric->node(0).pending_replies(), 0u);
+    h.finish();
+}
+
+TEST(NodeElastic, RpcTimedTimesOutAndDropsLateReply) {
+    // The peer is merely slow: the timed rpc gives up, tombstones the
+    // ticket, and the straggler reply is dropped instead of asserting.
+    Harness h(2);
+    h.fabric->node(1).register_handler(
+        MsgType::kVmaOp, HandlerClass::kBlocking, [&](Node& node, MessagePtr m) {
+            h.engine.current().sleep_for(500_us);
+            node.reply(*m, make_message(MsgType::kVmaOp, MsgKind::kReply,
+                                        m->payload_as<PingPayload>()));
+        });
+    h.start();
+    RpcStatus status = RpcStatus::kOk;
+    Nanos elapsed = -1;
+    Actor app(h.engine, "app", [&](Actor& self) {
+        const Nanos t0 = self.now();
+        MessagePtr reply = h.fabric->node(0).rpc_timed(
+            1, make_message(MsgType::kVmaOp, MsgKind::kRequest, PingPayload{1}),
+            100_us, &status);
+        elapsed = self.now() - t0;
+        EXPECT_EQ(reply, nullptr);
+    });
+    app.start();
+    h.engine.run_until(5_ms);
+    EXPECT_EQ(status, RpcStatus::kTimeout);
+    EXPECT_GE(elapsed, 100_us);
+    EXPECT_LT(elapsed, 500_us);
+    EXPECT_EQ(h.fabric->node(0).pending_replies(), 0u);
+    EXPECT_GE(h.fabric->node(0).dead_letters(), 1u); // the dropped straggler
+    h.finish();
+}
+
+TEST(NodeElastic, RpcRetryBacksOffInVirtualTimeThenReportsLastFailure) {
+    Harness h(2);
+    h.start();
+    RpcStatus status = RpcStatus::kOk;
+    Nanos elapsed = -1;
+    Actor app(h.engine, "app", [&](Actor& self) {
+        h.fabric->node(0).set_peer_dead(1);
+        const Nanos t0 = self.now();
+        MessagePtr reply = rpc_retry(
+            h.fabric->node(0), 1,
+            [] {
+                return make_message(MsgType::kPing, MsgKind::kRequest, PingPayload{1});
+            },
+            3, 10_us, &status);
+        elapsed = self.now() - t0;
+        EXPECT_EQ(reply, nullptr);
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(status, RpcStatus::kPeerDead);
+    EXPECT_EQ(elapsed, 10_us + 20_us); // exponential: sleeps before retries 2, 3
+    EXPECT_EQ(h.fabric->node(0).rpc_failures(), 3u);
+    h.finish();
+}
+
+TEST(NodeElastic, RpcRetrySucceedsFirstTryOnLivePeer) {
+    Harness h(2);
+    h.fabric->node(1).register_handler(
+        MsgType::kPing, HandlerClass::kInline, [](Node& node, MessagePtr m) {
+            node.reply(*m, make_message(MsgType::kPing, MsgKind::kReply,
+                                        PingPayload{m->payload_as<PingPayload>().value + 1}));
+        });
+    h.start();
+    RpcStatus status = RpcStatus::kPeerDead;
+    int answer = 0;
+    Actor app(h.engine, "app", [&](Actor&) {
+        MessagePtr reply = rpc_retry(
+            h.fabric->node(0), 1,
+            [] {
+                return make_message(MsgType::kPing, MsgKind::kRequest, PingPayload{41});
+            },
+            3, 10_us, &status);
+        ASSERT_NE(reply, nullptr);
+        answer = reply->payload_as<PingPayload>().value;
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(status, RpcStatus::kOk);
+    EXPECT_EQ(answer, 42);
+    h.finish();
+}
+
+TEST(NodeElastic, ScatterToDeadPeerLeavesNullSlotOthersComplete) {
+    Harness h(4);
+    for (KernelId k = 1; k < 4; ++k) {
+        h.fabric->node(k).register_handler(
+            MsgType::kPing, HandlerClass::kInline, [k](Node& node, MessagePtr m) {
+                node.reply(*m, make_message(MsgType::kPing, MsgKind::kReply,
+                                            PingPayload{static_cast<int>(k)}));
+            });
+    }
+    h.start();
+    std::vector<int> answers;
+    Actor app(h.engine, "app", [&](Actor&) {
+        h.fabric->node(0).set_peer_dead(2);
+        std::vector<Node::ScatterItem> items;
+        for (KernelId k = 1; k < 4; ++k) {
+            items.push_back({k, make_message(MsgType::kPing, MsgKind::kRequest,
+                                             PingPayload{0})});
+        }
+        auto replies = h.fabric->node(0).rpc_scatter(std::move(items));
+        ASSERT_EQ(replies.size(), 3u);
+        EXPECT_NE(replies[0], nullptr);
+        EXPECT_EQ(replies[1], nullptr); // the dead destination's slot
+        EXPECT_NE(replies[2], nullptr);
+        for (auto& r : replies) {
+            answers.push_back(r == nullptr ? -1 : r->payload_as<PingPayload>().value);
+        }
+    });
+    app.start();
+    h.engine.run_until(10_ms);
+    EXPECT_EQ(answers, (std::vector<int>{1, -1, 3}));
+    h.finish();
+}
+
+TEST(NodeElastic, SetDeadFailsPendingWithLocalNodeDeadAndBlackHoles) {
+    Harness h(2);
+    h.fabric->node(1).register_handler(MsgType::kPing, HandlerClass::kInline,
+                                       [](Node&, MessagePtr) { /* no reply */ });
+    h.start();
+    bool unwound = false;
+    Actor app(h.engine, "app", [&](Actor&) {
+        try {
+            h.fabric->node(0).rpc(
+                1, make_message(MsgType::kPing, MsgKind::kRequest, PingPayload{1}));
+        } catch (const LocalNodeDead&) {
+            unwound = true;
+        }
+    });
+    app.start();
+    Actor killer(h.engine, "killer", [&](Actor&) { h.fabric->node(0).set_dead(); });
+    killer.start(100_us);
+    // Traffic AT the dead node is black-holed, not asserted on.
+    Actor peer(h.engine, "peer", [&](Actor&) {
+        h.fabric->node(1).send(0, make_message(MsgType::kTaskExit, MsgKind::kOneway,
+                                               PingPayload{0}));
+    });
+    peer.start(200_us);
+    h.engine.run_until(1_ms);
+    EXPECT_TRUE(unwound);
+    EXPECT_EQ(h.fabric->node(0).pending_replies(), 0u);
+    EXPECT_TRUE(h.fabric->node(0).dead());
+    EXPECT_GE(h.fabric->node(0).dead_letters(), 1u);
+    h.finish();
+}
+
 } // namespace
 } // namespace rko::msg
