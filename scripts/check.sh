@@ -6,6 +6,8 @@
 #   2. TSan (build-tsan): proves the simulator really is single-host-
 #      threaded — the fiber switch carries __tsan_*_fiber annotations, so
 #      any report is a real stray thread or fiber-machinery bug.
+# A per-stage wall-clock summary prints at the end so slow stages are easy
+# to spot when this runs inside ci.sh.
 #
 # Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
 set -e
@@ -14,23 +16,46 @@ BUILD_DIR="${1:-build-san}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+TIMING_SUMMARY=""
+STAGE_START=0
+
+stage_begin() {
+  STAGE_START="$(date +%s)"
+}
+
+stage_end() {
+  _elapsed=$(( $(date +%s) - STAGE_START ))
+  TIMING_SUMMARY="${TIMING_SUMMARY}  $1: ${_elapsed}s
+"
+}
+
+stage_begin
 cmake -B "$BUILD_DIR" -S . -DRKO_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
+stage_end "asan-build"
 
 # halt_on_error so CI fails fast; leaks off — the suite is short-lived and
 # LeakSanitizer trips over the fiber stacks' mmap bookkeeping.
+stage_begin
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+stage_end "asan-tests"
 
 echo "check.sh: tier-1 green under ASan+UBSan ($BUILD_DIR)"
 
+stage_begin
 cmake -B "$TSAN_DIR" -S . -DRKO_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$JOBS"
+stage_end "tsan-build"
 
+stage_begin
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS"
+stage_end "tsan-tests"
 
 echo "check.sh: tier-1 green under TSan ($TSAN_DIR)"
+echo "check.sh: stage timings:"
+printf '%s' "$TIMING_SUMMARY"

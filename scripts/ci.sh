@@ -7,12 +7,17 @@
 #                inline protocol assertion (busy-bit audits, waiter dedup,
 #                post-revoke sweeps) — keeps the soak/invariant results of
 #                later stages trustworthy
-#   3. lint:     scripts/lint.sh (lint_rko.py + clang-tidy if installed)
-#   4. asan/tsan: scripts/check.sh (ASan+UBSan tree, then TSan tree)
-#   5. explore:  200-seed schedule-exploration sweep over every scenario
+#   3. race:     the suite again with RKO_RACE=1 RKO_CHECK=1 (lockset /
+#                lock-order / await-atomicity detector armed; a finding
+#                fails the run via the "race" invariant family), plus a
+#                race-armed explore sweep over every scenario
+#   4. lint:     scripts/lint.sh (self-test + lint_rko.py + clang-tidy if
+#                installed)
+#   5. asan/tsan: scripts/check.sh (ASan+UBSan tree, then TSan tree)
+#   6. explore:  200-seed schedule-exploration sweep over every scenario
 #                with invariant audits armed (RKO_CHECK=1); failures print
 #                the offending seed and its repro line
-#   6. bench:    quick page-fault + rebalance benches vs the committed
+#   7. bench:    quick page-fault + rebalance benches vs the committed
 #                baselines — virtual time is exactly reproducible, so any
 #                >10% drift in a key protocol latency is a real regression
 #
@@ -33,31 +38,37 @@ fail() {
   exit 1
 }
 
-echo "=== ci.sh stage 1/6: tier-1 build + tests ==="
+echo "=== ci.sh stage 1/7: tier-1 build + tests ==="
 cmake -B build -S . >/dev/null || fail tier-1 "cmake -B build -S ."
 cmake --build build -j "$JOBS" || fail tier-1 "cmake --build build -j"
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   || fail tier-1 "ctest --test-dir build --output-on-failure"
 
-echo "=== ci.sh stage 2/6: tier-1 tests with RKO_CHECK=1 ==="
+echo "=== ci.sh stage 2/7: tier-1 tests with RKO_CHECK=1 ==="
 RKO_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
   || fail checked "RKO_CHECK=1 ctest --test-dir build --output-on-failure"
 
-echo "=== ci.sh stage 3/6: lint ==="
+echo "=== ci.sh stage 3/7: race detector (RKO_RACE=1) ==="
+RKO_RACE=1 RKO_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
+  || fail race "RKO_RACE=1 RKO_CHECK=1 ctest --test-dir build --output-on-failure"
+RKO_CHECK=1 ./build/tools/rko_explore --race --seeds 10 \
+  || fail race "RKO_CHECK=1 ./build/tools/rko_explore --race --seeds 10"
+
+echo "=== ci.sh stage 4/7: lint ==="
 scripts/lint.sh || fail lint "scripts/lint.sh"
 
 if [ "$QUICK" = 1 ]; then
-  echo "=== ci.sh stage 4/6: sanitizers skipped (--quick) ==="
+  echo "=== ci.sh stage 5/7: sanitizers skipped (--quick) ==="
 else
-  echo "=== ci.sh stage 4/6: ASan+UBSan and TSan ==="
+  echo "=== ci.sh stage 5/7: ASan+UBSan and TSan ==="
   scripts/check.sh || fail sanitizers "scripts/check.sh"
 fi
 
-echo "=== ci.sh stage 5/6: ${EXPLORE_SEEDS}-seed schedule exploration ==="
+echo "=== ci.sh stage 6/7: ${EXPLORE_SEEDS}-seed schedule exploration ==="
 RKO_CHECK=1 ./build/tools/rko_explore --seeds "$EXPLORE_SEEDS" \
   || fail explore "RKO_CHECK=1 ./build/tools/rko_explore --seeds $EXPLORE_SEEDS"
 
-echo "=== ci.sh stage 6/6: bench regression gate ==="
+echo "=== ci.sh stage 7/7: bench regression gate ==="
 mkdir -p build/bench_out
 ./build/bench/bench_pagefault --quick \
     --json=build/bench_out/bench_pagefault_quick.json >/dev/null \

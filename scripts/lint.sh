@@ -1,14 +1,18 @@
 #!/bin/sh
 # The repo's lint pass, also exposed as `cmake --build build --target lint`:
-#   1. scripts/lint_rko.py — project-specific determinism/idiom rules
+#   1. scripts/lint_rko.py --self-test — the linter's own embedded cases,
+#      so a regression in its comment/string scanner or CFG tracking fails
+#      the stage instead of silently passing everything.
+#   2. scripts/lint_rko.py — project-specific determinism/idiom rules
 #      (host threading, wall clock, raw RNG, raw assert, SpinLock across
-#      await). Always runs; pure python3.
-#   2. clang-tidy — only when installed (it is optional tooling, not a
+#      await, unnamed guards). Always runs; pure python3.
+#   3. clang-tidy — only when installed (it is optional tooling, not a
 #      build dependency). Uses the compile database from build/ if present.
-# Exit status is non-zero when either stage reports findings.
+# Exit status is non-zero when any stage reports findings.
 set -e
 cd "$(dirname "$0")/.."
 
+python3 scripts/lint_rko.py --self-test
 python3 scripts/lint_rko.py
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -19,16 +19,28 @@ a few idiom rules:
                    NDEBUG builds and prints no simulation context
   lock-across-await  a SpinLock .lock() with an rpc/sleep/wait before the
                    matching .unlock(): shard locks must never be held
-                   across awaits (the busy-bit pattern exists for that)
+                   across awaits (the busy-bit pattern exists for that).
+                   Brace-depth aware: an .unlock() inside a conditional
+                   block only releases on that branch — the fall-through
+                   path is still holding, and an await there is flagged.
+  unnamed-guard    a guard temporary — sim::LockGuard(l); / ReadGuard(l);
+                   — unlocks at the semicolon, leaving the "critical
+                   section" unprotected; name the guard
   serial-fanout    a .rpc(/.rpc_all( inside a loop over a holder mask in
                    src/rko/core/ — per-victim round trips serialize what
                    the fabric can do concurrently; batch the posts into
                    one rpc_scatter (or a ranged invalidate) instead
 
-Suppress a finding with a trailing comment:  // rko-lint: allow(<rule>)
+Comment/string handling is a real scanner, not per-line regex: block
+comments may span lines and string literals may contain `//` or banned
+tokens without confusing the rules.
 
-Usage: lint_rko.py [paths...]   (default: src tools tests bench examples)
-Exit status: 0 clean, 1 findings, 2 usage error.
+Suppressions require a reason:  // rko-lint: allow(<rule>): <why>
+A bare allow() still suppresses but is reported as a warning.
+
+Usage: lint_rko.py [--self-test] [paths...]
+       (default paths: src tools tests bench examples)
+Exit status: 0 clean (warnings permitted), 1 findings, 2 usage error.
 """
 
 import os
@@ -37,8 +49,9 @@ import sys
 
 CPP_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 
-# Rules as (rule-name, compiled regex, message). Checked per physical line
-# after comment stripping, so commentary may mention the constructs freely.
+# Rules as (rule-name, compiled regex, message). Checked per logical line
+# after comment/string stripping, so commentary may mention the constructs
+# freely.
 HOST_THREADING = [
     ("host-threading", re.compile(r"\bstd::(thread|jthread|mutex|recursive_mutex|"
                                   r"shared_mutex|timed_mutex|condition_variable|"
@@ -71,6 +84,13 @@ RAW_ASSERT = [
      "raw assert() (use RKO_ASSERT / RKO_ASSERT_MSG)"),
 ]
 
+# A guard object constructed without a name is a temporary: it locks and
+# immediately unlocks at the ';'. Matching is anchored at statement start
+# and requires the ');' tail so declarations (`explicit LockGuard(Lock&)`,
+# `LockGuard(const LockGuard&) = delete;`, `~LockGuard()`) never match.
+UNNAMED_GUARD = re.compile(
+    r"^\s*(?:sim::)?(?:Lock|Read|Write)Guard(?:<[^>]*>)?\s*\([^)]*\)\s*;")
+
 # Tokens that suspend the calling actor (awaits). A SpinLock held across
 # any of these deadlocks or interleaves the protocol mid-critical-section.
 AWAIT = re.compile(r"(\.rpc\(|\brpc_all\(|\.rpc_all\(|sleep_for\(|"
@@ -85,7 +105,10 @@ SERIAL_FANOUT_LOOP = re.compile(
     r"\b(for|while)\s*\(.*(mask\s*&=\s*mask\s*-\s*1|holder_mask\s*\(\s*\))")
 SERIAL_FANOUT_RPC = re.compile(r"\.rpc(_all)?\s*\(")
 
-ALLOW = re.compile(r"rko-lint:\s*allow\(([\w-]+)\)")
+# Suppression comment: allow(rule) plus a mandatory ": reason" tail.
+# Reasons keep suppressions honest — a year later nobody remembers why a
+# bare allow was safe. A reasonless allow still suppresses, but warns.
+ALLOW = re.compile(r"rko-lint:\s*allow\(([\w-]+)\)(\s*:\s*(\S[^*\n]*))?")
 
 
 def in_sim_layer(path):
@@ -100,15 +123,89 @@ def in_core_layer(path):
     return f"src{os.sep}rko{os.sep}core{os.sep}" in path
 
 
-def strip_comments_keep_allow(line):
-    """Removes // and /* */ comment text (so prose can mention banned
-    constructs) but reports any rko-lint allowance found in it."""
-    allow = ALLOW.search(line)
-    code = re.sub(r"/\*.*?\*/", "", line)
-    code = re.sub(r"//.*$", "", code)
-    # String literals can legitimately mention anything (log messages).
-    code = re.sub(r'"(\\.|[^"\\])*"', '""', code)
-    return code, (allow.group(1) if allow else None)
+def strip_lines(lines):
+    """Scans the file once, character by character, and yields one
+    (code, comment) pair per input line: `code` with all comment text and
+    string/char literal contents removed (literals collapse to ""/''),
+    `comment` with the comment text of that line. Unlike a per-line regex
+    this survives block comments spanning lines and literals containing
+    `//` — both of which the old implementation got wrong."""
+    CODE, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = CODE
+    raw_delim = ""
+    out = []
+    for raw in lines:
+        code_parts = []
+        comment_parts = []
+        i, n = 0, len(raw)
+        while i < n:
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if state == CODE:
+                if ch == "/" and nxt == "/":
+                    comment_parts.append(raw[i + 2:].rstrip("\n"))
+                    state = LINE_COMMENT
+                    break  # rest of the physical line is comment
+                if ch == "/" and nxt == "*":
+                    state = BLOCK_COMMENT
+                    i += 2
+                    continue
+                if ch == '"':
+                    # R"delim( ... )delim" raw string?
+                    if re.search(r'(?<![\w"])R$', "".join(code_parts)[-8:] or " "):
+                        m = re.match(r'"([^\s()\\]{0,16})\(', raw[i:])
+                        if m:
+                            raw_delim = ")" + m.group(1) + '"'
+                            code_parts.append('""')
+                            state = RAW_STRING
+                            i += m.end()
+                            continue
+                    code_parts.append('""')
+                    state = STRING
+                    i += 1
+                    continue
+                if ch == "'":
+                    code_parts.append("''")
+                    state = CHAR
+                    i += 1
+                    continue
+                code_parts.append(ch)
+                i += 1
+            elif state == BLOCK_COMMENT:
+                if ch == "*" and nxt == "/":
+                    state = CODE
+                    i += 2
+                else:
+                    comment_parts.append(ch)
+                    i += 1
+            elif state in (STRING, CHAR):
+                quote = '"' if state == STRING else "'"
+                if ch == "\\":
+                    i += 2
+                elif ch == quote:
+                    state = CODE
+                    i += 1
+                else:
+                    i += 1
+            elif state == RAW_STRING:
+                end = raw.find(raw_delim, i)
+                if end < 0:
+                    break  # literal continues on the next line
+                i = end + len(raw_delim)
+                state = CODE
+        if state == LINE_COMMENT:
+            state = CODE  # line comments end with the physical line
+        out.append(("".join(code_parts), "".join(comment_parts)))
+    return out
+
+
+def parse_allow(comment):
+    """Returns (rule, has_reason) from a comment's allow annotation, or
+    (None, True) when the comment carries none."""
+    m = ALLOW.search(comment)
+    if not m:
+        return None, True
+    return m.group(1), m.group(3) is not None
 
 
 def applicable_rules(path):
@@ -121,26 +218,27 @@ def applicable_rules(path):
     return rules
 
 
-def lint_file(path, findings):
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            lines = f.readlines()
-    except OSError as e:
-        findings.append((path, 0, "io", str(e)))
-        return
+def lint_lines(path, lines, findings, warnings):
     rules = applicable_rules(path)
-    held = {}  # lock expression -> first-acquire line (for the await rule)
-    # Track awaits only in non-sim source (sim primitives implement the
-    # waiting itself) and reset at function boundaries (column-0 '}').
+    stripped = strip_lines(lines)
+    # lock-across-await state, brace-depth aware: `held` maps a lock
+    # expression to (acquire line, acquire depth). An unlock at a deeper
+    # depth than its acquire is conditional — it releases only on that
+    # branch — so the entry is parked on `suspended` and restored when the
+    # branch's block closes (the fall-through path is still holding).
     track_awaits = not in_sim_layer(path) and path.endswith(".cpp")
-    # Serial-fanout tracking (core layer only): brace depth plus the body
-    # depths of any open holder-mask loops.
     track_fanout = in_core_layer(path)
     depth = 0
+    held = {}       # lock expr -> (acquire line, acquire depth)
+    suspended = []  # (restore when depth <= this, expr, acquire line, depth)
     fanout_loops = []  # (body depth, header line) of open holder-mask loops
     pending_fanout = None  # header seen, body brace not yet
-    for lineno, raw in enumerate(lines, start=1):
-        code, allowance = strip_comments_keep_allow(raw)
+    for lineno, (raw, (code, comment)) in enumerate(zip(lines, stripped), 1):
+        allowance, has_reason = parse_allow(comment)
+        if allowance is not None and not has_reason:
+            warnings.append((path, lineno, "bare-allow",
+                             f"allow({allowance}) without a reason — write "
+                             f"`rko-lint: allow({allowance}): <why>`"))
         if not code.strip():
             continue
         for rule, pattern, message in rules:
@@ -149,6 +247,10 @@ def lint_file(path, findings):
                                              "_assert" in code):
                     continue
                 findings.append((path, lineno, rule, message))
+        if UNNAMED_GUARD.search(code) and allowance != "unnamed-guard":
+            findings.append((path, lineno, "unnamed-guard",
+                             "guard temporary unlocks at the ';' — name it "
+                             "(e.g. `sim::LockGuard guard(lock);`)"))
         if track_fanout:
             if (fanout_loops and SERIAL_FANOUT_RPC.search(code) and
                     allowance != "serial-fanout"):
@@ -162,6 +264,29 @@ def lint_file(path, findings):
             if (SERIAL_FANOUT_LOOP.search(code) and
                     allowance != "serial-fanout"):
                 pending_fanout = lineno
+        if track_awaits:
+            if raw.startswith("}"):
+                held.clear()  # end of a top-level function body
+                suspended.clear()
+            for m in LOCK_RELEASE.finditer(code):
+                expr = m.group(1)
+                if expr in held:
+                    acq_line, acq_depth = held.pop(expr)
+                    if depth > acq_depth:
+                        # Conditional release: restore once this block ends.
+                        suspended.append((depth - 1, expr, acq_line, acq_depth))
+            if held and AWAIT.search(code) and allowance != "lock-across-await":
+                expr, (acquired_at, _) = next(iter(held.items()))
+                findings.append((path, lineno, "lock-across-await",
+                                 f"awaits while '{expr}' is held "
+                                 f"(locked at line {acquired_at}; use the "
+                                 f"busy-bit pattern instead)"))
+                held.clear()  # one report per critical section
+                suspended.clear()
+            for m in LOCK_ACQUIRE.finditer(code):
+                held.setdefault(m.group(1), (lineno, depth))
+        # Shared brace-depth bookkeeping (fanout scopes + await CFG).
+        if track_fanout or track_awaits:
             for ch in code:
                 if ch == "{":
                     depth += 1
@@ -172,21 +297,23 @@ def lint_file(path, findings):
                     depth -= 1
                     while fanout_loops and fanout_loops[-1][0] > depth:
                         fanout_loops.pop()
-        if not track_awaits:
-            continue
-        if raw.startswith("}"):
-            held.clear()  # end of a top-level function body
-        for m in LOCK_RELEASE.finditer(code):
-            held.pop(m.group(1), None)
-        if held and AWAIT.search(code) and allowance != "lock-across-await":
-            expr, acquired_at = next(iter(held.items()))
-            findings.append((path, lineno, "lock-across-await",
-                             f"awaits while '{expr}' is held "
-                             f"(locked at line {acquired_at}; use the "
-                             f"busy-bit pattern instead)"))
-            held.clear()  # one report per critical section
-        for m in LOCK_ACQUIRE.finditer(code):
-            held.setdefault(m.group(1), lineno)
+                    while suspended and suspended[-1][0] >= depth:
+                        _, expr, acq_line, acq_depth = suspended.pop()
+                        held.setdefault(expr, (acq_line, acq_depth))
+            if depth <= 0:
+                depth = 0
+                held.clear()
+                suspended.clear()
+
+
+def lint_file(path, findings, warnings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as e:
+        findings.append((path, 0, "io", str(e)))
+        return
+    lint_lines(path, lines, findings, warnings)
 
 
 def collect(paths):
@@ -203,20 +330,182 @@ def collect(paths):
     return sorted(out)
 
 
+# --------------------------------------------------------------------------
+# Self-test: synthetic sources with known findings, run by lint.sh so a
+# regression in the scanner itself fails the lint stage, not silently
+# passes everything. Each case is (name, path, source, expected rules).
+# --------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("block comment spanning lines hides nothing real",
+     "src/rko/core/a.cpp",
+     """/* this block comment mentions std::mutex
+        and std::thread across lines */
+     int x = 0;
+     """,
+     []),
+    ("banned token after a string containing //",
+     "src/rko/core/b.cpp",
+     """void f() { log("see https://example.com"); std::mutex m; }
+     """,
+     ["host-threading"]),
+    ("banned token inside a string literal is not code",
+     "src/rko/core/c.cpp",
+     """const char* s = "std::mutex is banned; so is assert(";
+     """,
+     []),
+    ("inline block comment, code after still checked",
+     "src/rko/core/d.cpp",
+     """void f() { /* std::thread */ std::mutex m; }
+     """,
+     ["host-threading"]),
+    ("unnamed guard temporaries flagged, named and decls not",
+     "src/rko/core/e.cpp",
+     """struct ReadGuard {
+         explicit ReadGuard(sim::RwLock& l) : lock(l) { lock.lock_shared(); }
+         ReadGuard(const ReadGuard&) = delete;
+     };
+     void f() {
+         sim::LockGuard guard(lock_);
+         sim::LockGuard(lock_);
+         ReadGuard(op_lock);
+         WriteGuard<sim::RwLock>(op_lock);
+     }
+     """,
+     ["unnamed-guard", "unnamed-guard", "unnamed-guard"]),
+    ("conditional unlock does not release the fall-through path",
+     "src/rko/core/f.cpp",
+     """void f() {
+         shard.lock.lock();
+         if (bad) {
+             shard.lock.unlock();
+             return;
+         }
+         node.rpc(peer, m);
+         shard.lock.unlock();
+     }
+     """,
+     ["lock-across-await"]),
+    ("await after an unconditional unlock is clean",
+     "src/rko/core/g.cpp",
+     """void f() {
+         shard.lock.lock();
+         touch();
+         shard.lock.unlock();
+         node.rpc(peer, m);
+     }
+     """,
+     []),
+    ("await inside the branch that unlocked is clean",
+     "src/rko/core/h.cpp",
+     """void f() {
+         shard.lock.lock();
+         if (retry) {
+             shard.lock.unlock();
+             self.sleep_for(10);
+             return;
+         }
+         shard.lock.unlock();
+     }
+     """,
+     []),
+    ("basic lock-across-await still caught",
+     "src/rko/core/i.cpp",
+     """void f() {
+         bucket.lock.lock();
+         node.rpc(peer, m);
+         bucket.lock.unlock();
+     }
+     """,
+     ["lock-across-await"]),
+    ("allow with a reason suppresses silently",
+     "src/rko/core/j.cpp",
+     """void f() {
+         bucket.lock.lock();
+         self.sleep_for(10); // rko-lint: allow(lock-across-await): test fixture
+         bucket.lock.unlock();
+     }
+     """,
+     []),
+    ("bare allow suppresses but warns",
+     "src/rko/core/k.cpp",
+     """void f() {
+         bucket.lock.lock();
+         self.sleep_for(10); // rko-lint: allow(lock-across-await)
+         bucket.lock.unlock();
+     }
+     """,
+     [],
+     ["bare-allow"]),
+    ("static_assert exempt from raw-assert",
+     "src/rko/core/l.cpp",
+     """static_assert(sizeof(int) == 4);
+     void f() { assert(x); }
+     """,
+     ["raw-assert"]),
+    ("serial fanout in a holder-mask loop",
+     "src/rko/core/m.cpp",
+     """void f() {
+         for (std::uint32_t mask = e.holder_mask(); mask; mask &= mask - 1) {
+             node.rpc(lowest(mask), m);
+         }
+     }
+     """,
+     ["serial-fanout"]),
+    ("wall clock via chrono",
+     "src/rko/core/n.cpp",
+     """auto t = std::chrono::steady_clock::now();
+     """,
+     ["wall-clock"]),
+]
+
+
+def self_test():
+    failures = 0
+    for case in SELF_TEST_CASES:
+        name, path, source, expected = case[0], case[1], case[2], case[3]
+        expected_warnings = case[4] if len(case) > 4 else []
+        findings, warnings = [], []
+        lint_lines(path, source.splitlines(keepends=True), findings, warnings)
+        got = sorted(rule for _, _, rule, _ in findings)
+        got_warn = sorted(rule for _, _, rule, _ in warnings)
+        if got != sorted(expected) or got_warn != sorted(expected_warnings):
+            failures += 1
+            print(f"lint_rko self-test FAILED: {name}", file=sys.stderr)
+            print(f"  expected findings {sorted(expected)}, got {got}",
+                  file=sys.stderr)
+            print(f"  expected warnings {sorted(expected_warnings)}, "
+                  f"got {got_warn}", file=sys.stderr)
+            for f in findings:
+                print(f"    {f}", file=sys.stderr)
+    if failures:
+        print(f"lint_rko: self-test: {failures} case(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"lint_rko: self-test: {len(SELF_TEST_CASES)} cases ok")
+    return 0
+
+
 def main(argv):
-    paths = argv[1:] or ["src", "tools", "tests", "bench", "examples"]
+    args = argv[1:]
+    if "--self-test" in args:
+        return self_test()
+    paths = args or ["src", "tools", "tests", "bench", "examples"]
     paths = [p for p in paths if os.path.exists(p)]
     if not paths:
         print("lint_rko: no paths to lint", file=sys.stderr)
         return 2
-    findings = []
+    findings, warnings = [], []
     files = collect(paths)
     for path in files:
-        lint_file(path, findings)
+        lint_file(path, findings, warnings)
+    for path, lineno, rule, message in warnings:
+        print(f"{path}:{lineno}: warning: [{rule}] {message}")
     for path, lineno, rule, message in findings:
         print(f"{path}:{lineno}: [{rule}] {message}")
     summary = (f"lint_rko: {len(findings)} finding(s) in {len(files)} file(s)"
-               if findings else f"lint_rko: clean ({len(files)} files)")
+               if findings else f"lint_rko: clean ({len(files)} files, "
+                                f"{len(warnings)} warning(s))")
     print(summary, file=sys.stderr if findings else sys.stdout)
     return 1 if findings else 0
 

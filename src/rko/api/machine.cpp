@@ -8,6 +8,7 @@
 #include "rko/check/invariants.hpp"
 #include "rko/core/dfutex.hpp"
 #include "rko/core/page_owner.hpp"
+#include "rko/race/race.hpp"
 #include "rko/task/sched.hpp"
 
 namespace rko::api {
@@ -18,6 +19,10 @@ Machine::Machine(MachineConfig config)
       phys_(config.nkernels, config.frames_per_kernel) {
     RKO_ASSERT_MSG(config.nkernels <= 32,
                    "holder masks are 32-bit; up to 32 kernels supported");
+    // Each machine gets a clean race-detector slate: one process often runs
+    // many machines (tests, explore sweeps) and findings must not leak
+    // between them.
+    if (race::enabled()) race::reset();
     if (config_.shuffle_ties) {
         // Before any actor is created so every event carries a shuffle key.
         engine_.enable_tie_shuffle(config_.seed * 0x9e3779b97f4a7c15ULL + 1);

@@ -19,6 +19,7 @@
 #include "rko/msg/channel.hpp"
 #include "rko/msg/fabric.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/race/race.hpp"
 
 namespace rko::check {
 
@@ -664,6 +665,29 @@ void check_elastic(api::Machine& m, Report& r) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// race.* — dynamic race-detector findings (rko/race, DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+// Unlike the state audits above, this family drains a recorder: the
+// detector accumulates lock-order cycles, foreign releases, and
+// stale-reads-across-await as the simulation runs, and the checker turns
+// whatever it has collected into violations at the next quiesce point.
+// Findings are reset per Machine (api::Machine's constructor), so a
+// process running many machines never blames one for another's races.
+void check_race(api::Machine& m, Report& r) {
+    (void)m;
+    if (!race::enabled()) return;
+    for (const race::Finding& f : race::findings()) {
+        r.fail("race." + f.rule, f.detail);
+    }
+    if (race::findings_dropped() > 0) {
+        r.fail("race.findings_dropped",
+               fmt("%llu finding(s) beyond the report cap were dropped",
+                   static_cast<unsigned long long>(race::findings_dropped())));
+    }
+}
+
 } // namespace
 
 std::string Report::to_string() const {
@@ -687,6 +711,7 @@ const Registry& Registry::builtin() {
         r.add({"locks", "IV", &check_locks});
         r.add({"balance", "V", &check_balance});
         r.add({"elastic", "§11", &check_elastic});
+        r.add({"race", "§12", &check_race});
         return r;
     }();
     return registry;

@@ -31,6 +31,15 @@
 //             or owns two cores machine-wide (a stolen/pushed thread is
 //             owned by exactly one scheduler); balance_target is -1 or a
 //             real kernel.
+//   elastic — membership & re-homing (rko/elastic, DESIGN.md §11): out
+//             kernels host nothing live, parted kernels hold no sites,
+//             survivors never reference a dead kernel, membership views
+//             agree machine-wide.
+//   race    — dynamic race detector (rko/race, DESIGN.md §12): surfaces
+//             whatever the lockset/lock-order/await-atomicity recorder has
+//             collected since the Machine was built (lock-order cycles,
+//             foreign releases, stale reads across an await). Only active
+//             under RKO_RACE=1 / race::set_enabled(true).
 //
 // Checkers run host-side and never touch the virtual clock, so enabling
 // them cannot perturb simulated timing — the property the race detector

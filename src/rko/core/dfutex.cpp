@@ -1,5 +1,6 @@
 #include "rko/core/dfutex.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -14,7 +15,16 @@ DFutex::DFutex(kernel::Kernel& k)
     : k_(k),
       waits_(k.metrics().counter("futex.waits")),
       wakes_(k.metrics().counter("futex.wakes")),
-      remote_grants_(k.metrics().counter("futex.remote_grants")) {}
+      remote_grants_(k.metrics().counter("futex.remote_grants")) {
+    if (race::enabled()) {
+        char label[48];
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            std::snprintf(label, sizeof label, "k%d.futex.bucket[%zu]",
+                          static_cast<int>(k.id()), i);
+            race::name_lock(&table_[i].lock, label);
+        }
+    }
+}
 
 void DFutex::install() {
     k_.node().register_handler(
@@ -66,6 +76,14 @@ std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
     Bucket& bucket = bucket_of(pid, uaddr);
 
     for (int attempt = 0; attempt < 16; ++attempt) {
+        if (inject_stale_registration_) {
+            // BUG RE-INJECTION (tests only): sample the bucket's sweep
+            // state before the fault-path await, without the bucket lock —
+            // the pre-PR6 shape of this function. The unlocked shadow read
+            // is what lets the race detector flag the enqueue below once
+            // the reaper's sweep writes the bucket.
+            bucket.shadow.on_read();
+        }
         // Make sure this kernel can read the word, *then* re-check its
         // mapping under the bucket lock: any globally-completed write either
         // updated our frame or invalidated it first.
@@ -94,15 +112,21 @@ std::int32_t DFutex::origin_wait(ProcessSite& site, Pid pid, Tid tid,
                                "futex waiter queued twice");
             }
         }
-        if (waiter_kernel != k_.id() && k_.node().peer_dead(waiter_kernel)) {
-            // The waiter's kernel was declared dead while ensure_readable
-            // above parked this handler on the fault protocol — the reaper
-            // already swept the buckets, so enqueueing now would leave an
-            // entry nothing can ever cancel.
-            bucket.lock.unlock();
-            return kEfault;
+        if (!inject_stale_registration_) {
+            // The enqueue decision re-reads queue + sweep state under the
+            // bucket lock; the shadow read records that discipline.
+            bucket.shadow.on_read();
+            if (waiter_kernel != k_.id() && k_.node().peer_dead(waiter_kernel)) {
+                // The waiter's kernel was declared dead while ensure_readable
+                // above parked this handler on the fault protocol — the reaper
+                // already swept the buckets, so enqueueing now would leave an
+                // entry nothing can ever cancel.
+                bucket.lock.unlock();
+                return kEfault;
+            }
         }
         bucket.queue.push_back(Waiter{pid, tid, waiter_kernel, uaddr});
+        bucket.shadow.on_write();
         bucket.lock.unlock();
         return 0;
     }
@@ -125,6 +149,7 @@ std::uint32_t DFutex::origin_wake(ProcessSite& site, Pid pid, mem::Vaddr uaddr,
             ++it;
         }
     }
+    if (!to_wake.empty()) bucket.shadow.on_write();
     bucket.lock.unlock();
 
     for (const Waiter& waiter : to_wake) deliver_grant(waiter);
@@ -152,6 +177,7 @@ bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
             for (auto it = bucket.queue.begin(); it != bucket.queue.end(); ++it) {
                 if (it->pid == pid && it->tid == tid) {
                     bucket.queue.erase(it);
+                    bucket.shadow.on_write();
                     bucket.lock.unlock();
                     return true;
                 }
@@ -165,6 +191,7 @@ bool DFutex::origin_cancel(Pid pid, Tid tid, mem::Vaddr uaddr) {
     for (auto it = bucket.queue.begin(); it != bucket.queue.end(); ++it) {
         if (it->pid == pid && it->tid == tid && it->uaddr == uaddr) {
             bucket.queue.erase(it);
+            bucket.shadow.on_write();
             bucket.lock.unlock();
             return true;
         }
@@ -185,6 +212,10 @@ std::size_t DFutex::remove_kernel_waiters(topo::KernelId kernel) {
                 ++it;
             }
         }
+        // The sweep is a write even when it removes nothing: it publishes
+        // "no waiters of `kernel` remain here", and any enqueue decided on
+        // pre-sweep knowledge invalidates that — exactly the PR 6 bug.
+        bucket.shadow.on_write();
         bucket.lock.unlock();
     }
     return removed;

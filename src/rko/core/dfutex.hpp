@@ -22,6 +22,7 @@
 #include "rko/core/process.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/race/race.hpp"
 #include "rko/trace/metrics.hpp"
 
 namespace rko::kernel {
@@ -85,6 +86,16 @@ public:
     /// Bucket locks currently held (must be 0 at quiesce).
     std::size_t locked_buckets() const;
 
+    /// Test-only: re-introduces the PR 6 lost-wake bug shape in
+    /// origin_wait — the waiter-liveness decision is sampled *before* the
+    /// ensure_readable await (without the bucket lock) and the post-await
+    /// re-check under the lock is skipped, so a reaper sweep landing
+    /// during the fault protocol leaves an orphan entry. Exists to prove
+    /// the race detector catches the bug class (tests/test_race.cpp).
+    void set_inject_stale_registration(bool on) {
+        inject_stale_registration_ = on;
+    }
+
 private:
     struct Waiter {
         Pid pid;
@@ -96,6 +107,10 @@ private:
     struct Bucket {
         sim::SpinLock lock;
         std::deque<Waiter> queue;
+        /// Await-atomicity shadow for the queue + the sweep state it
+        /// implies ("no dead kernel's waiters remain"): every mutation and
+        /// every enqueue-decision read goes through it under `lock`.
+        race::ShadowCell shadow{"futex.bucket"};
     };
 
     Bucket& bucket_of(Pid pid, mem::Vaddr uaddr) {
@@ -123,6 +138,7 @@ private:
 
     kernel::Kernel& k_;
     std::array<Bucket, kBuckets> table_;
+    bool inject_stale_registration_ = false;
     // Registry-backed ("futex.*" in the kernel's MetricsRegistry).
     trace::Counter& waits_;
     trace::Counter& wakes_;

@@ -192,6 +192,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             shard.lock.unlock();
             continue;
         }
+        shard.shadow.on_read(); // the routing decision below reads the entry
         auto it = shard.entries.find(vpn);
         if (it == shard.entries.end()) {
             // First touch machine-wide: the requester allocates a zero page.
@@ -209,6 +210,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             shard.entries.emplace(vpn, busy_marker);
             shard.pending[vpn] = entry;
             shard.pending_from[vpn] = requester;
+            shard.shadow.on_write();
             shard.lock.unlock();
             out.status = FaultStatus::kOk;
             out.zero_fill = true;
@@ -232,6 +234,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             continue;
         }
         entry.busy = true;
+        shard.shadow.on_write();
         const PageDirEntry snapshot = entry;
         shard.lock.unlock();
 
@@ -429,6 +432,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
         updated.busy = false;
         shard.pending[vpn] = updated;
         shard.pending_from[vpn] = requester;
+        shard.shadow.on_write();
         shard.lock.unlock();
         out.status = FaultStatus::kOk;
         return out.status;
@@ -448,6 +452,7 @@ void PageOwner::commit_install(ProcessSite& site, mem::Vaddr page,
     shard.pending.erase(pending_it);
     shard.pending_from.erase(vpn);
     apply_commit_locked(shard, vpn, updated, requester, ok);
+    shard.shadow.on_write();
     shard.busy_wait.notify_all();
     shard.lock.unlock();
     RKO_TRACE("%lld commit page=%llx req=%d ok=%d",
@@ -471,6 +476,7 @@ bool PageOwner::abandon_pending(ProcessSite& site, mem::Vaddr page,
     shard.pending.erase(pending_it);
     shard.pending_from.erase(from_it);
     apply_commit_locked(shard, vpn, updated, requester, /*ok=*/false);
+    shard.shadow.on_write();
     shard.busy_wait.notify_all();
     shard.lock.unlock();
     return true;
@@ -660,7 +666,9 @@ bool claim_busy(sim::Engine& engine, ProcessSite::DirShard& shard, std::uint64_t
         shard.lock.unlock();
         return false;
     }
+    shard.shadow.on_read();
     it->second.busy = true;
+    shard.shadow.on_write();
     *snapshot = it->second;
     shard.lock.unlock();
     return true;
@@ -991,6 +999,7 @@ std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site
         // having already done the same rollback.
         std::vector<std::uint64_t> stale;
         shard.lock.lock();
+        shard.shadow.on_read();
         for (const auto& [vpn, from] : shard.pending_from) {
             if (from == dead) stale.push_back(vpn);
         }
@@ -1026,6 +1035,9 @@ std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site
                 }
             }
         }
+        // Like the futex sweep: stripping the corpse is a write even when
+        // nothing matched — it publishes "no dead holder remains here".
+        shard.shadow.on_write();
         shard.busy_wait.notify_all();
         shard.lock.unlock();
     }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "rko/mem/addrspace.hpp"
+#include "rko/race/race.hpp"
 #include "rko/sim/sync.hpp"
 #include "rko/task/task.hpp"
 #include "rko/topo/topology.hpp"
@@ -57,7 +58,18 @@ public:
     static constexpr int kDirShards = 16;
 
     ProcessSite(Pid pid, topo::KernelId kernel, topo::KernelId origin)
-        : space_(pid, kernel, origin) {}
+        : space_(pid, kernel, origin) {
+        if (race::enabled()) {
+            const std::string where =
+                "k" + std::to_string(kernel) + ".pid" + std::to_string(pid);
+            for (int i = 0; i < kDirShards; ++i) {
+                race::name_lock(&dir_[static_cast<std::size_t>(i)].lock,
+                                where + ".dir_shard[" + std::to_string(i) + "]");
+            }
+            race::name_lock(&vma_op_lock_, where + ".vma_op_lock");
+            race::name_lock(&space_.mmap_lock(), where + ".mmap_lock");
+        }
+    }
     ProcessSite(const ProcessSite&) = delete;
     ProcessSite& operator=(const ProcessSite&) = delete;
 
@@ -94,6 +106,10 @@ public:
         /// wait here and re-look-up after every release. Shard-level (not
         /// per-entry) so erasing an entry can never strand parked waiters.
         sim::WaitList busy_wait;
+        /// Await-atomicity shadow for entries/pending: directory decisions
+        /// read it and directory mutations write it, all under `lock` (the
+        /// busy bit carries the cross-await part of the discipline).
+        race::ShadowCell shadow{"pages.dir_shard"};
     };
     DirShard& dir_shard(std::uint64_t vpn) {
         return dir_[vpn % kDirShards];

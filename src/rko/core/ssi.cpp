@@ -44,6 +44,7 @@ void Ssi::note_load(topo::KernelId kernel, std::uint32_t ntasks,
     e.nrunnable = nrunnable;
     e.idle_cores = idle_cores;
     e.stamp = stamp;
+    table_shadow_.on_write();
 }
 
 void Ssi::on_load_gossip(msg::Node& node, msg::MessagePtr m) {
@@ -57,6 +58,7 @@ void Ssi::on_load_gossip(msg::Node& node, msg::MessagePtr m) {
 }
 
 bool Ssi::table_fresh(Nanos now, Nanos max_age) const {
+    table_shadow_.on_read(); // kRacyOk: recorded, never flagged
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
         if (peer == k_.id()) continue;
         if (!peer_alive(k_, peer)) continue; // dead/parted rows never refresh
@@ -82,6 +84,7 @@ std::vector<KernelLoad> Ssi::table_snapshot() const {
     // Same ordering as load_snapshot() (self first, then ascending peers)
     // so the rotor tie-break walks an identically shaped vector.
     std::vector<KernelLoad> loads;
+    table_shadow_.on_read();
     const CensusResp mine = local_census(0);
     loads.push_back(KernelLoad{k_.id(), mine.ntasks, mine.nrunnable, mine.idle_cores});
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {

@@ -9,6 +9,7 @@
 
 #include "rko/core/wire.hpp"
 #include "rko/msg/node.hpp"
+#include "rko/race/race.hpp"
 #include "rko/topo/topology.hpp"
 
 namespace rko::kernel {
@@ -101,6 +102,10 @@ private:
     Nanos balance_period_ = 0;
     std::function<void()> gossip_hook_;
     std::array<LoadEntry, static_cast<std::size_t>(topo::kMaxKernels)> table_{};
+    /// The load table is *intentionally* eventually consistent (stamped
+    /// rows, newest wins, no lock): kRacyOk documents that for the race
+    /// detector and exempts its readers from staleness findings.
+    race::ShadowCell table_shadow_{"ssi.load_table", race::ShadowCell::Policy::kRacyOk};
 };
 
 } // namespace rko::core

@@ -99,6 +99,7 @@ void Elastic::note_peer_seen(topo::KernelId peer) {
 
 void Elastic::check_leases() {
     if (k_.node().dead()) return;
+    membership_shadow_.on_read(); // kRacyOk: recorded, never flagged
     const Nanos lease = lease_duration();
     for (const topo::KernelId peer : k_.fabric().peers_of(k_.id())) {
         if (state_[static_cast<std::size_t>(peer)] != PeerState::kAlive) continue;
@@ -125,6 +126,7 @@ void Elastic::declare_dead(topo::KernelId subject, bool broadcast) {
     if (subject == k_.id()) return;
     if (state_[static_cast<std::size_t>(subject)] != PeerState::kAlive) return;
     state_[static_cast<std::size_t>(subject)] = PeerState::kDead;
+    membership_shadow_.on_write();
     peer_deaths_.inc();
     // Fail the fast path first: pending rpcs to the corpse resume with
     // kPeerDead and future sends drop, before any re-homing begins.
@@ -172,6 +174,7 @@ void Elastic::on_membership(msg::Node& node, msg::MessagePtr m) {
     case core::MembershipEvent::kParted:
         if (state_[subject] == PeerState::kAlive) {
             state_[subject] = PeerState::kParted;
+            membership_shadow_.on_write();
             // The node stays reachable (it answers census/vma traffic for
             // straggling messages); it is only removed from placement.
             if (trace::Tracer* tr = trace::active(k_.engine())) {
@@ -183,6 +186,7 @@ void Elastic::on_membership(msg::Node& node, msg::MessagePtr m) {
     case core::MembershipEvent::kJoin:
         if (state_[subject] != PeerState::kAlive) {
             state_[subject] = PeerState::kAlive;
+            membership_shadow_.on_write();
             k_.node().set_peer_alive(update.subject);
             // Lease grace: stamp now so the joiner is not probed before its
             // first gossip lands.
@@ -258,6 +262,7 @@ void Elastic::do_kill(sim::Actor& self) {
         tr->instant(k_.engine(), k_.id(), "elastic.kill");
     }
     state_[static_cast<std::size_t>(k_.id())] = PeerState::kDead;
+    membership_shadow_.on_write();
     // Fail-stop: the node black-holes from here on. Pending rpcs from this
     // kernel's fibers throw LocalNodeDead and unwind.
     k_.node().set_dead();
@@ -429,6 +434,7 @@ void Elastic::do_drain(sim::Actor& self) {
         k_.drop_site(pid);
     }
     state_[static_cast<std::size_t>(k_.id())] = PeerState::kParted;
+    membership_shadow_.on_write();
     broadcast_membership(core::MembershipEvent::kParted, k_.id());
     draining_ = false;
     if (trace::Tracer* tr = trace::active(k_.engine())) {
@@ -442,6 +448,7 @@ void Elastic::do_join() {
         tr->instant(k_.engine(), k_.id(), "elastic.join");
     }
     state_[static_cast<std::size_t>(k_.id())] = PeerState::kAlive;
+    membership_shadow_.on_write();
     joins_.inc();
     const Nanos now = k_.engine().now();
     for (const topo::KernelId peer : k_.fabric().peers_of(k_.id())) {
@@ -462,6 +469,7 @@ void Elastic::do_join() {
 }
 
 topo::KernelId Elastic::pick_target() const {
+    membership_shadow_.on_read(); // kRacyOk: recorded, never flagged
     topo::KernelId best = -1;
     std::uint32_t best_idle = 0;
     for (const topo::KernelId peer : k_.fabric().peers_of(k_.id())) {

@@ -40,6 +40,7 @@
 
 #include "rko/core/wire.hpp"
 #include "rko/msg/message.hpp"
+#include "rko/race/race.hpp"
 #include "rko/sim/actor.hpp"
 #include "rko/topo/topology.hpp"
 #include "rko/trace/metrics.hpp"
@@ -158,6 +159,11 @@ private:
     bool join_req_ = false;
     bool draining_ = false;
     std::array<PeerState, static_cast<std::size_t>(topo::kMaxKernels)> state_{};
+    /// Membership views are *intentionally* lease-eventual (a placement
+    /// decision may race a death declaration and every consumer tolerates
+    /// that): kRacyOk documents it for the race detector.
+    race::ShadowCell membership_shadow_{"elastic.membership",
+                                        race::ShadowCell::Policy::kRacyOk};
     /// Virtual time each peer was last heard from; -1 = never (no lease yet).
     std::array<Nanos, static_cast<std::size_t>(topo::kMaxKernels)> last_seen_{};
     std::deque<topo::KernelId> dead_queue_;

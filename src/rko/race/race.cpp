@@ -1,0 +1,405 @@
+#include "rko/race/race.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "rko/sim/actor.hpp"
+#include "rko/sim/engine.hpp"
+
+namespace rko::race {
+
+namespace detail {
+
+namespace {
+
+bool from_env() {
+    const char* env = std::getenv("RKO_RACE");
+    if (env == nullptr || env[0] == '\0') return false;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+} // namespace
+
+bool g_enabled = from_env();
+bool g_armed = g_enabled;
+
+} // namespace detail
+
+namespace {
+
+// Reports stay bounded even when a hot loop keeps re-triggering the same
+// shape; past the cap only the dropped counter grows.
+constexpr std::size_t kMaxFindings = 100;
+
+struct HeldLock {
+    const void* lock;
+    LockKind kind;
+    Nanos acquired_at;
+};
+
+/// One recorded-but-unaudited shadow-cell read.
+struct ReadRec {
+    const ShadowCell* cell;
+    std::uint64_t version;              ///< cell version the read observed
+    std::vector<const void*> locks;     ///< reader's lockset at read time
+    Nanos at;
+};
+
+struct ActorState {
+    std::vector<HeldLock> held;
+    std::vector<ReadRec> reads;
+};
+
+/// A directed acquisition-order edge: some actor held `from` while
+/// requesting `to`, in the context kept for the report.
+struct OrderEdge {
+    const void* to;
+    std::string context; ///< "actor 'x' held A (t=..) requesting B (t=..)"
+};
+
+struct Detector {
+    std::unordered_map<const sim::Actor*, ActorState> actors;
+    std::unordered_map<const void*, std::vector<OrderEdge>> order;
+    // Dedup sets so each edge exists once and each cycle reports once.
+    std::unordered_set<std::uint64_t> edges_seen;
+    std::unordered_set<std::uint64_t> cycles_reported;
+    std::unordered_map<const void*, std::string> names;
+    std::vector<Finding> findings;
+    std::unordered_set<std::string> finding_keys;
+    std::size_t dropped = 0;
+};
+
+Detector& det() {
+    static Detector d;
+    return d;
+}
+
+std::uint64_t pair_key(const void* a, const void* b) {
+    const auto ha = reinterpret_cast<std::uintptr_t>(a);
+    const auto hb = reinterpret_cast<std::uintptr_t>(b);
+    return (static_cast<std::uint64_t>(ha) * 0x9e3779b97f4a7c15ULL) ^
+           static_cast<std::uint64_t>(hb);
+}
+
+/// The current actor, or nullptr when running host-side (checkers, test
+/// harness between runs) — every hook is a no-op there.
+sim::Actor* current_or_null() {
+    sim::Engine* engine = sim::current_engine();
+    return engine == nullptr ? nullptr : engine->current_or_null();
+}
+
+const char* kind_name(LockKind kind) {
+    switch (kind) {
+    case LockKind::kSpin: return "spin";
+    case LockKind::kRwWriter: return "rw-writer";
+    case LockKind::kRwReader: return "rw-reader";
+    }
+    return "?";
+}
+
+std::string label_of(const void* lock) {
+    auto it = det().names.find(lock);
+    if (it != det().names.end()) return it->second;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "lock@%p", lock);
+    return buf;
+}
+
+std::string locks_desc(const std::vector<const void*>& locks) {
+    if (locks.empty()) return "{none}";
+    std::string out = "{";
+    for (const void* lock : locks) {
+        if (out.size() > 1) out += ", ";
+        out += label_of(lock);
+    }
+    out += "}";
+    return out;
+}
+
+std::vector<const void*> lock_ptrs(const std::vector<HeldLock>& held) {
+    std::vector<const void*> out;
+    out.reserve(held.size());
+    for (const HeldLock& h : held) out.push_back(h.lock);
+    return out;
+}
+
+bool intersects(const std::vector<const void*>& a,
+                const std::vector<const void*>& b) {
+    for (const void* lock : a) {
+        if (std::find(b.begin(), b.end(), lock) != b.end()) return true;
+    }
+    return false;
+}
+
+void report(const std::string& rule, const std::string& key,
+            std::string detail_text) {
+    Detector& d = det();
+    if (!d.finding_keys.insert(rule + "|" + key).second) return;
+    if (d.findings.size() >= kMaxFindings) {
+        ++d.dropped;
+        return;
+    }
+    d.findings.push_back(Finding{rule, std::move(detail_text)});
+}
+
+/// DFS: is `to` reachable from `from` in the order graph? Fills `path`
+/// with the edges walked (for the cycle report).
+bool reachable(const void* from, const void* to,
+               std::unordered_set<const void*>& visited,
+               std::vector<std::pair<const void*, const OrderEdge*>>& path) {
+    if (!visited.insert(from).second) return false;
+    auto it = det().order.find(from);
+    if (it == det().order.end()) return false;
+    for (const OrderEdge& edge : it->second) {
+        path.emplace_back(from, &edge);
+        if (edge.to == to) return true;
+        if (reachable(edge.to, to, visited, path)) return true;
+        path.pop_back();
+    }
+    return false;
+}
+
+/// Audits every pending read of `actor` against writes that landed since.
+/// `when` names the audit point for the report ("resumed", "finished").
+void audit_reads(const sim::Actor& actor, ActorState& state, const char* when) {
+    const Nanos now = actor.now();
+    auto keep = state.reads.begin();
+    for (auto it = state.reads.begin(); it != state.reads.end(); ++it) {
+        ReadRec& rec = *it;
+        const ShadowCell* cell = rec.cell;
+        if (cell->version_ == rec.version) {
+            if (keep != it) *keep = std::move(rec); // self-move empties locks
+            ++keep;
+            continue;
+        }
+        // The reader's own write supersedes its read benignly; a foreign
+        // write that shares a lock with the read means the discipline held
+        // (the reader could not have been mid-decision at that write). In
+        // both cases absorb the new version but keep the record — a later
+        // unsynchronized write must still be caught.
+        if (cell->last_writer_ == &actor ||
+            intersects(rec.locks, cell->last_write_locks_)) {
+            rec.version = cell->version_;
+            if (keep != it) *keep = std::move(rec);
+            ++keep;
+            continue;
+        }
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s: read by actor '%s' at t=%lld ns holding %s was superseded by "
+            "a write from actor '%s' at t=%lld ns holding %s with no common "
+            "lock, before the reader %s (audited at t=%lld ns)",
+            cell->label_, actor.name().c_str(),
+            static_cast<long long>(rec.at), locks_desc(rec.locks).c_str(),
+            cell->last_writer_name_.c_str(),
+            static_cast<long long>(cell->last_write_time_),
+            locks_desc(cell->last_write_locks_).c_str(), when,
+            static_cast<long long>(now));
+        report("stale_read_across_await",
+               std::string(cell->label_) + "|" + actor.name() + "|" +
+                   cell->last_writer_name_,
+               buf);
+        // Drop the record: one report per stale read.
+    }
+    state.reads.erase(keep, state.reads.end());
+}
+
+} // namespace
+
+void set_enabled(bool on) {
+    detail::g_enabled = on;
+    if (on) detail::g_armed = true;
+}
+
+void reset() {
+    Detector& d = det();
+    d.actors.clear();
+    d.order.clear();
+    d.edges_seen.clear();
+    d.cycles_reported.clear();
+    d.names.clear();
+    d.findings.clear();
+    d.finding_keys.clear();
+    d.dropped = 0;
+}
+
+const std::vector<Finding>& findings() { return det().findings; }
+
+std::size_t findings_dropped() { return det().dropped; }
+
+std::string findings_to_string() {
+    std::string out;
+    for (const Finding& f : det().findings) {
+        out += "  [race." + f.rule + "] " + f.detail + "\n";
+    }
+    if (det().dropped > 0) {
+        out += "  (+" + std::to_string(det().dropped) + " findings dropped)\n";
+    }
+    return out;
+}
+
+void name_lock(const void* lock, std::string label) {
+    if (!detail::g_enabled) return;
+    det().names[lock] = std::move(label);
+}
+
+std::string lock_label(const void* lock) { return label_of(lock); }
+
+void on_lock_request(const void* lock, LockKind kind) {
+    (void)kind;
+    sim::Actor* actor = current_or_null();
+    if (actor == nullptr) return;
+    Detector& d = det();
+    auto it = d.actors.find(actor);
+    if (it == d.actors.end() || it->second.held.empty()) return;
+    for (const HeldLock& held : it->second.held) {
+        if (held.lock == lock) continue; // rw upgrade/recursion: not an edge
+        if (!d.edges_seen.insert(pair_key(held.lock, lock)).second) continue;
+        char ctx[256];
+        std::snprintf(ctx, sizeof ctx,
+                      "actor '%s' acquired %s at t=%lld ns, then requested %s "
+                      "at t=%lld ns",
+                      actor->name().c_str(), label_of(held.lock).c_str(),
+                      static_cast<long long>(held.acquired_at),
+                      label_of(lock).c_str(),
+                      static_cast<long long>(actor->now()));
+        // Before inserting held.lock -> lock, see whether the reverse path
+        // already exists: if so this edge closes a cycle.
+        std::unordered_set<const void*> visited;
+        std::vector<std::pair<const void*, const OrderEdge*>> path;
+        if (reachable(lock, held.lock, visited, path) &&
+            d.cycles_reported.insert(pair_key(held.lock, lock)).second) {
+            std::string text = "potential deadlock: acquisition order cycle [";
+            text += ctx;
+            for (const auto& [from, edge] : path) {
+                (void)from;
+                text += "; ";
+                text += edge->context;
+            }
+            text += "]";
+            report("lock_cycle",
+                   label_of(held.lock) + "|" + label_of(lock),
+                   std::move(text));
+        }
+        d.order[held.lock].push_back(OrderEdge{lock, ctx});
+    }
+}
+
+void on_lock_acquired(const void* lock, LockKind kind) {
+    sim::Actor* actor = current_or_null();
+    if (actor == nullptr) return;
+    det().actors[actor].held.push_back(HeldLock{lock, kind, actor->now()});
+}
+
+void on_lock_released(const void* lock, LockKind kind) {
+    sim::Actor* actor = current_or_null();
+    if (actor == nullptr) return;
+    Detector& d = det();
+    auto it = d.actors.find(actor);
+    if (it != d.actors.end()) {
+        auto& held = it->second.held;
+        for (auto h = held.rbegin(); h != held.rend(); ++h) {
+            if (h->lock == lock && h->kind == kind) {
+                held.erase(std::next(h).base());
+                return;
+            }
+        }
+    }
+    // Not in the releaser's lockset: either some other actor acquired it
+    // (a broken handoff — RwLock::unlock_shared has no owner tracking to
+    // catch this itself) or nobody did.
+    for (auto& [other, state] : d.actors) {
+        if (other == actor) continue;
+        auto& held = state.held;
+        for (auto h = held.rbegin(); h != held.rend(); ++h) {
+            if (h->lock != lock || h->kind != kind) continue;
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "%s (%s) released by actor '%s' at t=%lld ns but "
+                          "acquired by actor '%s' at t=%lld ns",
+                          label_of(lock).c_str(), kind_name(kind),
+                          actor->name().c_str(),
+                          static_cast<long long>(actor->now()),
+                          other->name().c_str(),
+                          static_cast<long long>(h->acquired_at));
+            report("foreign_release",
+                   label_of(lock) + "|" + actor->name() + "|" + other->name(),
+                   buf);
+            held.erase(std::next(h).base());
+            return;
+        }
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s (%s) released by actor '%s' at t=%lld ns but held by "
+                  "no tracked actor",
+                  label_of(lock).c_str(), kind_name(kind),
+                  actor->name().c_str(), static_cast<long long>(actor->now()));
+    report("unheld_release", label_of(lock) + "|" + actor->name(), buf);
+}
+
+void on_actor_resumed(sim::Actor& actor) {
+    auto it = det().actors.find(&actor);
+    if (it == det().actors.end() || it->second.reads.empty()) return;
+    audit_reads(actor, it->second, "resumed");
+}
+
+void on_actor_finished(sim::Actor& actor) {
+    Detector& d = det();
+    auto it = d.actors.find(&actor);
+    if (it == d.actors.end()) return;
+    audit_reads(actor, it->second, "finished");
+    d.actors.erase(it);
+}
+
+namespace detail {
+
+void cell_read(const ShadowCell* cell) {
+    if (cell->racy_ok_) return; // data_race()-style: exempt by policy
+    sim::Actor* actor = current_or_null();
+    if (actor == nullptr) return;
+    ActorState& state = det().actors[actor];
+    for (ReadRec& rec : state.reads) {
+        if (rec.cell != cell) continue;
+        rec.version = cell->version_;
+        rec.locks = lock_ptrs(state.held);
+        rec.at = actor->now();
+        return;
+    }
+    state.reads.push_back(
+        ReadRec{cell, cell->version_, lock_ptrs(state.held), actor->now()});
+}
+
+void cell_write(const ShadowCell* cell) {
+    sim::Actor* actor = current_or_null();
+    if (actor == nullptr) return;
+    ++cell->version_;
+    cell->last_writer_ = actor;
+    cell->last_writer_name_ = actor->name();
+    cell->last_write_time_ = actor->now();
+    auto it = det().actors.find(actor);
+    cell->last_write_locks_ =
+        it == det().actors.end() ? std::vector<const void*>{}
+                                 : lock_ptrs(it->second.held);
+}
+
+void cell_forget(const ShadowCell* cell) {
+    for (auto& [actor, state] : det().actors) {
+        (void)actor;
+        auto& reads = state.reads;
+        reads.erase(std::remove_if(reads.begin(), reads.end(),
+                                   [cell](const ReadRec& rec) {
+                                       return rec.cell == cell;
+                                   }),
+                    reads.end());
+    }
+}
+
+} // namespace detail
+
+} // namespace rko::race

@@ -1,0 +1,163 @@
+// Sim-aware race and lock-discipline detector (DESIGN.md §12).
+//
+// Host TSan cannot see the hazards that matter here: the simulator is
+// single-host-threaded, so every "race" is a *logical* interleaving of
+// cooperative actors across await points (any call that suspends the
+// calling actor — rpc, sleep_for, park, lock acquisition). PR 6's
+// kill_storm bug had exactly that shape: a futex registration sampled
+// kernel liveness, parked on the fault protocol, and enqueued after the
+// reaper's sweep had already run. This layer catches that class of bug
+// mechanically, on every run, without perturbing virtual time:
+//
+//   lockset + lock-order — SpinLock/RwLock hooks maintain each actor's
+//       held-lock set and a global acquisition-order graph. A cycle in
+//       the graph is a potential deadlock; a guard released by an actor
+//       other than its acquirer is a broken handoff. Both are reported
+//       with the sim context (actor, virtual time) of every edge.
+//   await-atomicity — protocol structs embed ShadowCell markers next to
+//       their shared state. on_read()/on_write() record (actor, version,
+//       lockset). A read that is superseded by another actor's write
+//       before the reading actor resumes — with no lock common to the
+//       read and the write — is a stale-read-across-await: the reader is
+//       about to act on state that changed under it.
+//
+// Everything is gated on RKO_RACE (or set_enabled()): one branch on a
+// plain bool per hook when off, and no virtual-time cost ever — the
+// detector runs host-side only, so replay hashes and bench JSON are
+// bit-identical whether it is armed or not. Findings surface through the
+// rko/check registry as the "race" invariant family.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rko/base/units.hpp"
+
+namespace rko::sim {
+class Actor;
+}
+
+namespace rko::race {
+
+class ShadowCell;
+
+namespace detail {
+extern bool g_enabled; ///< single-host-threaded, so a plain bool suffices
+extern bool g_armed;   ///< ever enabled this process (guards cleanup hooks)
+void cell_read(const ShadowCell* cell);
+void cell_write(const ShadowCell* cell);
+void cell_forget(const ShadowCell* cell);
+} // namespace detail
+
+/// Whether detector hooks should record. Static init snapshots the
+/// RKO_RACE environment variable (same grammar as RKO_CHECK);
+/// set_enabled() overrides it afterwards.
+inline bool enabled() { return detail::g_enabled; }
+
+/// Forces the detector on or off (tests, rko_explore --race). Turning it
+/// on mid-process requires a reset() to drop half-recorded state;
+/// api::Machine construction does that automatically.
+void set_enabled(bool on);
+
+/// Drops all recorded state: locksets, order graph, pending reads,
+/// findings, lock names. Called by api::Machine's constructor when the
+/// detector is enabled, so every machine starts with a clean slate.
+void reset();
+
+/// One detector report. `rule` is the finding class — "lock_cycle",
+/// "foreign_release", "unheld_release", "stale_read_across_await" — and
+/// `detail` carries the sim context of both sides.
+struct Finding {
+    std::string rule;
+    std::string detail;
+};
+
+const std::vector<Finding>& findings();
+/// Findings dropped past the per-run cap (reports stay bounded even if a
+/// hot loop keeps re-triggering).
+std::size_t findings_dropped();
+/// One line per finding, for test failure messages and stderr.
+std::string findings_to_string();
+
+/// Attaches a human-readable label to a lock address so reports can say
+/// "futex.bucket[17]@k0" instead of a pointer. No-op while disabled.
+void name_lock(const void* lock, std::string label);
+/// The registered label, or "lock@<ptr>" if none.
+std::string lock_label(const void* lock);
+
+/// How a lock was held — RwLock reader and writer sides are tracked as
+/// distinct acquisitions of the same lock address.
+enum class LockKind : std::uint8_t { kSpin, kRwWriter, kRwReader };
+
+// --- Hooks wired into rko/sim (not for protocol code) ---------------------
+// sync.cpp calls the lock trio from SpinLock/RwLock; actor.cpp calls the
+// actor pair after every suspension returns and when a body finishes.
+// All of them no-op outside actor context.
+
+/// Before an acquisition may block: records held-lock -> requested-lock
+/// order edges and reports any cycle they close.
+void on_lock_request(const void* lock, LockKind kind);
+/// The acquisition succeeded: adds the lock to the actor's lockset.
+void on_lock_acquired(const void* lock, LockKind kind);
+/// Removes the lock from the releasing actor's lockset; a release of an
+/// entry some *other* actor holds is reported as foreign_release.
+void on_lock_released(const void* lock, LockKind kind);
+
+/// The actor came back from a suspension: audit its pending shadow-cell
+/// reads against writes that landed meanwhile.
+void on_actor_resumed(sim::Actor& actor);
+/// Final audit + state drop when an actor's body finishes.
+void on_actor_finished(sim::Actor& actor);
+
+/// One unit of await-atomicity-checked shared state, embedded next to the
+/// real data it shadows (a futex bucket's queue, a directory shard's
+/// entry map). Protocol code calls on_read() where it samples the state
+/// to make a decision and on_write() where it mutates it; the detector
+/// flags any read superseded across an await by another actor's write
+/// that shares no lock with it.
+///
+/// Policy::kRacyOk marks state that is *intentionally* unsynchronized
+/// (the ssi load table's stamped rows, elastic membership views): writes
+/// are recorded so version counters stay meaningful, reads are exempt
+/// from staleness checks — the sim equivalent of Linux's data_race().
+class ShadowCell {
+public:
+    enum class Policy : std::uint8_t { kGuarded, kRacyOk };
+
+    explicit ShadowCell(const char* label, Policy policy = Policy::kGuarded)
+        : label_(label), racy_ok_(policy == Policy::kRacyOk) {}
+    ShadowCell(const ShadowCell&) = delete;
+    ShadowCell& operator=(const ShadowCell&) = delete;
+    ~ShadowCell() {
+        // Purge dangling pending-read records (a dropped site's shards die
+        // while kworkers still hold reads of them). Only ever non-trivial
+        // after the detector has been armed once.
+        if (detail::g_armed) detail::cell_forget(this);
+    }
+
+    void on_read() const {
+        if (detail::g_enabled) detail::cell_read(this);
+    }
+    void on_write() const {
+        if (detail::g_enabled) detail::cell_write(this);
+    }
+
+    const char* label() const { return label_; }
+    bool racy_ok() const { return racy_ok_; }
+    /// Writes recorded while the detector was enabled (tests).
+    std::uint64_t version() const { return version_; }
+
+    // Detector bookkeeping, public for race.cpp only; protocol code uses
+    // nothing below. Mutable: cells sit inside otherwise-const protocol
+    // structs and the shadow state is host-side, not simulated data.
+    const char* label_;
+    bool racy_ok_;
+    mutable std::uint64_t version_ = 0;
+    mutable const sim::Actor* last_writer_ = nullptr;
+    mutable std::string last_writer_name_;
+    mutable Nanos last_write_time_ = -1;
+    mutable std::vector<const void*> last_write_locks_;
+};
+
+} // namespace rko::race

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "rko/race/race.hpp"
+
 namespace rko::sim {
 
 Actor::Actor(Engine& engine, std::string name, std::function<void(Actor&)> body,
@@ -24,6 +26,7 @@ void Actor::start(Nanos delay) {
 
 void Actor::run_body() {
     body_(*this);
+    if (race::enabled()) race::on_actor_finished(*this);
     state_ = State::kFinished;
     ++generation_; // invalidate any pending timer events
     for (Actor* waiter : join_waiters_) waiter->unpark();
@@ -43,6 +46,9 @@ void Actor::sleep_for(Nanos d) {
     state_ = State::kReady;
     engine_.schedule(*this, engine_.now() + d, ++generation_);
     switch_to_engine();
+    // Back from a suspension: other actors may have run. (The permit fast
+    // paths in park/park_for skip this — nothing interleaved there.)
+    if (race::enabled()) race::on_actor_resumed(*this);
 }
 
 void Actor::park() {
@@ -55,6 +61,7 @@ void Actor::park() {
     ++generation_; // no pending event while parked
     switch_to_engine();
     RKO_ASSERT(state_ == State::kRunning);
+    if (race::enabled()) race::on_actor_resumed(*this);
 }
 
 bool Actor::park_for(Nanos timeout) {
@@ -71,6 +78,7 @@ bool Actor::park_for(Nanos timeout) {
     engine_.schedule(*this, engine_.now() + timeout, ++generation_);
     switch_to_engine();
     RKO_ASSERT(state_ == State::kRunning);
+    if (race::enabled()) race::on_actor_resumed(*this);
     return woken_;
 }
 

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 
+#include "rko/race/race.hpp"
+
 namespace rko::sim {
 
 void SpinLock::lock() {
     Actor& self = current_actor();
+    if (race::enabled()) race::on_lock_request(this, race::LockKind::kSpin);
     ++acquisitions_;
     if (owner_ == nullptr) {
         // The acquire takes effect at call time; the atomic's latency is
         // charged while the lock is already held, exactly like hardware
         // (the winning RMW globally orders before the charge elapses).
         owner_ = &self;
+        if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kSpin);
         self.sleep_for(costs_.uncontended);
         return;
     }
@@ -22,6 +26,7 @@ void SpinLock::lock() {
     self.park();
     wait_time_ += self.now() - enqueued_at;
     RKO_ASSERT(owner_ == &self);
+    if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kSpin);
 }
 
 bool SpinLock::try_lock() {
@@ -33,12 +38,17 @@ bool SpinLock::try_lock() {
     }
     ++acquisitions_;
     owner_ = &self;
+    // No order edge for a try: a failed probe cannot deadlock.
+    if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kSpin);
     self.sleep_for(costs_.uncontended);
     return true;
 }
 
 void SpinLock::unlock() {
     Actor& self = current_actor();
+    // Detector first: a foreign unlock should be reported with both
+    // acquisition contexts before the hard assert below fires.
+    if (race::enabled()) race::on_lock_released(this, race::LockKind::kSpin);
     RKO_ASSERT_MSG(owner_ == &self, "unlock by non-owner");
     if (waiters_.empty()) {
         owner_ = nullptr;
@@ -59,8 +69,10 @@ bool SpinLock::held_by_current() const {
 
 void RwLock::lock_shared() {
     Actor& self = current_actor();
+    if (race::enabled()) race::on_lock_request(this, race::LockKind::kRwReader);
     if (writer_ == nullptr && waiters_.empty()) {
         ++readers_;
+        if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kRwReader);
         self.sleep_for(costs_.uncontended);
         return;
     }
@@ -68,9 +80,13 @@ void RwLock::lock_shared() {
     waiters_.push_back(Waiter{&self, false});
     self.park();
     wait_time_ += self.now() - enqueued_at;
+    if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kRwReader);
 }
 
 void RwLock::unlock_shared() {
+    // The reader count cannot tell a foreign release from a legal one; the
+    // detector's per-actor locksets can.
+    if (race::enabled()) race::on_lock_released(this, race::LockKind::kRwReader);
     RKO_ASSERT(readers_ > 0);
     --readers_;
     if (readers_ == 0) admit_front();
@@ -78,8 +94,10 @@ void RwLock::unlock_shared() {
 
 void RwLock::lock() {
     Actor& self = current_actor();
+    if (race::enabled()) race::on_lock_request(this, race::LockKind::kRwWriter);
     if (writer_ == nullptr && readers_ == 0 && waiters_.empty()) {
         writer_ = &self;
+        if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kRwWriter);
         self.sleep_for(costs_.uncontended);
         return;
     }
@@ -88,6 +106,7 @@ void RwLock::lock() {
     self.park();
     wait_time_ += self.now() - enqueued_at;
     RKO_ASSERT(writer_ == &self);
+    if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kRwWriter);
 }
 
 bool RwLock::try_lock() {
@@ -97,11 +116,14 @@ bool RwLock::try_lock() {
         return false;
     }
     writer_ = &self;
+    // No order edge for a try: a failed probe cannot deadlock.
+    if (race::enabled()) race::on_lock_acquired(this, race::LockKind::kRwWriter);
     self.sleep_for(costs_.uncontended);
     return true;
 }
 
 void RwLock::unlock() {
+    if (race::enabled()) race::on_lock_released(this, race::LockKind::kRwWriter);
     RKO_ASSERT(writer_ == current_engine()->current_or_null());
     writer_ = nullptr;
     admit_front();

@@ -57,7 +57,7 @@ TEST(Check, GateToggles) {
 
 TEST(Check, RegistryListsEveryFamily) {
     const auto& invariants = check::Registry::builtin().invariants();
-    ASSERT_EQ(invariants.size(), 7u);
+    ASSERT_EQ(invariants.size(), 8u);
     std::vector<std::string> names;
     for (const auto& inv : invariants) names.emplace_back(inv.name);
     EXPECT_NE(std::find(names.begin(), names.end(), "pages"), names.end());
@@ -67,6 +67,7 @@ TEST(Check, RegistryListsEveryFamily) {
     EXPECT_NE(std::find(names.begin(), names.end(), "locks"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "balance"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "elastic"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "race"), names.end());
     for (const auto& inv : invariants) EXPECT_STRNE(inv.paper_ref, "");
 }
 

@@ -329,7 +329,7 @@ TEST(Node, LeafHandlerMayTakeLocalLocks) {
         [&](Node& node, MessagePtr m) {
             local_lock.lock();
             // Intentional: this is exactly the behaviour under test.
-            h.engine.current().sleep_for(1_us); // rko-lint: allow(lock-across-await)
+            h.engine.current().sleep_for(1_us); // rko-lint: allow(lock-across-await): lock-convoy behaviour is what this test measures
             local_lock.unlock();
             ++handled;
             node.reply(*m, make_message(MsgType::kPageInvalidate, MsgKind::kReply,
@@ -339,7 +339,7 @@ TEST(Node, LeafHandlerMayTakeLocalLocks) {
     // A local actor on kernel 1 holds the lock while the message arrives.
     Actor holder(h.engine, "holder", [&](Actor& self) {
         local_lock.lock();
-        self.sleep_for(20_us); // rko-lint: allow(lock-across-await)
+        self.sleep_for(20_us); // rko-lint: allow(lock-across-await): holder must pin the lock so the handler above contends
         local_lock.unlock();
     });
     holder.start();

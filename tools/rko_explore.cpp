@@ -16,6 +16,7 @@
 
 #include "rko/check/explore.hpp"
 #include "rko/check/gate.hpp"
+#include "rko/race/race.hpp"
 
 namespace {
 
@@ -23,7 +24,11 @@ void usage(const char* argv0) {
     std::fprintf(
         stderr,
         "usage: %s [--scenario NAME|all] [--seeds N] [--first-seed S]\n"
-        "          [--jitter NS] [--no-shuffle] [--verbose|-v] [--list]\n",
+        "          [--jitter NS] [--no-shuffle] [--race] [--verbose|-v]\n"
+        "          [--list]\n"
+        "  --race  arm the rko/race dynamic detector (lockset, lock order,\n"
+        "          await atomicity); findings surface through the sweep's\n"
+        "          invariant reports\n",
         argv0);
 }
 
@@ -53,6 +58,8 @@ int main(int argc, char** argv) {
             options.delivery_jitter = std::strtoll(argv[++i], nullptr, 10);
         } else if (arg == "--no-shuffle") {
             options.shuffle_ties = false;
+        } else if (arg == "--race") {
+            rko::race::set_enabled(true);
         } else if (arg == "--verbose" || arg == "-v") {
             options.verbose = true;
         } else if (arg == "--list") {
