@@ -11,6 +11,7 @@
 #include "harness.hpp"
 #include "report.hpp"
 #include "rko/api/machine.hpp"
+#include "rko/balance/balance.hpp"
 #include "rko/core/dfutex.hpp"
 #include "rko/smp/smp.hpp"
 
@@ -165,17 +166,27 @@ int main(int argc, char** argv) {
         Table table({"T", "SMP acq/s", "Popcorn spread acq/s", "ratio"});
         for (int t = 2; t <= 16; t *= 2) {
             const double smp_rate = contended_mutex(smp::smp_config(16), t, iters, false);
-            const double pop_rate =
-                contended_mutex(smp::popcorn_config(16, 4), t, iters, true);
+            // The replicated config runs the full hierarchical stack the
+            // paper's design implies: convoy aggregation + batched grants
+            // (always on) and the owner-affinity balancer, whose hints
+            // converge the spread contenders onto the grant-holder kernel.
+            api::MachineConfig pop = smp::popcorn_config(16, 4);
+            pop.balance.policy = balance::Policy::kAffinity;
+            const double pop_rate = contended_mutex(pop, t, iters, true);
             table.add_row({fmt("%d", t), fmt_rate(smp_rate), fmt_rate(pop_rate),
                            fmt("%.2fx", pop_rate / smp_rate)});
             report.add_gauge(fmt("mutex.%d.smp_acq_per_s", t), smp_rate);
             report.add_gauge(fmt("mutex.%d.popcorn_acq_per_s", t), pop_rate);
+            // Lower-is-better mirrors of the rates, so the CI drift gate
+            // (which fails on increases) can watch contended throughput.
+            report.add_gauge(fmt("mutex.%d.smp_ns_per_acq", t), 1e9 / smp_rate);
+            report.add_gauge(fmt("mutex.%d.popcorn_ns_per_acq", t), 1e9 / pop_rate);
         }
         table.print();
-        std::printf("\nCross-kernel waiters pay grant messages: Popcorn is "
-                    "honest-slower for one contended lock shared across "
-                    "kernels.\n");
+        std::printf("\nCross-kernel waiters still pay messages, but the "
+                    "hierarchical tier aggregates each kernel's convoy into "
+                    "one registration and hands the lock around locally "
+                    "between grants.\n");
     }
 
     bench::section("(c) independent processes, private futexes");

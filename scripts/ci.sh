@@ -17,7 +17,7 @@
 #   6. explore:  200-seed schedule-exploration sweep over every scenario
 #                with invariant audits armed (RKO_CHECK=1); failures print
 #                the offending seed and its repro line
-#   7. bench:    quick page-fault + rebalance benches vs the committed
+#   7. bench:    quick page-fault + rebalance + futex benches vs the committed
 #                baselines — virtual time is exactly reproducible, so any
 #                >10% drift in a key protocol latency is a real regression
 #
@@ -84,6 +84,13 @@ scripts/bench_compare.py bench/baselines/bench_rebalance_quick.json \
     --key "burst.*.migrate_ns" --key "burst.*.auto_*_ns" \
     --key "degraded.*_round_ns" \
   || fail bench "scripts/bench_compare.py bench/baselines/bench_rebalance_quick.json build/bench_out/bench_rebalance_quick.json --key 'burst.*.migrate_ns' --key 'burst.*.auto_*_ns' --key 'degraded.*_round_ns'"
+./build/bench/bench_futex --quick \
+    --json=build/bench_out/bench_futex_quick.json >/dev/null \
+  || fail bench "./build/bench/bench_futex --quick --json=..."
+scripts/bench_compare.py bench/baselines/bench_futex_quick.json \
+    build/bench_out/bench_futex_quick.json \
+    --key "wake.*_ns" --key "mutex.*_ns_per_acq" \
+  || fail bench "scripts/bench_compare.py bench/baselines/bench_futex_quick.json build/bench_out/bench_futex_quick.json --key 'wake.*_ns' --key 'mutex.*_ns_per_acq'"
 
 echo ""
 echo "ci.sh: all stages green"

@@ -30,6 +30,11 @@ a few idiom rules:
                    src/rko/core/ — per-victim round trips serialize what
                    the fabric can do concurrently; batch the posts into
                    one rpc_scatter (or a ranged invalidate) instead
+  per-waiter-rpc   a .rpc(/.rpc_all( inside a loop over futex waiters or
+                   convoy queues in src/rko/core/ — wake paths must not
+                   pay one round trip per waiter; coalesce the grants
+                   into kFutexGrantBatch posts over one rpc_scatter
+                   (oneway .send( per waiter is fine)
 
 Comment/string handling is a real scanner, not per-line regex: block
 comments may span lines and string literals may contain `//` or banned
@@ -104,6 +109,13 @@ LOCK_RELEASE = re.compile(r"([A-Za-z_][\w.\->\[\]]*lock)\s*\.\s*unlock\s*\(\s*\)
 SERIAL_FANOUT_LOOP = re.compile(
     r"\b(for|while)\s*\(.*(mask\s*&=\s*mask\s*-\s*1|holder_mask\s*\(\s*\))")
 SERIAL_FANOUT_RPC = re.compile(r"\.rpc(_all)?\s*\(")
+
+# A loop header that walks futex waiters (Waiter entries, waiter vectors,
+# or a convoy queue). An .rpc( inside one is a per-waiter round trip in a
+# wake path — the batched-grant protocol exists precisely to avoid that.
+# Oneway .send( posts are allowed (no round trip to serialize on).
+PER_WAITER_LOOP = re.compile(
+    r"\b(for|while)\s*\(.*(\bWaiter\b|\bwaiters\b|\bwoken\b|\.queue\b)")
 
 # Suppression comment: allow(rule) plus a mandatory ": reason" tail.
 # Reasons keep suppressions honest — a year later nobody remembers why a
@@ -233,6 +245,8 @@ def lint_lines(path, lines, findings, warnings):
     suspended = []  # (restore when depth <= this, expr, acquire line, depth)
     fanout_loops = []  # (body depth, header line) of open holder-mask loops
     pending_fanout = None  # header seen, body brace not yet
+    waiter_loops = []  # (body depth, header line) of open waiter loops
+    pending_waiter = None
     for lineno, (raw, (code, comment)) in enumerate(zip(lines, stripped), 1):
         allowance, has_reason = parse_allow(comment)
         if allowance is not None and not has_reason:
@@ -264,6 +278,18 @@ def lint_lines(path, lines, findings, warnings):
             if (SERIAL_FANOUT_LOOP.search(code) and
                     allowance != "serial-fanout"):
                 pending_fanout = lineno
+            if (waiter_loops and SERIAL_FANOUT_RPC.search(code) and
+                    allowance != "per-waiter-rpc"):
+                body_depth, header_line = waiter_loops[-1]
+                findings.append((path, lineno, "per-waiter-rpc",
+                                 f"RPC inside a waiter loop (opened at line "
+                                 f"{header_line}): wake paths must not pay "
+                                 f"one round trip per waiter — coalesce "
+                                 f"grants into one rpc_scatter batch"))
+                waiter_loops.clear()  # one report per loop nest
+            if (PER_WAITER_LOOP.search(code) and
+                    allowance != "per-waiter-rpc"):
+                pending_waiter = lineno
         if track_awaits:
             if raw.startswith("}"):
                 held.clear()  # end of a top-level function body
@@ -293,10 +319,15 @@ def lint_lines(path, lines, findings, warnings):
                     if pending_fanout is not None:
                         fanout_loops.append((depth, pending_fanout))
                         pending_fanout = None
+                    if pending_waiter is not None:
+                        waiter_loops.append((depth, pending_waiter))
+                        pending_waiter = None
                 elif ch == "}":
                     depth -= 1
                     while fanout_loops and fanout_loops[-1][0] > depth:
                         fanout_loops.pop()
+                    while waiter_loops and waiter_loops[-1][0] > depth:
+                        waiter_loops.pop()
                     while suspended and suspended[-1][0] >= depth:
                         _, expr, acq_line, acq_depth = suspended.pop()
                         held.setdefault(expr, (acq_line, acq_depth))
@@ -457,6 +488,26 @@ SELF_TEST_CASES = [
      """auto t = std::chrono::steady_clock::now();
      """,
      ["wall-clock"]),
+    ("per-waiter rpc loop in a wake path",
+     "src/rko/core/o.cpp",
+     """void wake_all() {
+         for (const Waiter& w : bucket.queue) {
+             node.rpc(w.kernel, grant);
+         }
+     }
+     """,
+     ["per-waiter-rpc"]),
+    ("oneway send per waiter and batched scatter are clean",
+     "src/rko/core/p.cpp",
+     """void wake_all() {
+         for (const Waiter& w : bucket.queue) {
+             node.send(w.kernel, grant);
+             items.push_back({w.kernel, grant});
+         }
+         node.rpc_scatter(std::move(items));
+     }
+     """,
+     []),
 ]
 
 

@@ -39,6 +39,8 @@ Machine::Machine(MachineConfig config)
     for (auto& k : kernels_) {
         k->pages().set_read_replication(config_.read_replication);
         k->pages().set_prefetch_window(config_.prefetch_window);
+        k->futex().set_hierarchy(config_.futex_hierarchy);
+        k->futex().set_handoff_cap(config_.futex_handoff_cap);
         k->install_services([this](Tid tid) -> sim::Actor* {
             Thread* thread = thread_of(tid);
             return thread == nullptr ? nullptr : thread->actor();

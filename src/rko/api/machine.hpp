@@ -47,6 +47,19 @@ struct MachineConfig {
     /// the detector entirely: runs are bit-identical to the pre-prefetch
     /// protocol (no kPageFaultBatch messages exist on the wire).
     int prefetch_window = 1;
+    /// Hierarchical futex (DESIGN.md §13): remote waiters on the same
+    /// (pid, uaddr) aggregate into a per-kernel convoy, the origin fans
+    /// wakes out as batched kFutexGrantBatch RPCs, and granted kernels
+    /// hand the lock around locally. false restores the flat per-waiter
+    /// protocol exactly (no kFutexGrantBatch/kFutexDeregister on the wire).
+    bool futex_hierarchy = true;
+    /// Consecutive wake(1)s a granted kernel may serve from its own convoy
+    /// before the next wake returns to the origin (fairness budget for the
+    /// local-handoff fast path). 64 follows the lock-cohorting literature:
+    /// wide enough that a kernel's whole runnable cohort cycles through the
+    /// lock between cross-kernel rotations, small enough that remote
+    /// convoys are served on a bounded cadence.
+    std::uint32_t futex_handoff_cap = 64;
     /// Tracing & metrics; defaults follow the RKO_TRACE environment
     /// variable (see trace::TraceConfig::from_env). Metrics are collected
     /// regardless; `trace.enabled` only gates event recording.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "rko/base/assert.hpp"
+#include "rko/core/dfutex.hpp"
 #include "rko/core/ssi.hpp"
 #include "rko/core/wire.hpp"
 #include "rko/kernel/kernel.hpp"
@@ -144,7 +145,24 @@ void Balancer::gossip() {
     const auto idle = static_cast<std::uint32_t>(k_.sched().idle_cores());
     const Nanos now = k_.engine().now();
     k_.ssi().note_load(k_.id(), ntasks, nrunnable, idle, now);
-    const core::LoadGossipMsg row{k_.id(), ntasks, nrunnable, idle, now};
+    core::LoadGossipMsg row{k_.id(), ntasks, nrunnable, idle, now};
+    // Piggyback the owner-affinity census (DESIGN.md §13): the hottest
+    // contended futex word this kernel's origin table served and who holds
+    // it. Remote balancers use it to converge contenders onto the holder.
+    const core::DFutex::HotWord hot = k_.futex().hottest_word();
+    // Publication floor: one-shot futexes (join/exit words) leave a credit
+    // or two in the census before their waiters disperse, and a hint built
+    // on that noise migrates threads for nothing — demand sustained
+    // contention (a real convoy's worth of heat) before naming an owner.
+    constexpr std::uint32_t kMinHotHeat = 5;
+    if (hot.owner >= 0 && hot.heat >= kMinHotHeat) {
+        row.hot_pid = hot.pid;
+        row.hot_uaddr = hot.uaddr;
+        row.hot_owner = hot.owner;
+        row.hot_heat = hot.heat;
+        k_.ssi().note_hot_word(k_.id(), hot.pid, hot.uaddr, hot.owner, hot.heat,
+                               now);
+    }
     for (const topo::KernelId peer : k_.fabric().peers_of(k_.id())) {
         if (k_.elastic() != nullptr && !k_.elastic()->alive(peer)) continue;
         k_.node().send(peer, msg::make_message(msg::MsgType::kLoadGossip,
@@ -264,12 +282,50 @@ void Balancer::decide_steal() {
 void Balancer::decide_affinity_hints() {
     k_.for_each_task_mut([this](task::Task& t) {
         if (t.actor == nullptr || t.shadow) return;
-        if (t.state != task::TaskState::kRunning &&
-            t.state != task::TaskState::kRunnable) {
-            return;
-        }
+        const bool awake = t.state == task::TaskState::kRunning ||
+                           t.state == task::TaskState::kRunnable;
+        // Futex sleepers stay eligible for the owner-affinity hint: a
+        // contended workload keeps most contenders parked, so a
+        // running-only filter would never see them. The hint is just a
+        // flag consumed at the thread's own next syscall-return
+        // checkpoint — set on a sleeper it means "re-home the moment a
+        // grant or handoff wakes you".
+        const bool futex_sleeper =
+            t.state == task::TaskState::kBlocked && t.last_futex_word != 0;
+        if (!awake && !futex_sleeper) return;
         if (t.balance_target >= 0) return; // hint already pending
         if (!may_move(t)) return;
+        // Owner-affinity first (DESIGN.md §13): a thread that recently
+        // slept on a gossiped hot word chases the grant-holder kernel, so
+        // cross-kernel lock handoffs become local ones.
+        if (t.last_futex_word != 0) {
+            const topo::KernelId owner = k_.ssi().hot_word_owner(
+                t.pid, t.last_futex_word, k_.engine().now());
+            if (owner >= 0 && owner != k_.id() &&
+                (k_.elastic() == nullptr || k_.elastic()->alive(owner))) {
+                t.balance_target = owner;
+                note_moved(t);
+                hints_.inc();
+                // Re-home a parked contender immediately instead of waiting
+                // for an organic grant to reach it (which, under a healthy
+                // handoff chain, only happens on budget-expiry rotations):
+                // withdraw its convoy entry and wake it spuriously — legal
+                // under the futex contract — so the post-wait checkpoint
+                // migrates it and it re-parks on the owner's convoy. Same
+                // dance as elastic drain. If the entry is already gone a
+                // grant selected it and the wake is on its way.
+                if (futex_sleeper &&
+                    k_.futex().cancel_local(t.pid, t.tid, t.origin)) {
+                    k_.sched().wake(t);
+                }
+                if (trace::Tracer* tr = trace::active(k_.engine())) {
+                    tr->instant(k_.engine(), k_.id(), "balance.futex_affinity",
+                                static_cast<std::uint64_t>(t.tid));
+                }
+                return;
+            }
+        }
+        if (!awake) return; // fault affinity is for threads actively faulting
         std::uint64_t total = 0;
         std::uint32_t best_count = 0;
         topo::KernelId best = -1;

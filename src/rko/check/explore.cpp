@@ -597,6 +597,69 @@ ScenarioResult run_join_storm(const ExploreConfig& cfg) {
     return finish(machine);
 }
 
+/// Hierarchical-futex torture (DESIGN.md §13): six contenders across three
+/// kernels hammer one mutex word, so every kernel grows a local convoy,
+/// the origin's wakes fan out as kFutexGrantBatch, and wake(1) handoffs
+/// rotate the lock through each convoy. A third of the contenders also
+/// take short stale-value timed waits on the hot word, racing grant
+/// deliveries against local timeout cancels. Kernel 3 — anchored busy so
+/// idle-steal never parks a lock holder there — hosts timed waiters on a
+/// never-signalled word and then fail-stops, so the origin must reap its
+/// aggregate entries; later kernel 2 drains mid-contention, evacuating
+/// parked convoy waiters through the local cancel path. Kill victims make
+/// final content schedule-dependent; audits + replay are the assertions.
+ScenarioResult run_futex_convoy(const ExploreConfig& cfg) {
+    constexpr int kContenders = 6;
+    Machine machine(elastic_storm_config(cfg));
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    // Saturate k3's cores so the balancer never steals a contender (and
+    // possibly the lock holder) onto the kernel about to die.
+    for (int c = 0; c < 2; ++c) {
+        process.spawn([](Guest& g) { g.compute(4_ms); }, 3);
+    }
+    // Doomed waiters: bounded timed waits on a never-signalled word, so the
+    // kill lands on locally-parked convoy members whose origin-side
+    // aggregates must be reaped.
+    for (int v = 0; v < 2; ++v) {
+        process.spawn(
+            [&](Guest& g) {
+                g.join(init);
+                for (int r = 0; r < 30; ++r) {
+                    g.futex_wait_for(buf + 512, 0, 4_us);
+                    g.compute(10_us);
+                }
+            },
+            3);
+    }
+    for (int i = 0; i < kContenders; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                for (int r = 0; r < 25; ++r) {
+                    g.mutex_lock(buf);
+                    g.rmw_u32(buf + 64, [](std::uint32_t v) { return v + 1; });
+                    g.compute(300_ns);
+                    g.mutex_unlock(buf);
+                    if (i % 3 == 0) {
+                        // Stale-value timed waits on the hot word race
+                        // kFutexGrantBatch against local timeout cancels.
+                        (void)g.futex_wait_for(buf, 2, 2_us);
+                    }
+                    g.compute(2_us);
+                }
+            },
+            static_cast<topo::KernelId>(i % 3));
+    }
+    machine.run_until(150_us);
+    machine.kill_kernel(3);
+    machine.run_until(400_us);
+    machine.drain_kernel(2);
+    machine.run();
+    return finish(machine);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
@@ -699,6 +762,11 @@ const std::vector<Scenario>& scenarios() {
          "kernel drains onto the new capacity",
          /*content_deterministic=*/true, /*expect_violation=*/false,
          &run_join_storm},
+        {"futex_convoy",
+         "convoys on one mutex word race batched grants, handoffs, "
+         "timeouts, a kernel kill, and a drain",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_futex_convoy},
     };
     return list;
 }

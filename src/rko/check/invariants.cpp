@@ -252,21 +252,41 @@ void check_futex(api::Machine& m, Report& r) {
     const bool machine_drained = all_threads_finished(m);
     std::set<std::pair<Pid, Tid>> seen;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // dead kernel's convoys died with it
         m.kernel(k).futex().for_each_waiter([&](const core::DFutex::WaiterView& w) {
+            if (machine_drained) {
+                r.fail("futex.waiter_at_exit",
+                       fmt("k%d still queues pid=%lld tid=%lld uaddr=%llx "
+                           "count=%u after every thread finished (lost wake)",
+                           k, static_cast<long long>(w.pid),
+                           static_cast<long long>(w.tid),
+                           static_cast<unsigned long long>(w.uaddr), w.count));
+                return;
+            }
+            if (w.aggregate) {
+                // Origin-side stand-in for a remote kernel's convoy. With
+                // the machine idle no grant/deregister is in flight, so a
+                // live count must be backed by parked waiters over there.
+                if (kernel_out(m, w.kernel)) {
+                    return; // reaper sweep owns it (elastic.orphan_waiter)
+                }
+                if (w.count > 0 &&
+                    m.kernel(w.kernel).futex().local_convoy_size(w.pid, w.uaddr) ==
+                        0) {
+                    r.fail("futex.aggregate_orphan",
+                           fmt("k%d aggregate for pid=%lld uaddr=%llx says k%d "
+                               "holds %u waiters but its convoy is empty",
+                               k, static_cast<long long>(w.pid),
+                               static_cast<unsigned long long>(w.uaddr), w.kernel,
+                               w.count));
+                }
+                return; // no single tid to audit
+            }
             if (!seen.emplace(w.pid, w.tid).second) {
                 r.fail("futex.duplicate_waiter",
                        fmt("pid=%lld tid=%lld queued more than once machine-wide",
                            static_cast<long long>(w.pid),
                            static_cast<long long>(w.tid)));
-            }
-            if (machine_drained) {
-                r.fail("futex.waiter_at_exit",
-                       fmt("k%d still queues pid=%lld tid=%lld uaddr=%llx after "
-                           "every thread finished (lost wake)",
-                           k, static_cast<long long>(w.pid),
-                           static_cast<long long>(w.tid),
-                           static_cast<unsigned long long>(w.uaddr)));
-                return;
             }
             task::Task* t = m.kernel(w.kernel).find_task(w.tid);
             if (t == nullptr) {
@@ -284,6 +304,27 @@ void check_futex(api::Machine& m, Report& r) {
                            static_cast<long long>(w.pid),
                            static_cast<long long>(w.tid), w.kernel,
                            task::task_state_name(t->state)));
+            }
+            if (w.local && !machine_drained) {
+                // Local convoy waiters must be represented at the origin,
+                // or no origin-side wake can ever reach them. The count
+                // may be stale either way (handoffs stale-high, late
+                // followers stale-low) but it must be nonzero.
+                kernel::Kernel& waiter_kernel = m.kernel(k);
+                if (waiter_kernel.has_site(w.pid)) {
+                    const topo::KernelId origin = waiter_kernel.site(w.pid).origin();
+                    if (!kernel_out(m, origin) &&
+                        m.kernel(origin).futex().aggregate_count(w.pid, w.uaddr,
+                                                                 k) == 0) {
+                        r.fail("futex.convoy_unregistered",
+                               fmt("k%d convoy waiter pid=%lld tid=%lld "
+                                   "uaddr=%llx has no aggregate at origin k%d",
+                                   k, static_cast<long long>(w.pid),
+                                   static_cast<long long>(w.tid),
+                                   static_cast<unsigned long long>(w.uaddr),
+                                   origin));
+                    }
+                }
             }
         });
     }
@@ -458,6 +499,10 @@ void check_locks(api::Machine& m, Report& r) {
             r.fail("locks.futex_bucket_held",
                    fmt("k%d holds %zu futex bucket lock(s)", k,
                        m.kernel(k).futex().locked_buckets()));
+        }
+        if (m.kernel(k).futex().local_lock_held()) {
+            r.fail("locks.futex_local_held",
+                   fmt("k%d holds its local futex convoy lock", k));
         }
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
             const auto& mmap_lock = site.space().mmap_lock();

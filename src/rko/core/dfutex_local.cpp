@@ -1,0 +1,233 @@
+#include "rko/core/dfutex_local.hpp"
+
+#include <cstdio>
+
+namespace rko::core {
+
+DFutexLocal::DFutexLocal(topo::KernelId id) {
+    if (race::enabled()) {
+        char label[32];
+        std::snprintf(label, sizeof label, "k%d.futex.local", static_cast<int>(id));
+        race::name_lock(&lock_, label);
+    }
+}
+
+std::optional<DFutexLocal::Enter> DFutexLocal::enter(
+    Pid pid, mem::Vaddr uaddr, Tid tid, std::uint32_t val,
+    const std::function<std::optional<std::uint32_t>()>& read_word) {
+    const Key key{pid, uaddr};
+    std::optional<Enter> out;
+    lock_.lock();
+    shadow_.on_read(); // join decision reads the convoy table under lock_
+    auto it = convoys_.find(key);
+    if (it == convoys_.end()) {
+        // Head: no local value check — the origin's registration does the
+        // authoritative one under its bucket lock.
+        Convoy convoy;
+        const std::uint64_t reg_epoch = mint();
+        convoy.reg_epoch = reg_epoch;
+        convoy.queue.push_back(tid);
+        convoys_.emplace(key, std::move(convoy));
+        shadow_.on_write();
+        out = Enter{true, false, reg_epoch};
+    } else {
+        // Follower: check the word under the convoy lock. Any write that
+        // completed globally either updated this kernel's frame or
+        // invalidated it first, and grants serialize on lock_, so
+        // check+enqueue is atomic with respect to wakes.
+        const std::optional<std::uint32_t> current = read_word();
+        if (!current) {
+            out = std::nullopt; // mapping vanished; caller refaults
+        } else if (*current != val) {
+            out = Enter{false, true, 0};
+        } else {
+            it->second.queue.push_back(tid);
+            shadow_.on_write();
+            out = Enter{false, false, it->second.reg_epoch};
+        }
+    }
+    lock_.unlock();
+    return out;
+}
+
+void DFutexLocal::registration_ok(Pid pid, mem::Vaddr uaddr,
+                                  std::uint64_t reg_epoch) {
+    lock_.lock();
+    shadow_.on_read();
+    auto it = convoys_.find(Key{pid, uaddr});
+    // A grant may have drained and erased the convoy (or a successor
+    // incarnation may exist) while the head's RPC was in flight.
+    if (it != convoys_.end() && it->second.reg_epoch == reg_epoch) {
+        it->second.registered = true;
+        shadow_.on_write();
+    }
+    lock_.unlock();
+}
+
+std::uint32_t DFutexLocal::budget_left_locked(const Key& key) const {
+    auto it = budgets_.find(key);
+    return it == budgets_.end() ? initial_budget_ : it->second;
+}
+
+void DFutexLocal::set_budget_locked(const Key& key, std::uint32_t value) {
+    if (value == initial_budget_) {
+        budgets_.erase(key);
+    } else {
+        budgets_[key] = value;
+    }
+}
+
+bool DFutexLocal::registration_failed(Pid pid, mem::Vaddr uaddr,
+                                      std::uint64_t reg_epoch, Tid head_tid,
+                                      std::vector<Tid>* unwound) {
+    bool head_was_queued = false;
+    lock_.lock();
+    shadow_.on_read();
+    auto it = convoys_.find(Key{pid, uaddr});
+    if (it != convoys_.end() && it->second.reg_epoch == reg_epoch) {
+        for (Tid t : it->second.queue) {
+            if (t != head_tid) {
+                unwound->push_back(t);
+            } else {
+                head_was_queued = true;
+            }
+        }
+        convoys_.erase(it);
+        shadow_.on_write();
+    }
+    lock_.unlock();
+    return head_was_queued;
+}
+
+DFutexLocal::Grant DFutexLocal::grant(Pid pid, mem::Vaddr uaddr, std::uint32_t n,
+                                      std::uint32_t budget,
+                                      std::vector<Tid>* woken) {
+    Grant out{0, 0, 0};
+    lock_.lock();
+    shadow_.on_read();
+    auto it = convoys_.find(Key{pid, uaddr});
+    if (it == convoys_.end()) {
+        // Drained (or never existed here): the reply's fresh epoch lets the
+        // origin retire its stale aggregate entry.
+        out.epoch = mint();
+        lock_.unlock();
+        return out;
+    }
+    Convoy& convoy = it->second;
+    while (out.woken < n && !convoy.queue.empty()) {
+        woken->push_back(convoy.queue.front());
+        convoy.queue.pop_front();
+        ++out.woken;
+    }
+    set_budget_locked(Key{pid, uaddr}, budget); // a grant refills the budget
+    out.remaining = static_cast<std::uint32_t>(convoy.queue.size());
+    out.epoch = mint();
+    if (convoy.queue.empty()) {
+        convoys_.erase(it);
+    }
+    shadow_.on_write();
+    lock_.unlock();
+    return out;
+}
+
+std::optional<DFutexLocal::Handoff> DFutexLocal::try_handoff(Pid pid,
+                                                            mem::Vaddr uaddr) {
+    std::optional<Handoff> out;
+    lock_.lock();
+    shadow_.on_read();
+    const Key key{pid, uaddr};
+    auto it = convoys_.find(key);
+    const std::uint32_t budget =
+        it != convoys_.end() ? budget_left_locked(key) : 0;
+    if (it != convoys_.end() && !it->second.queue.empty() && budget > 0) {
+        Convoy& convoy = it->second;
+        set_budget_locked(key, budget - 1);
+        const Tid tid = convoy.queue.front();
+        convoy.queue.pop_front();
+        const bool emptied = convoy.queue.empty();
+        std::uint64_t epoch = 0;
+        if (emptied) {
+            epoch = mint();
+            convoys_.erase(it);
+        }
+        shadow_.on_write();
+        out = Handoff{tid, emptied, epoch};
+    }
+    lock_.unlock();
+    return out;
+}
+
+std::optional<DFutexLocal::Cancel> DFutexLocal::cancel(Pid pid, mem::Vaddr uaddr,
+                                                       Tid tid) {
+    std::optional<Cancel> out;
+    lock_.lock();
+    shadow_.on_read();
+    auto it = convoys_.find(Key{pid, uaddr});
+    if (it != convoys_.end()) {
+        auto& queue = it->second.queue;
+        for (auto q = queue.begin(); q != queue.end(); ++q) {
+            if (*q == tid) {
+                queue.erase(q);
+                const bool emptied = queue.empty();
+                std::uint64_t epoch = 0;
+                if (emptied) {
+                    epoch = mint();
+                    convoys_.erase(it);
+                }
+                shadow_.on_write();
+                out = Cancel{emptied, epoch};
+                break;
+            }
+        }
+    }
+    lock_.unlock();
+    return out;
+}
+
+std::optional<DFutexLocal::Cancel> DFutexLocal::cancel_any(Pid pid, Tid tid,
+                                                           mem::Vaddr* uaddr_out) {
+    std::optional<Cancel> out;
+    lock_.lock();
+    shadow_.on_read();
+    for (auto it = convoys_.begin(); it != convoys_.end(); ++it) {
+        if (it->first.first != pid) continue;
+        auto& queue = it->second.queue;
+        for (auto q = queue.begin(); q != queue.end(); ++q) {
+            if (*q != tid) continue;
+            queue.erase(q);
+            *uaddr_out = it->first.second;
+            const bool emptied = queue.empty();
+            std::uint64_t epoch = 0;
+            if (emptied) {
+                epoch = mint();
+                convoys_.erase(it);
+            }
+            shadow_.on_write();
+            out = Cancel{emptied, epoch};
+            break;
+        }
+        if (out) break;
+    }
+    lock_.unlock();
+    return out;
+}
+
+std::size_t DFutexLocal::queued() const {
+    std::size_t total = 0;
+    for (const auto& [key, convoy] : convoys_) total += convoy.queue.size();
+    return total;
+}
+
+std::size_t DFutexLocal::convoy_size(Pid pid, mem::Vaddr uaddr) const {
+    auto it = convoys_.find(Key{pid, uaddr});
+    return it == convoys_.end() ? 0 : it->second.queue.size();
+}
+
+void DFutexLocal::for_each_waiter(
+    const std::function<void(Pid, mem::Vaddr, Tid)>& fn) const {
+    for (const auto& [key, convoy] : convoys_) {
+        for (Tid tid : convoy.queue) fn(key.first, key.second, tid);
+    }
+}
+
+} // namespace rko::core

@@ -1,0 +1,164 @@
+// Per-kernel futex aggregation tier (DESIGN §13).
+//
+// Remote waiters on the same (pid, uaddr) park in one local *convoy*; only
+// the convoy head registers at the origin, so a 16-thread convoy costs one
+// cross-kernel round trip instead of 16. Grants from the origin
+// (kFutexGrantBatch) pop waiters off the convoy in FIFO order, and a
+// granted kernel may keep handing the lock around its own convoy —
+// try_handoff — without re-contacting the origin until the convoy drains
+// or the fairness budget expires.
+//
+// Consistency with the origin's aggregate entry is epoch-based: every
+// convoy transition the origin must hear about (grant reply, deregister,
+// registration) carries a value minted from this kernel's monotonic convoy
+// clock, and the origin applies only the newest report per
+// (pid, uaddr, kernel). Messages to one origin travel a FIFO channel, so
+// the clock orders them even when the origin's blocking/leaf handler pools
+// process them out of order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rko/base/units.hpp"
+#include "rko/mem/types.hpp"
+#include "rko/race/race.hpp"
+#include "rko/sim/sync.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::core {
+
+class DFutexLocal {
+public:
+    explicit DFutexLocal(topo::KernelId id);
+
+    /// Handoff budget a never-granted key starts with (refilled only by
+    /// origin grants). Mirrors MachineConfig::futex_handoff_cap.
+    void set_initial_budget(std::uint32_t budget) { initial_budget_ = budget; }
+
+    /// Outcome of a waiter entering the local tier. `reg_epoch` identifies
+    /// the convoy incarnation (guards registration_ok/failed against a
+    /// convoy that drained and was recreated while the head's RPC flew).
+    struct Enter {
+        bool head;     ///< caller must register the convoy at the origin
+        bool mismatch; ///< *uaddr != val under the convoy lock; not queued
+        std::uint64_t reg_epoch;
+    };
+    /// Queues `tid` on the convoy for (pid, uaddr). `read_word` runs under
+    /// the convoy lock and must return the word's current value from a
+    /// locally-valid mapping, or nullopt when the mapping vanished (the
+    /// caller refaults and retries; nullopt is also this function's
+    /// return). Heads skip the local value check — the origin performs the
+    /// authoritative one during registration, and on EAGAIN the head
+    /// unwinds every follower with a legal spurious wake.
+    std::optional<Enter> enter(
+        Pid pid, mem::Vaddr uaddr, Tid tid, std::uint32_t val,
+        const std::function<std::optional<std::uint32_t>()>& read_word);
+
+    /// Head's registration RPC succeeded: arm the convoy. Ignored if the
+    /// convoy from `reg_epoch` is gone. Registration does NOT refill the
+    /// handoff budget — only a grant does (see try_handoff).
+    void registration_ok(Pid pid, mem::Vaddr uaddr, std::uint64_t reg_epoch);
+    /// Head's registration was refused (EAGAIN/EFAULT): unwind the convoy.
+    /// Every queued tid except `head_tid` lands in `unwound` for a
+    /// spurious wake by the caller. Returns true when the head's own entry
+    /// was still queued (and is silently dropped with the convoy); false
+    /// means a handoff or grant popped the head while its RPC flew — that
+    /// pop banked a wake on the head, which the caller must consume and
+    /// report as a normal wakeup instead of the refusal (otherwise the
+    /// stale bank pays for the head's *next* wait instantly, stranding a
+    /// queue entry that wakes it forever after).
+    bool registration_failed(Pid pid, mem::Vaddr uaddr, std::uint64_t reg_epoch,
+                             Tid head_tid, std::vector<Tid>* unwound);
+
+    /// Origin grant landed: pop up to `n` waiters into `woken` (caller
+    /// wakes them), refill the handoff budget, and mint the reply epoch.
+    /// An absent or drained convoy replies {0, 0, fresh-epoch}.
+    struct Grant {
+        std::uint32_t woken;
+        std::uint32_t remaining;
+        std::uint64_t epoch;
+    };
+    Grant grant(Pid pid, mem::Vaddr uaddr, std::uint32_t n, std::uint32_t budget,
+                std::vector<Tid>* woken);
+
+    /// wake(1) fast path: pop the front waiter without contacting the
+    /// origin, while the fairness budget lasts. nullopt = no convoy, empty
+    /// convoy, or budget exhausted (caller RPCs the origin). When the
+    /// handoff drains the convoy the caller owes the origin a deregister
+    /// carrying `epoch`.
+    ///
+    /// The budget is keyed by (pid, uaddr) and survives convoy
+    /// reincarnation: a cohort that drains its convoy and immediately
+    /// re-forms it (the steady state under contention — every popped
+    /// waiter re-parks) keeps spending the same allowance. Only an origin
+    /// grant refills it; tying the refill to registration instead would
+    /// let one kernel's cohort chain forever without the origin ever
+    /// seeing a wake, starving remote convoys and the owner census.
+    ///
+    /// Handoffs do not wait for the head's registration to land: a never-
+    /// granted key starts with the full budget, and popping the head
+    /// itself — still blocked in its registration RPC — banks the wake it
+    /// consumes when it parks. The origin's view goes stale-high either
+    /// way; grant replies and the emptied-convoy deregister (whose epoch
+    /// outranks the in-flight registration) reconcile it.
+    struct Handoff {
+        Tid tid;
+        bool emptied;
+        std::uint64_t epoch;
+    };
+    std::optional<Handoff> try_handoff(Pid pid, mem::Vaddr uaddr);
+
+    /// Withdraws a timed-out or evacuating waiter. nullopt = the tid is no
+    /// longer queued (a grant or handoff selected it; the caller must
+    /// consume the banked wake). emptied => caller sends the deregister.
+    struct Cancel {
+        bool emptied;
+        std::uint64_t epoch;
+    };
+    std::optional<Cancel> cancel(Pid pid, mem::Vaddr uaddr, Tid tid);
+    /// Wildcard withdraw for drain/evacuate, where only the waiting fiber
+    /// knows its word: scans every convoy for `tid`.
+    std::optional<Cancel> cancel_any(Pid pid, Tid tid, mem::Vaddr* uaddr_out);
+
+    // --- Diagnostics / rko-check auditors ---
+    std::size_t queued() const;
+    std::size_t convoy_size(Pid pid, mem::Vaddr uaddr) const;
+    void for_each_waiter(
+        const std::function<void(Pid, mem::Vaddr, Tid)>& fn) const;
+    bool lock_held() const { return lock_.held(); }
+    Nanos lock_wait_time() const { return lock_.wait_time(); }
+
+private:
+    struct Convoy {
+        std::deque<Tid> queue;
+        bool registered = false;  ///< head's origin RPC completed OK
+        std::uint64_t reg_epoch = 0; ///< clock value at creation
+    };
+    using Key = std::pair<Pid, mem::Vaddr>;
+
+    std::uint64_t mint() { return ++clock_; }
+    /// Handoffs left for this key before the next wake must take an origin
+    /// turn. Absent means "never granted, never spent": a full
+    /// initial_budget_. Callers hold lock_.
+    std::uint32_t budget_left_locked(const Key& key) const;
+    void set_budget_locked(const Key& key, std::uint32_t value);
+
+    mutable sim::SpinLock lock_;
+    std::uint32_t initial_budget_ = 64;
+    std::map<Key, Convoy> convoys_; // ordered: deterministic iteration
+    /// Persistent per-key fairness budget (see try_handoff). Entries equal
+    /// to initial_budget_ are elided, so only keys mid-chain occupy a slot.
+    std::map<Key, std::uint32_t> budgets_;
+    std::uint64_t clock_ = 0;       ///< monotonic convoy clock (epochs)
+    /// Await-atomicity shadow for the convoy table: every mutation and
+    /// every join/handoff/grant decision read goes through it under lock_.
+    race::ShadowCell shadow_{"futex.convoy"};
+};
+
+} // namespace rko::core

@@ -47,10 +47,45 @@ void Ssi::note_load(topo::KernelId kernel, std::uint32_t ntasks,
     table_shadow_.on_write();
 }
 
+void Ssi::note_hot_word(topo::KernelId sender, Pid pid, mem::Vaddr uaddr,
+                        topo::KernelId owner, std::uint32_t heat, Nanos stamp) {
+    RKO_ASSERT(sender >= 0 && sender < topo::kMaxKernels);
+    HotWordEntry& e = hot_words_[static_cast<std::size_t>(sender)];
+    if (stamp < e.stamp) return; // stale row racing a newer one: drop it
+    e.pid = pid;
+    e.uaddr = uaddr;
+    e.owner = owner;
+    e.heat = heat;
+    e.stamp = stamp;
+    table_shadow_.on_write();
+}
+
+topo::KernelId Ssi::hot_word_owner(Pid pid, mem::Vaddr uaddr, Nanos now) const {
+    topo::KernelId owner = -1;
+    std::uint32_t best_heat = 0;
+    for (const HotWordEntry& e : hot_words_) {
+        if (e.owner < 0 || e.pid != pid || e.uaddr != uaddr) continue;
+        // Two periods, not one: a row's age at this kernel's own tick is
+        // one full period plus transit when the two kernels' tick phases
+        // align badly, so a one-period window rejects every row from some
+        // peers no matter how regularly they gossip.
+        if (balance_period_ > 0 && now - e.stamp > 2 * balance_period_) continue;
+        if (e.heat > best_heat) {
+            best_heat = e.heat;
+            owner = e.owner;
+        }
+    }
+    return owner;
+}
+
 void Ssi::on_load_gossip(msg::Node& node, msg::MessagePtr m) {
     (void)node;
     const auto& g = m->payload_as<LoadGossipMsg>();
     note_load(g.sender, g.ntasks, g.nrunnable, g.idle_cores, g.stamp);
+    if (g.hot_owner >= 0) {
+        note_hot_word(g.sender, g.hot_pid, g.hot_uaddr, g.hot_owner, g.hot_heat,
+                      g.stamp);
+    }
     // Gossip doubles as the elastic lease renewal (the cheap common case;
     // the failure detector only probes when renewals stop).
     if (k_.elastic() != nullptr) k_.elastic()->note_peer_seen(g.sender);

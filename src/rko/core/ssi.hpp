@@ -80,6 +80,16 @@ public:
     /// heard from. Feeds the balancer's census-staleness histogram.
     Nanos table_age(Nanos now) const;
 
+    /// Folds a gossiped hot-word row (DESIGN.md §13) into the owner-affinity
+    /// census: each origin publishes its hottest contended futex word and
+    /// the kernel last granted it. Same stamped, eventually consistent
+    /// discipline as note_load.
+    void note_hot_word(topo::KernelId sender, Pid pid, mem::Vaddr uaddr,
+                       topo::KernelId owner, std::uint32_t heat, Nanos stamp);
+    /// The gossiped grant-holder kernel for (pid, uaddr); -1 when no row
+    /// matches or the matching row is older than one balance period.
+    topo::KernelId hot_word_owner(Pid pid, mem::Vaddr uaddr, Nanos now) const;
+
     /// Machine-wide task listing ("ps"): live tasks of `pid` (0 = all),
     /// gathered from every kernel. Shadows and exited records are skipped —
     /// each thread appears exactly once, wherever it currently runs.
@@ -102,6 +112,16 @@ private:
     Nanos balance_period_ = 0;
     std::function<void()> gossip_hook_;
     std::array<LoadEntry, static_cast<std::size_t>(topo::kMaxKernels)> table_{};
+    /// One gossiped hot word per origin kernel (owner-affinity census).
+    struct HotWordEntry {
+        Pid pid = 0;
+        mem::Vaddr uaddr = 0;
+        topo::KernelId owner = -1;
+        std::uint32_t heat = 0;
+        Nanos stamp = -1;
+    };
+    std::array<HotWordEntry, static_cast<std::size_t>(topo::kMaxKernels)>
+        hot_words_{};
     /// The load table is *intentionally* eventually consistent (stamped
     /// rows, newest wins, no lock): kRacyOk documents that for the race
     /// detector and exempts its readers from staleness findings.

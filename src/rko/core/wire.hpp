@@ -214,10 +214,20 @@ struct FutexWaitReq {
     mem::Vaddr uaddr;
     std::uint32_t val;
     topo::KernelId waiter_kernel;
+    /// Nonzero: convoy-head registration for the whole kernel (DESIGN §13).
+    /// The origin queues one aggregate entry per (pid, uaddr, kernel)
+    /// instead of one entry per waiter.
+    std::uint32_t aggregate = 0;
+    std::uint32_t count = 0;  ///< aggregate: local convoy size at send time
+    std::uint64_t epoch = 0;  ///< aggregate: sender's convoy clock at send
 };
 
 struct FutexWaitResp {
     std::int32_t result; ///< 0 = queued, EAGAIN = value mismatch
+    /// Owner-affinity hint: the kernel last granted this word (-1 = none).
+    /// Waiter kernels fold it into Task::fault_from so the balance affinity
+    /// policy converges contenders onto the grant holder.
+    topo::KernelId owner = -1;
 };
 
 struct FutexWakeReq {
@@ -243,6 +253,33 @@ struct FutexCancelReq {
 
 struct FutexCancelResp {
     bool removed; ///< false => a grant was already issued; expect a wake
+};
+
+/// Origin -> kernel: wake up to `n` waiters from your local convoy for
+/// (pid, uaddr). Fanned out with rpc_scatter so a wake spread over many
+/// kernels costs one round trip. The reply's `remaining` is the kernel's
+/// authoritative convoy size, reconciling the origin's aggregate count.
+struct FutexGrantBatchReq {
+    Pid pid;
+    mem::Vaddr uaddr;
+    std::uint32_t n;
+};
+
+struct FutexGrantBatchResp {
+    std::uint32_t woken;     ///< waiters actually woken (<= n)
+    std::uint32_t remaining; ///< convoy size after the grant (authoritative)
+    std::uint64_t epoch;     ///< convoy clock at reply; origin applies newest
+};
+
+/// Kernel -> origin (oneway): the local convoy for (pid, uaddr) drained
+/// (last waiter timed out, was handed the lock locally, or evacuated).
+/// Epoch-guarded like grant replies: a deregister that loses the race with
+/// a newer registration is ignored.
+struct FutexDeregisterMsg {
+    Pid pid;
+    mem::Vaddr uaddr;
+    topo::KernelId kernel;
+    std::uint64_t epoch;
 };
 
 // --- Thread groups & migration ---------------------------------------------
@@ -306,6 +343,14 @@ struct LoadGossipMsg {
     std::uint32_t nrunnable;  ///< run-queue depth + running
     std::uint32_t idle_cores;
     Nanos stamp;              ///< sender's virtual time at emission
+    // Hottest contended futex word served by this sender's origin-side
+    // table (owner-affinity census, DESIGN §13). hot_owner -1 = none.
+    // Receivers fold it into the core::Ssi hot-word table so the affinity
+    // policy can steer contenders toward the grant holder.
+    Pid hot_pid = 0;
+    mem::Vaddr hot_uaddr = 0;
+    topo::KernelId hot_owner = -1;
+    std::uint32_t hot_heat = 0;
 };
 
 /// Thief -> victim: hand me one queued (never running) thread. The victim's

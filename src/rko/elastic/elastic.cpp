@@ -363,11 +363,19 @@ std::uint32_t Elastic::evacuate_once() {
             ++moved;
             break;
         case task::TaskState::kBlocked: {
-            // Withdraw the waiter at its origin, then wake it spuriously
-            // (legal under the futex contract); the post-wait checkpoint
-            // migrates it and it re-waits over there. uaddr 0 = wildcard:
-            // only the waiting fiber knows which word it sleeps on.
+            // Withdraw the waiter, then wake it spuriously (legal under the
+            // futex contract); the post-wait checkpoint migrates it and it
+            // re-waits over there. With the hierarchical tier the waiter
+            // usually parks in this kernel's own convoy — withdraw it there
+            // first (cancel_local also settles the origin's aggregate).
+            // uaddr 0 = wildcard: only the waiting fiber knows its word.
             t->balance_target = target;
+            if (k_.futex().cancel_local(t->pid, tid, t->origin)) {
+                k_.sched().wake(*t);
+                drain_evacuated_.inc();
+                ++moved;
+                break;
+            }
             msg::RpcStatus st = msg::RpcStatus::kOk;
             auto reply = k_.node().rpc(
                 t->origin,

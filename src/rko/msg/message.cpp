@@ -23,6 +23,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kFutexWake: return "futex_wake";
     case MsgType::kFutexGrant: return "futex_grant";
     case MsgType::kFutexCancel: return "futex_cancel";
+    case MsgType::kFutexGrantBatch: return "futex_grant_batch";
+    case MsgType::kFutexDeregister: return "futex_deregister";
     case MsgType::kTaskCensus: return "task_census";
     case MsgType::kLoadReport: return "load_report";
     case MsgType::kLoadGossip: return "load_gossip";

@@ -45,6 +45,8 @@ enum class MsgType : std::uint16_t {
     kFutexWake,         ///< wake up to n waiters at origin (blk)
     kFutexGrant,        ///< origin -> waiter kernel: wake this task (nb)
     kFutexCancel,       ///< waiter timed out: remove it from the queue (nb)
+    kFutexGrantBatch,   ///< origin -> kernel: wake n from your local convoy (leaf)
+    kFutexDeregister,   ///< kernel -> origin: local convoy drained (oneway, leaf)
     // Single-system image (core/ssi)
     kTaskCensus,        ///< enumerate tasks on this kernel (nb)
     kLoadReport,        ///< periodic load exchange for migration policy (nb)

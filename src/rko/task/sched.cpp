@@ -166,6 +166,10 @@ bool Scheduler::block_and_wait_for(Task& t, Nanos timeout) {
                 const topo::CoreId core = idle_.back();
                 idle_.pop_back();
                 t.core = core;
+                // Leave kBlocked behind while still under the lock: a
+                // concurrent wake() that reads kBlocked would assign a
+                // second core instead of banking the wake.
+                t.state = TaskState::kRunnable;
                 t.slice_start = engine_.now();
                 ++switches_;
                 if (switch_ctr_ != nullptr) switch_ctr_->inc();
@@ -258,6 +262,16 @@ void Scheduler::depart(Task& t) {
 void Scheduler::exit(Task& t) {
     RKO_ASSERT(t.actor == &engine_.current());
     rq_lock_.lock();
+    if (!t.on_core()) {
+        // A fiber can die core-less: a steal claimed it off the runqueue
+        // (kMigrating, unparked without a core) and the fail-stop unwound
+        // it out of migrate_out before it re-acquired. Nothing to release;
+        // just make sure no stale runqueue entry survives the corpse.
+        std::erase(runq_, &t);
+        t.state = TaskState::kExited;
+        rq_lock_.unlock();
+        return;
+    }
     t.state = TaskState::kExited;
     release_core(t);
     rq_lock_.unlock();

@@ -89,6 +89,12 @@ struct Task {
     mem::Vaddr last_fault_page = 0;
     std::uint32_t fault_run = 0;
 
+    // --- hierarchical futex owner affinity (core/dfutex, DESIGN.md §13) ---
+    /// The word this task last slept on (0 = never). The balancer matches
+    /// it against the gossiped hot-word census to steer contenders toward
+    /// the grant-holder kernel.
+    mem::Vaddr last_futex_word = 0;
+
     bool on_core() const { return core >= 0; }
 };
 

@@ -261,6 +261,46 @@ TEST(Race, CleanWorkloadHasZeroFindings) {
     EXPECT_EQ(race::findings_dropped(), 0u);
 }
 
+// Hierarchical-futex churn (DESIGN.md §13): convoys form and drain on one
+// contended mutex word across three kernels while short stale-value timed
+// waits race kFutexGrantBatch grants and local handoffs. Every convoy
+// mutation goes through the per-kernel convoy lock and its shadow cell;
+// zero findings proves the two-tier discipline holds under jitter.
+TEST(Race, ConvoyChurnHasZeroFindings) {
+    ScopedRace on;
+    MachineConfig cfg;
+    cfg.ncores = 8;
+    cfg.nkernels = 4;
+    cfg.frames_per_kernel = 1024;
+    cfg.seed = 7;
+    cfg.shuffle_ties = true;
+    cfg.fabric.delivery_jitter = 2000;
+    cfg.fabric.jitter_seed = 7;
+    Machine machine(cfg);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn([&](Guest& g) { buf = g.mmap(kPageSize); }, 0);
+    for (int i = 0; i < 6; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                for (int r = 0; r < 8; ++r) {
+                    g.mutex_lock(buf);
+                    g.rmw_u32(buf + 64, [](std::uint32_t v) { return v + 1; });
+                    g.compute(5_us);
+                    g.mutex_unlock(buf);
+                    if (i % 2 == 0) {
+                        (void)g.futex_wait_for(buf, 2, 2_us);
+                    }
+                }
+            },
+            static_cast<topo::KernelId>(1 + i % 3)); // remote convoys only
+    }
+    machine.run();
+    EXPECT_TRUE(race::findings().empty()) << race::findings_to_string();
+    EXPECT_EQ(race::findings_dropped(), 0u);
+}
+
 // --- PR 6 bug re-injection ------------------------------------------------
 
 // The lost-wake bug this repo fixed in PR 6: origin_wait sampled the
