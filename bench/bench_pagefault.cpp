@@ -378,5 +378,100 @@ int main(int argc, char** argv) {
                     "trip per page; with fault-around on, batched replies and "
                     "pushed pages amortize that trip across the window.\n");
     }
+
+    bench::section("(f) sharded homes: fault throughput vs kernel count");
+    {
+        // The origin-bottleneck curve (DESIGN.md §14). One thread per
+        // kernel write-faults its own stride of a shared region, so every
+        // fault is a directory transaction: with home_shards == 1 they ALL
+        // serialize at the origin's dispatcher; with per-page homes
+        // (4 shards per kernel) they resolve in parallel across the
+        // machine. Same total fault count either way — the delta is pure
+        // directory-serialization time.
+        //
+        // Setup (the mmap) completes in a first run() and the writers do
+        // NOT join an init thread: a join would make every thread bounce
+        // the one page holding the join word through its home, and that
+        // serial handoff convoy — startup synchronization, not fault
+        // throughput — would dominate the measured window.
+        const int pages_per_kernel = args.quick() ? 12 : 32;
+        struct HomesRun {
+            Nanos elapsed = 0;
+            double origin_share = 0; // of home.msgs_per_kernel.*
+            std::uint64_t messages = 0;
+        };
+        auto storm = [&](int nk, int shards) {
+            auto config = smp::popcorn_config(nk, nk);
+            config.home_shards = shards;
+            Machine machine(config);
+            auto& process = machine.create_process(0);
+            Vaddr region = 0;
+            process.spawn(
+                [&](Guest& g) {
+                    region = g.mmap(static_cast<std::uint64_t>(nk) *
+                                    pages_per_kernel * kPageSize);
+                },
+                0);
+            machine.run();
+            const Nanos storm_start = machine.now();
+            for (int k = 0; k < nk; ++k) {
+                process.spawn(
+                    [&, k](Guest& g) {
+                        const Vaddr mine =
+                            region + static_cast<Vaddr>(k) *
+                                         pages_per_kernel * kPageSize;
+                        for (int p = 0; p < pages_per_kernel; ++p) {
+                            g.write<std::uint64_t>(
+                                mine + static_cast<Vaddr>(p) * kPageSize,
+                                static_cast<std::uint64_t>(p));
+                        }
+                    },
+                    static_cast<topo::KernelId>(k));
+            }
+            machine.run();
+            HomesRun run;
+            run.elapsed = machine.now() - storm_start;
+            process.check_all_joined();
+            run.messages = machine.total_messages();
+            auto metrics = machine.collect_metrics();
+            double total = 0, origin = 0;
+            for (int k = 0; k < nk; ++k) {
+                const trace::Gauge* g = metrics.find_gauge(
+                    "home.msgs_per_kernel.k" + std::to_string(k));
+                const double v = g == nullptr ? 0 : g->value;
+                total += v;
+                if (k == 0) origin = v;
+            }
+            run.origin_share = total > 0 ? origin / total : 0;
+            return run;
+        };
+        Table table({"kernels", "shards=1", "sharded", "speedup",
+                     "origin share", "msgs"});
+        for (const int nk : {4, 8, 16, 32, 64}) {
+            if (args.quick() && nk > 16) continue;
+            const HomesRun one = storm(nk, 1);
+            const HomesRun many = storm(nk, 4 * nk);
+            table.add_row(
+                {fmt("%d", nk), fmt_ns(one.elapsed), fmt_ns(many.elapsed),
+                 fmt("%.2fx", static_cast<double>(one.elapsed) /
+                                  static_cast<double>(many.elapsed)),
+                 fmt("%.0f%% -> %.0f%%", 100 * one.origin_share,
+                     100 * many.origin_share),
+                 fmt("%llu -> %llu",
+                     static_cast<unsigned long long>(one.messages),
+                     static_cast<unsigned long long>(many.messages))});
+            report.add_gauge(fmt("homes.%d.unsharded_ns", nk),
+                             static_cast<double>(one.elapsed));
+            report.add_gauge(fmt("homes.%d.sharded_ns", nk),
+                             static_cast<double>(many.elapsed));
+            report.add_gauge(fmt("homes.%d.origin_share_sharded", nk),
+                             many.origin_share);
+        }
+        table.print();
+        std::printf("\nExpected: unsharded fault time grows with kernel count "
+                    "(every transaction queues at the origin) while sharded "
+                    "homes hold it near-flat, with the origin's share of "
+                    "directory messages dropping to ~1/kernels.\n");
+    }
     return 0;
 }

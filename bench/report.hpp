@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "harness.hpp"
+#include "rko/home/home.hpp"
 #include "rko/trace/json.hpp"
 #include "rko/trace/metrics.hpp"
 
@@ -71,6 +72,11 @@ public:
         w.begin_object();
         w.kv("bench", bench_);
         w.kv("schema", "rko-metrics-v1");
+        // Run metadata: the machine-wide home-shard default this bench ran
+        // under (RKO_HOME_SHARDS; sections that sweep shard counts override
+        // per-machine and say so in their metric names). Comparing JSONs
+        // from different shard settings is comparing different machines.
+        w.kv("home_shards", home::shards_from_env());
         w.key("metrics");
         metrics_.write_json(w);
         w.end_object();

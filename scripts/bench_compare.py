@@ -34,6 +34,8 @@ DEFAULT_KEYS = [
     "stream.*.prefetch_move_ns",
     "fault.*_ns.mean",
     "falseshare.handoff_ns",
+    "homes.*.unsharded_ns",
+    "homes.*.sharded_ns",
 ]
 
 

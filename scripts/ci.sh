@@ -17,9 +17,10 @@
 #   6. explore:  200-seed schedule-exploration sweep over every scenario
 #                with invariant audits armed (RKO_CHECK=1); failures print
 #                the offending seed and its repro line
-#   7. bench:    quick page-fault + rebalance + futex benches vs the committed
-#                baselines — virtual time is exactly reproducible, so any
-#                >10% drift in a key protocol latency is a real regression
+#   7. bench:    quick page-fault + rebalance + futex + mmap-scale benches vs
+#                the committed baselines — virtual time is exactly
+#                reproducible, so any >10% drift in a key protocol latency
+#                is a real regression
 #
 # Usage: scripts/ci.sh [--quick]   (--quick: 25 explore seeds, skip sanitizers)
 set -e
@@ -91,6 +92,13 @@ scripts/bench_compare.py bench/baselines/bench_futex_quick.json \
     build/bench_out/bench_futex_quick.json \
     --key "wake.*_ns" --key "mutex.*_ns_per_acq" \
   || fail bench "scripts/bench_compare.py bench/baselines/bench_futex_quick.json build/bench_out/bench_futex_quick.json --key 'wake.*_ns' --key 'mutex.*_ns_per_acq'"
+./build/bench/bench_mmap_scale --quick \
+    --json=build/bench_out/bench_mmap_scale_quick.json >/dev/null \
+  || fail bench "./build/bench/bench_mmap_scale --quick --json=..."
+scripts/bench_compare.py bench/baselines/bench_mmap_scale_quick.json \
+    build/bench_out/bench_mmap_scale_quick.json \
+    --key "multiproc.*.smp_lock_wait_ns" --key "multiproc.*.popcorn_lock_wait_ns" \
+  || fail bench "scripts/bench_compare.py bench/baselines/bench_mmap_scale_quick.json build/bench_out/bench_mmap_scale_quick.json --key 'multiproc.*.smp_lock_wait_ns' --key 'multiproc.*.popcorn_lock_wait_ns'"
 
 echo ""
 echo "ci.sh: all stages green"

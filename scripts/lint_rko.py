@@ -35,6 +35,12 @@ a few idiom rules:
                    pay one round trip per waiter; coalesce the grants
                    into kFutexGrantBatch posts over one rpc_scatter
                    (oneway .send( per waiter is fine)
+  hard-coded-origin  comparing an origin to the literal kernel 0 (or
+                   passing 0 as an ensure_site origin) in src/ — since
+                   sharded homes (rko/home), directory state lives at
+                   home::home_of(...), any kernel can be a process's
+                   origin, and "kernel 0" is never special; route through
+                   site.origin() / home_of instead
 
 Comment/string handling is a real scanner, not per-line regex: block
 comments may span lines and string literals may contain `//` or banned
@@ -87,6 +93,24 @@ HOST_RANDOM = [
 RAW_ASSERT = [
     ("raw-assert", re.compile(r"(?<![\w.])assert\s*\("),
      "raw assert() (use RKO_ASSERT / RKO_ASSERT_MSG)"),
+]
+# Since sharded homes (rko/home), a process's origin is whatever kernel
+# created it and directory entries live at per-page homes — code that
+# special-cases "origin is kernel 0" silently breaks both. Applies to
+# src/ only: tests and benches legitimately pin workloads to kernel 0.
+HARD_ORIGIN = [
+    ("hard-coded-origin",
+     re.compile(r"\borigin(?:_\b|\(\s*\))?\s*[=!]=\s*0\b(?!\.)"),
+     "origin compared to literal kernel 0 (use site.is_origin() / "
+     "home::home_of — any kernel can be an origin or a home)"),
+    ("hard-coded-origin",
+     re.compile(r"(?<![\w.])0\s*[=!]=\s*origin(?:_\b|\(\s*\))?"),
+     "origin compared to literal kernel 0 (use site.is_origin() / "
+     "home::home_of — any kernel can be an origin or a home)"),
+    ("hard-coded-origin",
+     re.compile(r"\bensure_site\s*\([^,()]+,\s*0\s*\)"),
+     "ensure_site with a literal origin 0 (pass the real origin — any "
+     "kernel can create a process)"),
 ]
 
 # A guard object constructed without a name is a temporary: it locks and
@@ -220,6 +244,10 @@ def parse_allow(comment):
     return m.group(1), m.group(3) is not None
 
 
+def in_src_tree(path):
+    return path.startswith(f"src{os.sep}") or f"{os.sep}src{os.sep}" in path
+
+
 def applicable_rules(path):
     rules = list(RAW_ASSERT)
     rules += WALL_CLOCK
@@ -227,6 +255,8 @@ def applicable_rules(path):
         rules += HOST_THREADING
         if not in_base_layer(path):  # base::Rng's engine lives in base/
             rules += HOST_RANDOM
+    if in_src_tree(path):
+        rules += HARD_ORIGIN
     return rules
 
 
@@ -505,6 +535,41 @@ SELF_TEST_CASES = [
              items.push_back({w.kernel, grant});
          }
          node.rpc_scatter(std::move(items));
+     }
+     """,
+     []),
+    ("hard-coded origin-zero comparisons flagged in src",
+     "src/rko/core/q.cpp",
+     """void f(core::ProcessSite& site) {
+         if (site.origin() == 0) fast_path();
+         if (origin_ != 0) remote();
+         if (0 == origin) local();
+         k.ensure_site(pid, 0);
+     }
+     """,
+     ["hard-coded-origin", "hard-coded-origin", "hard-coded-origin",
+      "hard-coded-origin"]),
+    ("origin routed through the site API is clean",
+     "src/rko/core/r.cpp",
+     """void f(core::ProcessSite& site) {
+         if (site.is_origin()) fast_path();
+         const auto home = home::home_of(map, pid, site.origin(), vpn);
+         k.ensure_site(pid, site.origin());
+         if (origin_count == 0) idle();
+     }
+     """,
+     []),
+    ("tests may pin kernel 0 freely",
+     "tests/test_q.cpp",
+     """void f() {
+         if (origin == 0) spawn_here();
+     }
+     """,
+     []),
+    ("hard-coded-origin allow with a reason suppresses",
+     "src/rko/core/s.cpp",
+     """void f() {
+         if (origin == 0) smp(); // rko-lint: allow(hard-coded-origin): SMP baseline is one kernel
      }
      """,
      []),

@@ -1,5 +1,6 @@
 #include "rko/api/machine.hpp"
 
+#include <bit>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -17,8 +18,8 @@ Machine::Machine(MachineConfig config)
     : config_(config),
       topo_(config.ncores, config.nkernels),
       phys_(config.nkernels, config.frames_per_kernel) {
-    RKO_ASSERT_MSG(config.nkernels <= 32,
-                   "holder masks are 32-bit; up to 32 kernels supported");
+    RKO_ASSERT_MSG(config.nkernels <= topo::kMaxKernels,
+                   "holder masks are topo::KernelMask bits wide");
     // Each machine gets a clean race-detector slate: one process often runs
     // many machines (tests, explore sweeps) and findings must not leak
     // between them.
@@ -36,7 +37,20 @@ Machine::Machine(MachineConfig config)
         kernels_.push_back(std::make_unique<kernel::Kernel>(
             engine_, topo_, config_.costs, phys_, *fabric_, k));
     }
+    // Home map: every kernel boots with the same shard count and the same
+    // eligible set (the boot membership minus deferred hot-join targets).
+    // Membership events shrink it identically everywhere (rko/elastic).
+    RKO_ASSERT_MSG(config_.home_shards >= 1, "home_shards must be >= 1");
+    topo::KernelMask home_eligible = 0;
+    for (topo::KernelId k = 0; k < config_.nkernels; ++k) {
+        if (config_.elastic.enabled &&
+            (config_.elastic.deferred_mask & topo::kbit(k)) != 0) {
+            continue;
+        }
+        home_eligible |= topo::kbit(k);
+    }
     for (auto& k : kernels_) {
+        k->home_map().init(config_.home_shards, home_eligible);
         k->pages().set_read_replication(config_.read_replication);
         k->pages().set_prefetch_window(config_.prefetch_window);
         k->futex().set_hierarchy(config_.futex_hierarchy);
@@ -60,7 +74,7 @@ Machine::Machine(MachineConfig config)
         // balancer until Machine::join_kernel starts one.
         const bool deferred =
             config_.elastic.enabled &&
-            (config_.elastic.deferred_mask & (1u << k->id())) != 0;
+            (config_.elastic.deferred_mask & topo::kbit(k->id())) != 0;
         if (k->balancer() != nullptr && !deferred) k->balancer()->start();
     }
 }
@@ -199,7 +213,19 @@ Process& Machine::create_process(topo::KernelId origin) {
     const Pid pid = k.alloc_pid();
     // Home the process: master site + empty thread group at the origin.
     k.ensure_site(pid, origin);
-    k.site(pid).group().replica_mask |= 1u << origin;
+    k.site(pid).group().replica_mask |= topo::kbit(origin);
+    // With sharded homes, every eligible kernel may own directory shards
+    // for this process, so it needs a site (directory storage + VMA
+    // replica) and a slot in the replica mask (so destructive-op
+    // broadcasts reach it) from birth.
+    if (k.home_map().sharded()) {
+        for (topo::KernelMask m = k.home_map().eligible(); m != 0; m &= m - 1) {
+            const auto h = static_cast<topo::KernelId>(std::countr_zero(m));
+            if (h == origin) continue;
+            kernel(h).ensure_site(pid, origin);
+            k.site(pid).group().replica_mask |= topo::kbit(h);
+        }
+    }
     processes_.push_back(std::make_unique<Process>(*this, pid, origin));
     return *processes_.back();
 }
@@ -211,6 +237,11 @@ trace::MetricsRegistry Machine::collect_metrics() {
         merged.merge_from(k->metrics());
         merged.gauge("sched.rq_lock_wait_ns").add(static_cast<double>(k->sched().rq_lock_wait()));
         merged.gauge("mem.mmap_lock_wait_ns").add(static_cast<double>(k->mmap_lock_wait_time()));
+        // Per-kernel directory-transaction share (rko/home): under sharded
+        // uniform fault load the origin's gauge drops toward 1/N of the
+        // merged home.msgs counter.
+        merged.gauge("home.msgs_per_kernel.k" + std::to_string(k->id()))
+            .add(static_cast<double>(k->pages().home_msgs()));
     }
     for (topo::KernelId k = 0; k < config_.nkernels; ++k) {
         msg::Node& node = fabric_->node(k);

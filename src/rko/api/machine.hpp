@@ -21,6 +21,7 @@
 #include "rko/balance/balance.hpp"
 #include "rko/check/gate.hpp"
 #include "rko/elastic/elastic.hpp"
+#include "rko/home/home.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/mem/phys.hpp"
 #include "rko/msg/fabric.hpp"
@@ -60,6 +61,14 @@ struct MachineConfig {
     /// lock between cross-kernel rotations, small enough that remote
     /// convoys are served on a bounded cadence.
     std::uint32_t futex_handoff_cap = 64;
+    /// Sharded directory homes (rko/home, DESIGN.md §14): page-ownership
+    /// directory entries spread over this many shards, rendezvous-hashed
+    /// across the live kernels, with the VMA tree replicated (epoch-
+    /// invalidated) so non-origin homes can validate faults locally. The
+    /// default 1 keeps every entry at the origin — wire protocol and
+    /// timings bit-identical to the pre-home system. Defaults to the
+    /// RKO_HOME_SHARDS environment variable when set.
+    int home_shards = home::shards_from_env();
     /// Tracing & metrics; defaults follow the RKO_TRACE environment
     /// variable (see trace::TraceConfig::from_env). Metrics are collected
     /// regardless; `trace.enabled` only gates event recording.

@@ -52,14 +52,15 @@ std::uint64_t content_hash(Machine& m) {
     std::map<std::pair<Pid, std::uint64_t>, const std::byte*> pages;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
-            if (!site.is_origin()) return;
+            // Directory entries live at each vpn's home kernel (the origin
+            // when home_shards == 1): walk every site's shards.
             for (auto& shard : site.dir_shards()) {
                 for (const auto& [vpn, entry] : shard.entries) {
                     if (entry.busy) continue; // audited separately
-                    for (std::uint32_t mask = entry.holder_mask(); mask != 0;
+                    for (topo::KernelMask mask = entry.holder_mask(); mask != 0;
                          mask &= mask - 1) {
                         const auto holder =
-                            static_cast<topo::KernelId>(__builtin_ctz(mask));
+                            static_cast<topo::KernelId>(std::countr_zero(mask));
                         if (!m.kernel(holder).has_site(site.pid())) continue;
                         const Vaddr page = static_cast<Vaddr>(vpn)
                                            << mem::kPageShift;
@@ -324,9 +325,13 @@ ScenarioResult run_inject_lost_invalidate(const ExploreConfig& cfg) {
                 g.futex_wait(buf + kPageSize, v);
             }
             // The upgrade's invalidate to k1 is dropped: its PTE goes stale.
-            machine.kernel(0).pages().set_inject_lost_invalidate(true);
+            for (int ik = 0; ik < machine.nkernels(); ++ik) {
+                machine.kernel(ik).pages().set_inject_lost_invalidate(true);
+            }
             g.write<std::uint32_t>(buf, 0x43);
-            machine.kernel(0).pages().set_inject_lost_invalidate(false);
+            for (int ik = 0; ik < machine.nkernels(); ++ik) {
+                machine.kernel(ik).pages().set_inject_lost_invalidate(false);
+            }
         },
         0);
     machine.run();
@@ -660,6 +665,77 @@ ScenarioResult run_futex_convoy(const ExploreConfig& cfg) {
     return finish(machine);
 }
 
+/// Sharded-home torture (DESIGN.md §14): 8 directory shards rendezvous-
+/// hashed over the 4 kernels, so roughly 3/4 of all fault transactions run
+/// at a non-origin home. Writers on every kernel hammer a 16-page region
+/// (distinct VPNs land on distinct homes), an mmap/munmap cycler keeps the
+/// replicated VMA caches churning through epoch invalidations, and a
+/// mid-run mprotect exercises the home-fanout ranged sweeps. Kernel 3 —
+/// kept from exporting its threads by two saturating anchors — fail-stops
+/// at 250 us, so every shard it owned fails over: survivors shrink the
+/// map, flag inherited shards rebuilding, and census-rebuild the entries
+/// while stalled faults retry. Kernel 2 then *drains* at 600 us, taking
+/// the voluntary-part path through the same failover machinery. Which
+/// writes the dead kernel lost is schedule-dependent, so the assertions
+/// are the audits (all nine families, home included) plus replay
+/// reproducibility.
+ScenarioResult run_home_storm(const ExploreConfig& cfg) {
+    constexpr int kPages = 16;
+    MachineConfig mc = elastic_storm_config(cfg);
+    mc.home_shards = 8; // force sharding on regardless of RKO_HOME_SHARDS
+    Machine machine(mc);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) { buf = g.mmap(kPages * kPageSize); }, 0);
+    // Anchors: k3's cores stay busy so idle-steal cannot pull its doomed
+    // writers to safety before the kill.
+    for (int c = 0; c < 2; ++c) {
+        process.spawn([](Guest& g) { g.compute(4_ms); }, 3);
+    }
+    for (int i = 0; i < 8; ++i) {
+        process.spawn(
+            [&, i](Guest& g) {
+                g.join(init);
+                for (int r = 0; r < 30; ++r) {
+                    // Stride the page index so consecutive faults from one
+                    // thread resolve at different homes.
+                    const int p = (i + 5 * r) % kPages;
+                    const Vaddr page = buf + static_cast<Vaddr>(p) * kPageSize;
+                    g.rmw_u32(page + static_cast<Vaddr>(i) * 8,
+                              [](std::uint32_t v) { return v + 1; });
+                    (void)g.read<std::uint64_t>(
+                        buf + static_cast<Vaddr>((p + 7) % kPages) * kPageSize);
+                    g.compute(15_us);
+                }
+            },
+            static_cast<topo::KernelId>(i % 4));
+    }
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int c = 0; c < 4; ++c) {
+                g.compute(80_us);
+                // Epoch-bump churn against the VMA replicas: the tail pages
+                // vanish (fan-out revoke at every home), then come back.
+                g.munmap(buf + (kPages - 4) * kPageSize, 4 * kPageSize);
+                g.compute(20_us);
+                g.mmap(4 * kPageSize);
+                g.mprotect(buf, 4 * kPageSize, mem::kProtRead);
+                g.compute(20_us);
+                g.mprotect(buf, 4 * kPageSize,
+                           mem::kProtRead | mem::kProtWrite);
+            }
+        },
+        0);
+    machine.run_until(250_us);
+    machine.kill_kernel(3);
+    machine.run_until(600_us);
+    machine.drain_kernel(2);
+    machine.run();
+    return finish(machine);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
@@ -767,6 +843,11 @@ const std::vector<Scenario>& scenarios() {
          "timeouts, a kernel kill, and a drain",
          /*content_deterministic=*/false, /*expect_violation=*/false,
          &run_futex_convoy},
+        {"home_storm",
+         "8-way sharded homes under a cross-kernel fault storm; a "
+         "shard-owning kernel dies and another drains mid-run",
+         /*content_deterministic=*/false, /*expect_violation=*/false,
+         &run_home_storm},
     };
     return list;
 }

@@ -1,5 +1,6 @@
 #include "rko/check/invariants.hpp"
 
+#include <bit>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +15,7 @@
 #include "rko/core/dfutex.hpp"
 #include "rko/core/page_owner.hpp"
 #include "rko/core/process.hpp"
+#include "rko/home/home.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/mem/pagetable.hpp"
 #include "rko/msg/channel.hpp"
@@ -108,19 +110,24 @@ void check_pages(api::Machine& m, Report& r) {
         }
     }
 
-    // Directory pass: every origin entry well-formed, not mid-transaction,
+    // Directory pass: every directory entry well-formed, not mid-transaction,
     // holders backed by real PTEs, Shared copies read-only and identical.
-    const std::uint32_t all_kernels_mask =
-        (m.nkernels() >= 32) ? ~0u : ((1u << m.nkernels()) - 1);
+    // With home_shards > 1 entries live at per-shard homes, not just the
+    // origin, so every site's directory slice is scanned; the home family
+    // separately audits that each entry sits at the kernel the map names.
+    const topo::KernelMask all_kernels_mask =
+        (m.nkernels() >= topo::kMaxKernels)
+            ? ~topo::KernelMask{0}
+            : (topo::kbit(m.nkernels()) - 1);
     std::set<std::pair<Pid, std::uint64_t>> directory; // (pid, vpn) with entry
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue; // a killed home's slice is dead state
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
-            if (!site.is_origin()) return;
             for (auto& shard : site.dir_shards()) {
                 for (const auto& [vpn, pending] : shard.pending) {
                     (void)pending;
                     r.fail("pages.pending_txn",
-                           fmt("origin k%d pid=%lld vpn=%llx has uncommitted "
+                           fmt("home k%d pid=%lld vpn=%llx has uncommitted "
                                "transaction state at quiesce",
                                k, static_cast<long long>(site.pid()),
                                static_cast<unsigned long long>(vpn)));
@@ -131,7 +138,7 @@ void check_pages(api::Machine& m, Report& r) {
                                             << mem::kPageShift;
                     if (entry.busy) {
                         r.fail("pages.busy_at_quiesce",
-                               fmt("origin k%d pid=%lld page=%llx left busy", k,
+                               fmt("home k%d pid=%lld page=%llx left busy", k,
                                    static_cast<long long>(site.pid()),
                                    static_cast<unsigned long long>(page)));
                         continue; // holder state is transactional; skip
@@ -141,7 +148,7 @@ void check_pages(api::Machine& m, Report& r) {
                     if (exclusive &&
                         (entry.owner < 0 || entry.owner >= m.nkernels())) {
                         r.fail("pages.bad_owner",
-                               fmt("origin k%d pid=%lld page=%llx Exclusive with "
+                               fmt("home k%d pid=%lld page=%llx Exclusive with "
                                    "owner=%d",
                                    k, static_cast<long long>(site.pid()),
                                    static_cast<unsigned long long>(page),
@@ -151,19 +158,19 @@ void check_pages(api::Machine& m, Report& r) {
                     if (!exclusive && (entry.sharers == 0 ||
                                        (entry.sharers & ~all_kernels_mask) != 0)) {
                         r.fail("pages.bad_sharers",
-                               fmt("origin k%d pid=%lld page=%llx Shared with "
-                                   "sharers=%x",
+                               fmt("home k%d pid=%lld page=%llx Shared with "
+                                   "sharers=%llx",
                                    k, static_cast<long long>(site.pid()),
                                    static_cast<unsigned long long>(page),
-                                   entry.sharers));
+                                   static_cast<unsigned long long>(entry.sharers)));
                         continue;
                     }
                     const std::byte* reference = nullptr;
                     topo::KernelId reference_kernel = -1;
-                    for (std::uint32_t mask = entry.holder_mask(); mask != 0;
+                    for (topo::KernelMask mask = entry.holder_mask(); mask != 0;
                          mask &= mask - 1) {
                         const auto h = static_cast<topo::KernelId>(
-                            __builtin_ctz(mask));
+                            std::countr_zero(mask));
                         if (!m.kernel(h).has_site(site.pid())) {
                             r.fail("pages.holder_without_site",
                                    fmt("pid=%lld page=%llx: directory lists k%d "
@@ -216,12 +223,13 @@ void check_pages(api::Machine& m, Report& r) {
         if (!directory.contains({p.pid, vpn})) {
             r.fail("pages.pte_without_entry",
                    fmt("k%d pid=%lld va=%llx has a valid PTE but no directory "
-                       "entry survives at the origin",
+                       "entry survives at its home",
                        p.kernel, static_cast<long long>(p.pid),
                        static_cast<unsigned long long>(p.va)));
             continue;
         }
-        // Membership itself: re-find the entry at the origin.
+        // Membership itself: re-find the entry at its home kernel (the
+        // origin when unsharded, the map's rendezvous owner otherwise).
         topo::KernelId origin = -1;
         for (topo::KernelId k = 0; k < m.nkernels() && origin < 0; ++k) {
             if (m.kernel(k).has_site(p.pid) &&
@@ -230,16 +238,22 @@ void check_pages(api::Machine& m, Report& r) {
             }
         }
         if (origin < 0) continue; // groups checker reports the missing origin
-        auto& shard = m.kernel(origin).site(p.pid).dir_shard(vpn);
+        const topo::KernelId home =
+            home::home_of(m.kernel(origin).home_map(), p.pid, origin, vpn);
+        if (home < 0 || home >= m.nkernels() || !m.kernel(home).has_site(p.pid)) {
+            continue; // home family reports map/site damage
+        }
+        auto& shard = m.kernel(home).site(p.pid).dir_shard(vpn);
         const auto it = shard.entries.find(vpn);
         if (it != shard.entries.end() && !it->second.busy &&
             !it->second.holds(p.kernel)) {
             r.fail("pages.pte_not_in_holders",
                    fmt("k%d pid=%lld va=%llx has a valid PTE but the directory "
-                       "names holders=%x (stale copy: lost invalidate?)",
+                       "names holders=%llx (stale copy: lost invalidate?)",
                        p.kernel, static_cast<long long>(p.pid),
                        static_cast<unsigned long long>(p.va),
-                       it->second.holder_mask()));
+                       static_cast<unsigned long long>(
+                           it->second.holder_mask())));
         }
     }
 }
@@ -396,13 +410,14 @@ void check_groups(api::Machine& m, Report& r) {
                                "site exists",
                                k, static_cast<long long>(site.pid())));
                 } else {
-                    const std::uint32_t mask =
+                    const topo::KernelMask mask =
                         m.kernel(it->second).site(site.pid()).group().replica_mask;
-                    if ((mask & (1u << k)) == 0) {
+                    if ((mask & topo::kbit(k)) == 0) {
                         r.fail("groups.replica_unknown",
                                fmt("k%d hosts a replica site for pid=%lld but the "
-                                   "origin's replica_mask=%x omits it",
-                                   k, static_cast<long long>(site.pid()), mask));
+                                   "origin's replica_mask=%llx omits it",
+                                   k, static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(mask)));
                     }
                 }
             }
@@ -601,10 +616,10 @@ void check_balance(api::Machine& m, Report& r) {
 void check_elastic(api::Machine& m, Report& r) {
     if (!m.config().elastic.enabled) return;
     std::vector<bool> out(static_cast<std::size_t>(m.nkernels()));
-    std::uint32_t out_mask = 0;
+    topo::KernelMask out_mask = 0;
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
         out[static_cast<std::size_t>(k)] = kernel_out(m, k);
-        if (out[static_cast<std::size_t>(k)]) out_mask |= 1u << k;
+        if (out[static_cast<std::size_t>(k)]) out_mask |= topo::kbit(k);
     }
     if (out_mask == 0) return;
 
@@ -644,11 +659,12 @@ void check_elastic(api::Machine& m, Report& r) {
     for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
         if (out[static_cast<std::size_t>(k)]) continue;
         m.kernel(k).for_each_site([&](core::ProcessSite& site) {
-            if (!site.is_origin()) return;
+            // Directory slices exist at every home when sharded; scan them
+            // all. The group checks below are origin-only state.
             for (auto& shard : site.dir_shards()) {
                 for (const auto& [vpn, entry] : shard.entries) {
                     if (entry.busy) continue;
-                    for (std::uint32_t mask = entry.holder_mask() & out_mask;
+                    for (topo::KernelMask mask = entry.holder_mask() & out_mask;
                          mask != 0; mask &= mask - 1) {
                         r.fail("elastic.dead_holder",
                                fmt("pid=%lld page=%llx: directory still names "
@@ -659,10 +675,11 @@ void check_elastic(api::Machine& m, Report& r) {
                                        static_cast<mem::Vaddr>(vpn)
                                        << mem::kPageShift),
                                    static_cast<topo::KernelId>(
-                                       __builtin_ctz(mask))));
+                                       std::countr_zero(mask))));
                     }
                 }
             }
+            if (!site.is_origin()) return;
             const core::ThreadGroup& group = site.group();
             for (const auto& [tid, where] : group.location) {
                 if (where >= 0 && where < m.nkernels() &&
@@ -676,10 +693,12 @@ void check_elastic(api::Machine& m, Report& r) {
             }
             if ((group.replica_mask & out_mask) != 0) {
                 r.fail("elastic.replica_mask_stale",
-                       fmt("pid=%lld: replica_mask=%x still names out "
-                           "kernel(s) %x",
+                       fmt("pid=%lld: replica_mask=%llx still names out "
+                           "kernel(s) %llx",
                            static_cast<long long>(site.pid()),
-                           group.replica_mask, group.replica_mask & out_mask));
+                           static_cast<unsigned long long>(group.replica_mask),
+                           static_cast<unsigned long long>(group.replica_mask &
+                                                           out_mask)));
             }
         });
         // No futex waiter may stay registered to an out kernel (it could
@@ -707,6 +726,133 @@ void check_elastic(api::Machine& m, Report& r) {
                            out[static_cast<std::size_t>(p)] ? "out" : "alive"));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// home.* — sharded directory homes (rko/home, DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+// Runs in every mode (unsharded machines satisfy it trivially: every entry
+// homes at the origin and replica trees are plain caches of the master).
+void check_home(api::Machine& m, Report& r) {
+    // Map agreement: every surviving kernel must name the same shard count
+    // and eligible set — the maps start identical at boot and apply the
+    // same membership events, so divergence would split a shard between
+    // two kernels, each believing it is the home.
+    topo::KernelId ref = -1;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue;
+        if (ref < 0) {
+            ref = k;
+            continue;
+        }
+        const home::Map& a = m.kernel(ref).home_map();
+        const home::Map& b = m.kernel(k).home_map();
+        if (a.shards() != b.shards() || a.eligible() != b.eligible()) {
+            r.fail("home.map_divergence",
+                   fmt("k%d map (shards=%d eligible=%llx) != k%d map "
+                       "(shards=%d eligible=%llx)",
+                       ref, a.shards(),
+                       static_cast<unsigned long long>(a.eligible()), k,
+                       b.shards(), static_cast<unsigned long long>(b.eligible())));
+        }
+    }
+    if (ref < 0) return;
+
+    std::map<Pid, topo::KernelId> origin_of;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue;
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (site.is_origin()) origin_of.emplace(site.pid(), k);
+        });
+    }
+
+    // Placement + uniqueness: each (pid, vpn) entry lives at exactly the
+    // kernel the map names, and nowhere else machine-wide. Also: no shard
+    // may still be flagged rebuilding at quiesce (faults would starve).
+    std::map<std::pair<Pid, std::uint64_t>, topo::KernelId> placed;
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue;
+        const home::Map& map = m.kernel(k).home_map();
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            for (int s = 0; s < map.shards(); ++s) {
+                if (site.home_rebuilding(s)) {
+                    r.fail("home.rebuilding_at_quiesce",
+                           fmt("k%d pid=%lld shard=%d still flagged rebuilding",
+                               k, static_cast<long long>(site.pid()), s));
+                }
+            }
+            const auto oit = origin_of.find(site.pid());
+            if (oit == origin_of.end()) return; // groups family reports it
+            for (auto& shard : site.dir_shards()) {
+                for (const auto& [vpn, entry] : shard.entries) {
+                    (void)entry;
+                    const auto [it, inserted] =
+                        placed.emplace(std::make_pair(site.pid(), vpn), k);
+                    if (!inserted) {
+                        r.fail("home.duplicate_entry",
+                               fmt("pid=%lld vpn=%llx has directory entries at "
+                                   "both k%d and k%d",
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(vpn),
+                                   it->second, k));
+                        continue;
+                    }
+                    const topo::KernelId want =
+                        home::home_of(map, site.pid(), oit->second, vpn);
+                    if (want != k) {
+                        r.fail("home.entry_misplaced",
+                               fmt("pid=%lld vpn=%llx entry lives at k%d but the "
+                                   "map homes it at k%d",
+                                   static_cast<long long>(site.pid()),
+                                   static_cast<unsigned long long>(vpn), k,
+                                   want));
+                    }
+                }
+            }
+        });
+    }
+
+    // Replica freshness: a replica's epoch never runs ahead of the master,
+    // and every replica VMA is still covered by master VMAs with the same
+    // protection — a stale positive replica would let a fault validate
+    // against a dead or demoted mapping (the "zero stale reads" guarantee
+    // behind vma.replica_hit).
+    for (topo::KernelId k = 0; k < m.nkernels(); ++k) {
+        if (kernel_out(m, k)) continue;
+        m.kernel(k).for_each_site([&](core::ProcessSite& site) {
+            if (site.is_origin()) return;
+            const auto oit = origin_of.find(site.pid());
+            if (oit == origin_of.end()) return;
+            core::ProcessSite& osite = m.kernel(oit->second).site(site.pid());
+            if (site.vma_epoch > osite.vma_epoch) {
+                r.fail("home.replica_epoch_ahead",
+                       fmt("pid=%lld replica k%d epoch=%llu > master epoch=%llu",
+                           static_cast<long long>(site.pid()), k,
+                           static_cast<unsigned long long>(site.vma_epoch),
+                           static_cast<unsigned long long>(osite.vma_epoch)));
+            }
+            for (const mem::Vma& v : site.space().vmas().snapshot()) {
+                mem::Vaddr pos = v.start;
+                while (pos < v.end) {
+                    const mem::Vma* mv = osite.space().vmas().find(pos);
+                    if (mv == nullptr || mv->prot != v.prot) {
+                        r.fail("home.replica_vma_stale",
+                               fmt("pid=%lld replica k%d caches [%llx,%llx) "
+                                   "prot=%x but the master %s at %llx",
+                                   static_cast<long long>(site.pid()), k,
+                                   static_cast<unsigned long long>(v.start),
+                                   static_cast<unsigned long long>(v.end), v.prot,
+                                   mv == nullptr ? "has no mapping"
+                                                 : "differs in protection",
+                                   static_cast<unsigned long long>(pos)));
+                        break;
+                    }
+                    pos = mv->end;
+                }
+            }
+        });
     }
 }
 
@@ -756,6 +902,7 @@ const Registry& Registry::builtin() {
         r.add({"locks", "IV", &check_locks});
         r.add({"balance", "V", &check_balance});
         r.add({"elastic", "§11", &check_elastic});
+        r.add({"home", "§14", &check_home});
         r.add({"race", "§12", &check_race});
         return r;
     }();

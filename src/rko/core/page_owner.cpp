@@ -10,6 +10,8 @@
 
 #include "rko/base/log.hpp"
 #include "rko/check/gate.hpp"
+#include "rko/core/vma_server.hpp"
+#include "rko/home/home.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
 
@@ -51,7 +53,7 @@ void apply_commit_locked(ProcessSite::DirShard& shard, std::uint64_t vpn,
             it->second = updated;
         }
     } else {
-        updated.sharers &= ~(1u << requester);
+        updated.sharers &= ~topo::kbit(requester);
         if (updated.sharers == 0) {
             shard.entries.erase(it);
         } else {
@@ -72,7 +74,13 @@ PageOwner::PageOwner(kernel::Kernel& k)
       prefetch_hit_(k.metrics().counter("pages.prefetch.hit")),
       prefetch_wasted_(k.metrics().counter("pages.prefetch.wasted")),
       range_rpcs_(k.metrics().counter("pages.range_rpcs")),
+      home_msgs_(k.metrics().counter("home.msgs")),
       remote_latency_(k.metrics().histogram("pages.remote_fault_ns")) {}
+
+topo::KernelId PageOwner::home_of(ProcessSite& site, mem::Vaddr page) const {
+    return home::home_of(k_.home_map(), site.pid(), site.origin(),
+                         mem::vpn_of(page));
+}
 
 void PageOwner::install() {
     k_.node().register_handler(
@@ -104,6 +112,16 @@ void PageOwner::install() {
     k_.node().register_handler(
         msg::MsgType::kPagePush, msg::HandlerClass::kLeaf,
         [this](msg::Node& node, msg::MessagePtr m) { on_page_push(node, std::move(m)); });
+    k_.node().register_handler(
+        msg::MsgType::kHomeRangeOp, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_home_range_op(node, std::move(m));
+        });
+    k_.node().register_handler(
+        msg::MsgType::kHomeRebuild, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_home_rebuild(node, std::move(m));
+        });
 }
 
 // ---------------------------------------------------------------------------
@@ -165,7 +183,10 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                                           std::uint32_t access,
                                           topo::KernelId requester,
                                           PageFaultResp& out) {
-    RKO_ASSERT(site.is_origin());
+    // With sharded homes the transaction runs at the page's home kernel,
+    // which is the origin only for the shards it happens to own.
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
+    home_msgs_.inc();
     const std::uint64_t vpn = mem::vpn_of(page);
     const bool want_write = (access & mem::kProtWrite) != 0;
     // Ablation switch: without read replication every fault transfers
@@ -173,16 +194,38 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
     const bool take_exclusive = want_write || !read_replication_;
 
     for (int attempt = 0; attempt < 64; ++attempt) {
+        if (k_.home_map().sharded() &&
+            site.home_rebuilding(k_.home_map().shard_of(vpn))) {
+            // This shard just failed over to us and its census is still
+            // being pulled; the requester backs off and refaults.
+            out.status = FaultStatus::kRetry;
+            return out.status;
+        }
         const std::uint64_t epoch0 = site.vma_epoch;
 
-        // Validate against the master VMA tree.
+        // Validate against the local VMA tree — the master at the origin, a
+        // replica at a non-origin home (kept destructively coherent by the
+        // acked kVmaUpdate broadcast, which also advances our vma_epoch).
+        bool replica_miss = false;
         {
             ReadGuard guard(site.space().mmap_lock());
             const mem::Vma* vma = site.space().vmas().find(page);
-            if (vma == nullptr || (vma->prot & access) != access) {
+            if (vma == nullptr && !site.is_origin()) {
+                // The replica may simply not have fetched this (lazily
+                // propagated) mapping yet; pull it before deciding SEGV.
+                replica_miss = true;
+            } else if (vma == nullptr || (vma->prot & access) != access) {
                 out.status = FaultStatus::kSegv;
                 return out.status;
             }
+        }
+        if (replica_miss) {
+            mem::Vma fetched;
+            if (!k_.vma().ensure_vma(site, page, &fetched)) {
+                out.status = FaultStatus::kSegv;
+                return out.status;
+            }
+            continue; // re-validate against the now-filled replica
         }
 
         auto& shard = site.dir_shard(vpn);
@@ -203,7 +246,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 entry.owner = requester;
             } else {
                 entry.state = PageDirEntry::State::kShared;
-                entry.sharers = 1u << requester;
+                entry.sharers = topo::kbit(requester);
             }
             PageDirEntry busy_marker = entry;
             busy_marker.busy = true;
@@ -221,16 +264,20 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
         }
 
         PageDirEntry& entry = it->second;
-        RKO_TRACE("%lld txn page=%llx access=%u req=%d state=%d owner=%d sharers=%x busy=%d",
+        RKO_TRACE("%lld txn page=%llx access=%u req=%d state=%d owner=%d sharers=%llx busy=%d",
                   static_cast<long long>(k_.engine().now()),
                   static_cast<unsigned long long>(page), access, requester,
-                  static_cast<int>(entry.state), entry.owner, entry.sharers,
+                  static_cast<int>(entry.state), entry.owner,
+                  static_cast<unsigned long long>(entry.sharers),
                   static_cast<int>(entry.busy));
         if (entry.busy) {
             // Another transaction owns the entry; wait for any release and
             // re-look-up (the entry may have been erased meanwhile).
             shard.lock.unlock();
             shard.busy_wait.wait(k_.engine());
+            // A killed kernel's busy bits never release: the kill notifies
+            // these lists so parked kworkers unwind instead of leaking.
+            if (k_.node().dead()) throw msg::LocalNodeDead{};
             continue;
         }
         entry.busy = true;
@@ -260,18 +307,18 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 // copy died with it, so try the next one. With every sharer
                 // dead the data is lost and the requester zero-fills.
                 bool have_data = false;
-                std::uint32_t live = snapshot.sharers;
+                topo::KernelMask live = snapshot.sharers;
                 if (snapshot.holds(k_.id())) {
                     RKO_ASSERT(local_fetch(site, page, false, out.data.data()));
                     out.source = static_cast<std::uint8_t>(k_.id());
                     have_data = true;
                 } else {
-                    for (std::uint32_t mask = snapshot.sharers; mask != 0;
+                    for (topo::KernelMask mask = snapshot.sharers; mask != 0;
                          mask &= mask - 1) {
                         const auto source =
                             static_cast<topo::KernelId>(std::countr_zero(mask));
                         if (k_.node().peer_dead(source)) {
-                            live &= ~(1u << source);
+                            live &= ~topo::kbit(source);
                             continue;
                         }
                         fetches_.inc();
@@ -283,7 +330,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                                               PageFetchReq{site.pid(), page, false}),
                             &st);
                         if (reply == nullptr) {
-                            live &= ~(1u << source);
+                            live &= ~topo::kbit(source);
                             continue;
                         }
                         const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
@@ -297,11 +344,11 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 }
                 if (have_data) {
                     out.data_included = true;
-                    updated.sharers = live | (1u << requester);
+                    updated.sharers = live | topo::kbit(requester);
                 } else {
                     out.zero_fill = true;
                     out.source = static_cast<std::uint8_t>(requester);
-                    updated.sharers = 1u << requester;
+                    updated.sharers = topo::kbit(requester);
                 }
             } else {
                 // Exclusive elsewhere: downgrade the owner, go Shared. A
@@ -329,13 +376,13 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     out.data_included = true;
                     out.source = static_cast<std::uint8_t>(snapshot.owner);
                     updated.state = PageDirEntry::State::kShared;
-                    updated.sharers = (1u << snapshot.owner) | (1u << requester);
+                    updated.sharers = topo::kbit(snapshot.owner) | topo::kbit(requester);
                     updated.owner = -1;
                 } else {
                     out.zero_fill = true;
                     out.source = static_cast<std::uint8_t>(requester);
                     updated.state = PageDirEntry::State::kShared;
-                    updated.sharers = 1u << requester;
+                    updated.sharers = topo::kbit(requester);
                     updated.owner = -1;
                 }
             }
@@ -347,15 +394,15 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             // round trips overlap in one rpc_scatter, so K sharers cost
             // about one RTT instead of K.
             const bool requester_holds = snapshot.holds(requester);
-            std::uint32_t victims = snapshot.holder_mask() & ~(1u << requester);
+            topo::KernelMask victims = snapshot.holder_mask() & ~topo::kbit(requester);
             // Dead holders (elastic) cannot answer an invalidate and their
             // copies died with them — drop them from the victim set so the
             // data source is always a live kernel.
-            for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
+            for (topo::KernelMask mask = victims; mask != 0; mask &= mask - 1) {
                 const auto holder =
                     static_cast<topo::KernelId>(std::countr_zero(mask));
                 if (holder != k_.id() && k_.node().peer_dead(holder)) {
-                    victims &= ~(1u << holder);
+                    victims &= ~topo::kbit(holder);
                 }
             }
             if (inject_lost_invalidate_ && victims != 0) {
@@ -368,7 +415,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             bool have_data = false;
             // The origin's own copy drops inline (no message) and is the
             // cheapest byte source when one is needed.
-            if ((victims & (1u << k_.id())) != 0) {
+            if ((victims & topo::kbit(k_.id())) != 0) {
                 invalidations_.inc();
                 bool included = false;
                 const bool had = local_invalidate(site, page, need_data,
@@ -377,7 +424,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     out.source = static_cast<std::uint8_t>(k_.id());
                     have_data = true;
                 }
-                victims &= ~(1u << k_.id());
+                victims &= ~topo::kbit(k_.id());
             }
             const topo::KernelId data_source =
                 (need_data && !have_data && victims != 0)
@@ -385,7 +432,7 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                     : -1;
             std::vector<msg::Node::ScatterItem> posts;
             std::vector<topo::KernelId> post_holder;
-            for (std::uint32_t mask = victims; mask != 0; mask &= mask - 1) {
+            for (topo::KernelMask mask = victims; mask != 0; mask &= mask - 1) {
                 const auto holder = static_cast<topo::KernelId>(std::countr_zero(mask));
                 invalidations_.inc();
                 posts.push_back(
@@ -540,7 +587,10 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
         if (src < t->fault_from.size()) ++t->fault_from[src];
     };
     PageFaultResp resp{};
-    if (site.is_origin()) {
+    // Route by the page's HOME — the origin when unsharded (bit-identical
+    // to the pre-home protocol), else the home map's owner of its shard.
+    const topo::KernelId home = home_of(site, page);
+    if (home == k_.id()) {
         local_faults_.inc();
         trace::Span span(k_.engine(), k_.id(), "page.fault.local", page);
         const FaultStatus status =
@@ -584,20 +634,29 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
     }
 
     const Nanos t0 = k_.engine().now();
+    msg::RpcStatus rpc_status = msg::RpcStatus::kOk;
     msg::MessagePtr reply;
     if (window >= 2) {
         reply = k_.node().rpc(
-            site.origin(),
+            home,
             msg::make_message(msg::MsgType::kPageFaultBatch, msg::MsgKind::kRequest,
                               PageFaultBatchReq{site.pid(), page, access, k_.id(),
-                                                window}));
+                                                window}),
+            &rpc_status);
     } else {
         reply = k_.node().rpc(
-            site.origin(),
+            home,
             msg::make_message(msg::MsgType::kPageFault, msg::MsgKind::kRequest,
-                              PageFaultReq{site.pid(), page, access, k_.id()}));
+                              PageFaultReq{site.pid(), page, access, k_.id()}),
+            &rpc_status);
     }
     remote_latency_.add(k_.engine().now() - t0);
+    if (reply == nullptr) {
+        // The home died mid-fault (impossible unsharded: the origin is
+        // immortal). Refault — by the time the MMU retries, the membership
+        // update has re-homed the shard and the route recomputes.
+        return mem::Mmu::FaultResult::kFixed;
+    }
     const PageFaultResp& fault_resp =
         window >= 2 ? reply->payload_prefix_as<PageFaultBatchResp>().first
                     : reply->payload_prefix_as<PageFaultResp>();
@@ -606,7 +665,7 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
     const bool installed = install_locally(site, vma, page, access, fault_resp);
     if (installed) attribute(fault_resp);
     // Third leg: let the directory commit (or roll back) and release busy.
-    k_.node().send(site.origin(),
+    k_.node().send(home,
                    msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,
                                      PageInstalledMsg{site.pid(), page, k_.id(),
                                                       installed}));
@@ -628,6 +687,31 @@ std::byte* PageOwner::ensure_readable(ProcessSite& site, mem::Vaddr page) {
             const mem::Vma* found = site.space().vmas().find(page);
             if (found == nullptr || (found->prot & mem::kProtRead) == 0) return nullptr;
             vma = *found;
+        }
+        // Sharded homes: the page's directory entry may live on another
+        // kernel even though we are the origin — take the requester role
+        // (recomputed per attempt: the home moves if its owner dies).
+        const topo::KernelId home = home_of(site, page);
+        if (home != k_.id()) {
+            msg::RpcStatus st = msg::RpcStatus::kOk;
+            auto reply = k_.node().rpc(
+                home,
+                msg::make_message(msg::MsgType::kPageFault, msg::MsgKind::kRequest,
+                                  PageFaultReq{site.pid(), page, mem::kProtRead,
+                                               k_.id()}),
+                &st);
+            if (reply == nullptr) continue; // home died: re-route next attempt
+            const auto& resp = reply->payload_prefix_as<PageFaultResp>();
+            if (resp.status == FaultStatus::kSegv) return nullptr;
+            if (resp.status == FaultStatus::kRetry) continue;
+            const bool installed =
+                install_locally(site, vma, page, mem::kProtRead, resp);
+            k_.node().send(home, msg::make_message(
+                                     msg::MsgType::kPageInstalled,
+                                     msg::MsgKind::kOneway,
+                                     PageInstalledMsg{site.pid(), page, k_.id(),
+                                                      installed}));
+            continue; // loop re-checks the PTE
         }
         PageFaultResp resp{};
         if (origin_transaction(site, page, mem::kProtRead, k_.id(), resp) !=
@@ -652,13 +736,15 @@ namespace {
 /// always complete), a prefetch batch claims extra bits only with try-claim
 /// semantics (never waits), and destructive ops serialize on the
 /// vma_op_lock — so the wait graph has no cycle.
-bool claim_busy(sim::Engine& engine, ProcessSite::DirShard& shard, std::uint64_t vpn,
+bool claim_busy(sim::Engine& engine, msg::Node& node,
+                ProcessSite::DirShard& shard, std::uint64_t vpn,
                 PageDirEntry* snapshot) {
     shard.lock.lock();
     auto it = shard.entries.find(vpn);
     while (it != shard.entries.end() && it->second.busy) {
         shard.lock.unlock();
         shard.busy_wait.wait(engine);
+        if (node.dead()) throw msg::LocalNodeDead{}; // killed mid-wait
         shard.lock.lock();
         it = shard.entries.find(vpn);
     }
@@ -747,7 +833,7 @@ std::uint32_t PageOwner::scatter_ranged(
 
 std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
                                       mem::Vaddr end) {
-    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
     const std::uint64_t vpn_lo = mem::vpn_of(start);
     const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
 
@@ -759,9 +845,9 @@ std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
     for (auto& shard : site.dir_shards()) {
         for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
             PageDirEntry snapshot;
-            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            if (!claim_busy(k_.engine(), k_.node(), shard, vpn, &snapshot)) continue;
             claimed.emplace_back(&shard, vpn);
-            for (std::uint32_t mask = snapshot.holder_mask(); mask != 0;
+            for (topo::KernelMask mask = snapshot.holder_mask(); mask != 0;
                  mask &= mask - 1) {
                 const auto holder =
                     static_cast<topo::KernelId>(std::countr_zero(mask));
@@ -810,7 +896,7 @@ std::uint32_t PageOwner::revoke_range(ProcessSite& site, mem::Vaddr start,
 
 std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
                                          mem::Vaddr end) {
-    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
     const std::uint64_t vpn_lo = mem::vpn_of(start);
     const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
 
@@ -825,7 +911,7 @@ std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
     for (auto& shard : site.dir_shards()) {
         for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
             PageDirEntry snapshot;
-            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            if (!claim_busy(k_.engine(), k_.node(), shard, vpn, &snapshot)) continue;
             PageDirEntry updated = snapshot;
             updated.busy = false;
             if (snapshot.state == PageDirEntry::State::kExclusive) {
@@ -839,7 +925,7 @@ std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
                     by_owner[static_cast<std::size_t>(snapshot.owner)].push_back(vpn);
                 }
                 updated.state = PageDirEntry::State::kShared;
-                updated.sharers = 1u << snapshot.owner;
+                updated.sharers = topo::kbit(snapshot.owner);
                 updated.owner = -1;
             }
             claimed.push_back({&shard, vpn, updated});
@@ -862,7 +948,7 @@ std::uint32_t PageOwner::downgrade_range(ProcessSite& site, mem::Vaddr start,
 
 std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
                                          mem::Vaddr end) {
-    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
     const std::uint64_t vpn_lo = mem::vpn_of(start);
     const std::uint64_t vpn_hi = mem::vpn_of(mem::page_ceil(end));
 
@@ -886,13 +972,13 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
     for (auto& shard : site.dir_shards()) {
         for (const std::uint64_t vpn : collect_vpns(shard, vpn_lo, vpn_hi)) {
             PageDirEntry snapshot;
-            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            if (!claim_busy(k_.engine(), k_.node(), shard, vpn, &snapshot)) continue;
             SeqPage p;
             p.shard = &shard;
             p.vpn = vpn;
             p.origin_holds = snapshot.holds(k_.id());
             const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
-            std::uint32_t rest = snapshot.holder_mask() & ~(1u << k_.id());
+            topo::KernelMask rest = snapshot.holder_mask() & ~topo::kbit(k_.id());
             if (!p.origin_holds && rest != 0) {
                 const auto source =
                     static_cast<topo::KernelId>(std::countr_zero(rest));
@@ -906,7 +992,7 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
                                        msg::MsgKind::kRequest,
                                        PageInvalidateReq{site.pid(), page, true})});
             }
-            for (std::uint32_t mask = rest; mask != 0; mask &= mask - 1) {
+            for (topo::KernelMask mask = rest; mask != 0; mask &= mask - 1) {
                 const auto holder =
                     static_cast<topo::KernelId>(std::countr_zero(mask));
                 invalidations_.inc();
@@ -985,12 +1071,217 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
 }
 
 // ---------------------------------------------------------------------------
+// Sharded-home maintenance (rko/home).
+// ---------------------------------------------------------------------------
+
+std::uint32_t PageOwner::home_range_fanout(ProcessSite& site, HomeRangeKind kind,
+                                           mem::Vaddr start, mem::Vaddr end) {
+    RKO_ASSERT(site.is_origin() && k_.home_map().sharded());
+    // Local slice first (the origin always owns some shards), then one
+    // kHomeRangeOp per other eligible home — their sweeps run concurrently
+    // under rpc_scatter. The replica broadcast already completed, so no
+    // kernel can validate a new fault in the range while these run.
+    std::uint32_t touched = 0;
+    switch (kind) {
+    case HomeRangeKind::kRevoke:
+        touched += revoke_range(site, start, end);
+        break;
+    case HomeRangeKind::kDowngrade:
+        touched += downgrade_range(site, start, end);
+        break;
+    case HomeRangeKind::kSequester:
+        touched += sequester_range(site, start, end);
+        break;
+    }
+    std::vector<msg::Node::ScatterItem> posts;
+    for (topo::KernelMask m = k_.home_map().eligible(); m != 0; m &= m - 1) {
+        const auto h = static_cast<topo::KernelId>(std::countr_zero(m));
+        if (h == k_.id() || k_.node().peer_dead(h)) continue;
+        posts.push_back(
+            {h, msg::make_message(msg::MsgType::kHomeRangeOp, msg::MsgKind::kRequest,
+                                  HomeRangeOpReq{site.pid(), kind, start, end})});
+    }
+    if (!posts.empty()) {
+        auto replies = k_.node().rpc_scatter(std::move(posts));
+        for (const auto& reply : replies) {
+            if (reply == nullptr) continue; // home died mid-sweep (elastic)
+            touched += reply->payload_as<HomeRangeOpResp>().touched;
+        }
+    }
+    return touched;
+}
+
+void PageOwner::on_home_range_op(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<HomeRangeOpReq>();
+    HomeRangeOpResp resp{0};
+    if (k_.has_site(req.pid)) {
+        ProcessSite& site = k_.site(req.pid);
+        // The origin holds ITS vma_op_lock across the whole destructive op;
+        // this guards the LOCAL slice against a concurrent local sweep
+        // (drain eviction). Lock order is strictly origin -> home, so the
+        // two-level hold cannot cycle.
+        WriteGuard op_guard(site.vma_op_lock());
+        switch (req.kind) {
+        case HomeRangeKind::kRevoke:
+            resp.touched = revoke_range(site, req.start, req.end);
+            break;
+        case HomeRangeKind::kDowngrade:
+            resp.touched = downgrade_range(site, req.start, req.end);
+            break;
+        case HomeRangeKind::kSequester:
+            resp.touched = sequester_range(site, req.start, req.end);
+            break;
+        }
+    }
+    node.reply(*m, msg::make_message(msg::MsgType::kHomeRangeOp,
+                                     msg::MsgKind::kReply, resp));
+}
+
+void PageOwner::on_home_rebuild(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_as<HomeRebuildReq>();
+    HomeRebuildResp resp{};
+    if (!k_.has_site(req.pid) || !k_.home_map().sharded()) {
+        resp.ready = 1; // nothing here to census: trivially complete
+    } else {
+        ProcessSite& site = k_.site(req.pid);
+        // Census: every present PTE in the requested (pid, shard) whose
+        // home just moved from `dead` to the requester. Ownership is
+        // recomputed from OUR map; if we have not applied the membership
+        // event yet the validation fails and ready stays 0 — the rebuilder
+        // backs off and retries rather than losing our PTEs from the census.
+        const topo::KernelMask before = k_.home_map().eligible() | topo::kbit(req.dead);
+        const auto old_owner = home::Map::owner_in(site.pid(),
+                                                   static_cast<int>(req.shard), before);
+        const auto new_owner = k_.home_map().owner_of(site.pid(),
+                                                      static_cast<int>(req.shard));
+        if (old_owner == req.dead && new_owner == m->hdr.src) {
+            resp.ready = 1;
+            std::vector<std::uint64_t> words;
+            site.space().page_table().for_each_present(
+                0, std::numeric_limits<mem::Vaddr>::max(),
+                [&](mem::Vaddr va, mem::Pte& pte) {
+                    const std::uint64_t vpn = mem::vpn_of(va);
+                    if (vpn < req.resume_vpn) return;
+                    if (k_.home_map().shard_of(vpn) != static_cast<int>(req.shard)) {
+                        return;
+                    }
+                    const std::uint64_t writable =
+                        (pte.prot & mem::kProtWrite) != 0 ? 1 : 0;
+                    words.push_back((vpn << 1) | writable);
+                });
+            std::sort(words.begin(), words.end());
+            for (const std::uint64_t w : words) {
+                if (resp.count >= HomeRebuildResp::kMaxEntries) {
+                    resp.has_more = 1;
+                    resp.next_vpn = w >> 1;
+                    break;
+                }
+                resp.entry[resp.count++] = w;
+            }
+        }
+    }
+    node.reply(*m, msg::make_message_prefix(msg::MsgType::kHomeRebuild,
+                                            msg::MsgKind::kReply, resp,
+                                            wire_bytes(resp)));
+}
+
+std::uint32_t PageOwner::rebuild_home_shard(ProcessSite& site, int shard,
+                                            topo::KernelId dead) {
+    RKO_ASSERT(k_.home_map().sharded());
+    // Pull each live peer's census for this (pid, shard) and merge: a
+    // writable PTE means its kernel owned the page Exclusive; read-only
+    // PTEs accumulate into a Shared holder mask. The shard is flagged
+    // rebuilding, so no transaction mutates these entries concurrently.
+    std::unordered_map<std::uint64_t, PageDirEntry> rebuilt;
+    // Census EVERY kernel, not just the eligible set: a kernel outside it
+    // (deferred boot, hot joiner) never serves as a home but still faults
+    // pages in and holds copies that must appear in the rebuilt entries.
+    // The removed owner itself is included too — a PARTED kernel is still
+    // reachable and still maps its copies (the drain sweeps them only after
+    // the shard has moved); a killed one fails peer_dead below.
+    for (int ik = 0; ik < k_.topology().nkernels(); ++ik) {
+        const auto peer = static_cast<topo::KernelId>(ik);
+        auto absorb = [&](std::uint64_t vpn, bool writable, topo::KernelId holder) {
+            PageDirEntry& e = rebuilt[vpn];
+            if (writable) {
+                e.state = PageDirEntry::State::kExclusive;
+                e.owner = holder;
+                e.sharers = 0;
+            } else if (e.state != PageDirEntry::State::kExclusive ||
+                       e.owner < 0) {
+                e.state = PageDirEntry::State::kShared;
+                e.sharers |= topo::kbit(holder);
+                e.owner = -1;
+            }
+        };
+        if (peer == k_.id()) {
+            site.space().page_table().for_each_present(
+                0, std::numeric_limits<mem::Vaddr>::max(),
+                [&](mem::Vaddr va, mem::Pte& pte) {
+                    const std::uint64_t vpn = mem::vpn_of(va);
+                    if (k_.home_map().shard_of(vpn) != shard) return;
+                    absorb(vpn, (pte.prot & mem::kProtWrite) != 0, k_.id());
+                });
+            continue;
+        }
+        if (k_.node().peer_dead(peer)) continue;
+        std::uint64_t cursor = 0;
+        int not_ready = 0;
+        for (;;) {
+            msg::RpcStatus st = msg::RpcStatus::kOk;
+            auto reply = k_.node().rpc(
+                peer,
+                msg::make_message(msg::MsgType::kHomeRebuild, msg::MsgKind::kRequest,
+                                  HomeRebuildReq{site.pid(), dead,
+                                                 static_cast<std::uint32_t>(shard),
+                                                 cursor}),
+                &st);
+            if (reply == nullptr) break; // peer died mid-census: skip it
+            const auto& resp = reply->payload_prefix_as<HomeRebuildResp>();
+            if (resp.ready == 0) {
+                // The peer has not applied the membership event yet; give
+                // it a beat. A peer that still disagrees after the cap has
+                // a divergent map — home.map_divergence reports that.
+                if (++not_ready > 64) break;
+                k_.engine().current().sleep_for(1000);
+                continue;
+            }
+            for (std::uint32_t i = 0; i < resp.count; ++i) {
+                const std::uint64_t w = resp.entry[i];
+                absorb(w >> 1, (w & 1) != 0, peer);
+            }
+            if (resp.has_more == 0) break;
+            cursor = resp.next_vpn;
+        }
+    }
+    // Install. Entries for this shard cannot pre-exist here (the map moved
+    // the shard TO us), but be tolerant: keep whatever is already present.
+    std::uint32_t installed = 0;
+    std::vector<std::pair<std::uint64_t, PageDirEntry>> sorted(rebuilt.begin(),
+                                                               rebuilt.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [vpn, entry] : sorted) {
+        auto& dir = site.dir_shard(vpn);
+        dir.lock.lock();
+        dir.shadow.on_read();
+        if (!dir.entries.contains(vpn)) {
+            dir.entries.emplace(vpn, entry);
+            ++installed;
+        }
+        dir.shadow.on_write();
+        dir.lock.unlock();
+    }
+    return installed;
+}
+
+// ---------------------------------------------------------------------------
 // Elastic membership hooks (rko/elastic).
 // ---------------------------------------------------------------------------
 
 std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site,
                                                                topo::KernelId dead) {
-    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
     std::uint32_t rehomed = 0;
     std::uint32_t lost = 0;
     for (auto& shard : site.dir_shards()) {
@@ -1025,7 +1316,7 @@ std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site
                 it = shard.entries.erase(it);
                 ++lost;
             } else {
-                entry.sharers &= ~(1u << dead);
+                entry.sharers &= ~topo::kbit(dead);
                 if (entry.sharers == 0) {
                     it = shard.entries.erase(it);
                     ++lost;
@@ -1045,7 +1336,7 @@ std::pair<std::uint32_t, std::uint32_t> PageOwner::rehome_dead(ProcessSite& site
 }
 
 std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) {
-    RKO_ASSERT(site.is_origin());
+    RKO_ASSERT(site.is_origin() || k_.home_map().sharded());
     RKO_ASSERT(holder != k_.id());
     // Serialize against the destructive ranged ops: like them, this claims
     // MANY busy bits before releasing any, and two such sweeps interleaved
@@ -1071,7 +1362,7 @@ std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) 
         for (const std::uint64_t vpn :
              collect_vpns(shard, 0, std::numeric_limits<std::uint64_t>::max())) {
             PageDirEntry snapshot;
-            if (!claim_busy(k_.engine(), shard, vpn, &snapshot)) continue;
+            if (!claim_busy(k_.engine(), k_.node(), shard, vpn, &snapshot)) continue;
             if (!snapshot.holds(holder)) {
                 shard.lock.lock();
                 auto it = shard.entries.find(vpn);
@@ -1083,7 +1374,7 @@ std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) 
             EvictPage p;
             p.shard = &shard;
             p.vpn = vpn;
-            p.sole = (snapshot.holder_mask() & ~(1u << holder)) == 0;
+            p.sole = (snapshot.holder_mask() & ~topo::kbit(holder)) == 0;
             const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
             invalidations_.inc();
             if (p.sole) {
@@ -1114,6 +1405,18 @@ std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) 
                 p.data = inv.data;
                 p.have_data = true;
             }
+        }
+    }
+
+    // Sharded homes: we may be a non-origin home whose VMA replica has not
+    // fetched these mappings yet — fill the replica first (RPC, so outside
+    // the mmap lock) or the landing loop below would drop live data.
+    if (!site.is_origin()) {
+        for (EvictPage& p : pages) {
+            if (!p.sole || !p.have_data) continue;
+            mem::Vma vma;
+            k_.vma().ensure_vma(
+                site, static_cast<mem::Vaddr>(p.vpn) << mem::kPageShift, &vma);
         }
     }
 
@@ -1160,7 +1463,7 @@ std::uint32_t PageOwner::evict_holder(ProcessSite& site, topo::KernelId holder) 
         } else {
             auto it = p.shard->entries.find(p.vpn);
             RKO_ASSERT(it != p.shard->entries.end());
-            it->second.sharers &= ~(1u << holder);
+            it->second.sharers &= ~topo::kbit(holder);
             it->second.busy = false;
         }
         p.shard->busy_wait.notify_all();
@@ -1236,6 +1539,10 @@ std::vector<mem::Vaddr> PageOwner::claim_prefetch_pages(ProcessSite& site,
         const mem::Vaddr page = first + static_cast<mem::Vaddr>(i) * mem::kPageSize;
         if (page >= limit) break;
         const std::uint64_t vpn = mem::vpn_of(page);
+        // Sharded homes: a window's pages hash to different shards — only
+        // the ones homed HERE can be claimed; the rest demand-fault at
+        // their own homes.
+        if (k_.home_map().sharded() && home_of(site, page) != k_.id()) continue;
         auto& shard = site.dir_shard(vpn);
         // Try-claim only: a page that is absent (never touched — zero-fill
         // is the requester's own cheap path), busy (live transaction), or
@@ -1309,7 +1616,7 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
             push.data = fetched.data;
             push.source = static_cast<std::uint8_t>(source);
         }
-        updated.sharers = snapshot.sharers | (1u << requester);
+        updated.sharers = snapshot.sharers | topo::kbit(requester);
     } else {
         // Exclusive elsewhere (the requester was excluded at claim time):
         // downgrade the owner exactly like a read fault would.
@@ -1333,7 +1640,7 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
         }
         push.source = static_cast<std::uint8_t>(snapshot.owner);
         updated.state = PageDirEntry::State::kShared;
-        updated.sharers = (1u << snapshot.owner) | (1u << requester);
+        updated.sharers = topo::kbit(snapshot.owner) | topo::kbit(requester);
         updated.owner = -1;
     }
     if (k_.node().peer_dead(requester)) {
@@ -1369,6 +1676,11 @@ void PageOwner::on_page_fault(msg::Node& node, msg::MessagePtr m) {
         // A fault from an already-declared-dead requester must not park a
         // pending install nobody will ever confirm; the reply dead-letters.
         resp.status = FaultStatus::kSegv;
+    } else if (k_.home_map().sharded() &&
+               home_of(k_.site(req.pid), req.va) != k_.id()) {
+        // Stale routing: the requester aimed at a home that has since moved
+        // (membership change in flight). Back off and re-route.
+        resp.status = FaultStatus::kRetry;
     } else {
         ProcessSite& site = k_.site(req.pid);
         origin_transaction(site, req.va, req.access, req.requester, resp);
@@ -1392,6 +1704,9 @@ void PageOwner::on_page_fault_batch(msg::Node& node, msg::MessagePtr m) {
     std::vector<mem::Vaddr> grants;
     if (!k_.has_site(req.pid) || k_.node().peer_dead(req.requester)) {
         resp.first.status = FaultStatus::kSegv;
+    } else if (k_.home_map().sharded() &&
+               home_of(k_.site(req.pid), req.va) != k_.id()) {
+        resp.first.status = FaultStatus::kRetry;
     } else {
         ProcessSite& site = k_.site(req.pid);
         origin_transaction(site, req.va, req.access, req.requester, resp.first);

@@ -40,8 +40,9 @@ public:
 
     explicit PageOwner(kernel::Kernel& k);
 
-    /// Registers kPageFault / kPageFaultBatch (blocking), kPageFetch /
-    /// kPageInvalidate / kPageInvalidateRange / kPagePush (leaf).
+    /// Registers kPageFault / kPageFaultBatch / kHomeRangeOp (blocking),
+    /// kPageFetch / kPageInvalidate / kPageInvalidateRange / kPagePush /
+    /// kHomeRebuild (leaf).
     void install();
 
     /// Protocol ablation: when false, read faults also take exclusive
@@ -109,6 +110,32 @@ public:
     /// dataless drop. Runs the full claim/scatter/commit shape, so it is
     /// safe against concurrent faults. Returns entries stripped.
     std::uint32_t evict_holder(ProcessSite& site, topo::KernelId holder);
+
+    // --- Sharded homes (rko/home; only active with home_shards > 1) ---
+
+    /// The kernel homing `page`'s directory entry: the origin when
+    /// unsharded, else the home map's rendezvous owner of the page's shard.
+    topo::KernelId home_of(ProcessSite& site, mem::Vaddr page) const;
+
+    /// Destructive-op fan-out (origin side, vma_op_lock held, AFTER the
+    /// replica broadcast): runs the matching ranged sweep on the local
+    /// directory slice and scatters kHomeRangeOp to every other eligible
+    /// home. Returns total entries swept machine-wide.
+    std::uint32_t home_range_fanout(ProcessSite& site, HomeRangeKind kind,
+                                    mem::Vaddr start, mem::Vaddr end);
+
+    /// Failover (elastic reaper actor): `shard` just moved from `dead` to
+    /// this kernel. Pulls a PTE census from every live peer (kHomeRebuild)
+    /// and installs the reconstructed directory entries locally. The shard
+    /// must already be marked rebuilding (faults answer kRetry meanwhile).
+    /// Returns entries reconstructed.
+    std::uint32_t rebuild_home_shard(ProcessSite& site, int shard,
+                                     topo::KernelId dead);
+
+    /// Directory transactions this kernel served (home.msgs metric): the
+    /// per-kernel share shows the origin bottleneck dissolving as shards
+    /// spread the protocol load.
+    std::uint64_t home_msgs() const { return home_msgs_.value; }
 
     std::uint64_t local_faults() const { return local_faults_.value; }
     std::uint64_t remote_faults() const { return remote_faults_.value; }
@@ -186,6 +213,8 @@ private:
                             topo::KernelId requester);
 
     void on_page_fault(msg::Node& node, msg::MessagePtr m);
+    void on_home_range_op(msg::Node& node, msg::MessagePtr m);
+    void on_home_rebuild(msg::Node& node, msg::MessagePtr m);
     void on_page_fault_batch(msg::Node& node, msg::MessagePtr m);
     void on_page_fetch(msg::Node& node, msg::MessagePtr m);
     void on_page_invalidate(msg::Node& node, msg::MessagePtr m);
@@ -206,6 +235,7 @@ private:
     trace::Counter& prefetch_hit_;
     trace::Counter& prefetch_wasted_;
     trace::Counter& range_rpcs_;
+    trace::Counter& home_msgs_;
     base::Histogram& remote_latency_;
 };
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "rko/mem/addrspace.hpp"
@@ -27,18 +28,18 @@ namespace rko::core {
 struct PageDirEntry {
     enum class State : std::uint8_t { kExclusive, kShared };
     State state = State::kExclusive;
-    topo::KernelId owner = -1;   ///< valid when kExclusive
-    std::uint32_t sharers = 0;   ///< bitmask of kernel ids when kShared
-    bool busy = false;           ///< a transaction owns this entry
+    topo::KernelId owner = -1;        ///< valid when kExclusive
+    topo::KernelMask sharers = 0;     ///< bitmask of kernel ids when kShared
+    bool busy = false;                ///< a transaction owns this entry
 
     bool holds(topo::KernelId k) const {
         return state == State::kExclusive ? owner == k
-                                          : (sharers & (1u << k)) != 0;
+                                          : (sharers & topo::kbit(k)) != 0;
     }
 
     /// All kernels holding a copy, as a mask.
-    std::uint32_t holder_mask() const {
-        return state == State::kExclusive ? (1u << owner) : sharers;
+    topo::KernelMask holder_mask() const {
+        return state == State::kExclusive ? topo::kbit(owner) : sharers;
     }
 };
 
@@ -50,7 +51,7 @@ struct ThreadGroup {
     sim::WaitList exit_waiters;             ///< whole-process waiters
     /// Every kernel that ever instantiated a replica site (targets for VMA
     /// update broadcasts); includes the origin.
-    std::uint32_t replica_mask = 0;
+    topo::KernelMask replica_mask = 0;
 };
 
 class ProcessSite {
@@ -116,6 +117,25 @@ public:
     }
     std::array<DirShard, kDirShards>& dir_shards() { return dir_; }
 
+    /// Home shards (rko/home map indices) whose directory slice this kernel
+    /// just inherited after a membership change and is still rebuilding from
+    /// the survivors' PTE census (rko/home failover). Transactions routed to
+    /// a rebuilding shard answer kRetry until the pull completes. Mutated
+    /// only by the elastic reaper actor; readers take one look and act
+    /// without an await in between.
+    bool home_rebuilding(int home_shard) {
+        home_rebuild_shadow_.on_read();
+        return home_rebuilding_.contains(home_shard);
+    }
+    void set_home_rebuilding(int home_shard, bool on) {
+        home_rebuild_shadow_.on_write();
+        if (on) {
+            home_rebuilding_.insert(home_shard);
+        } else {
+            home_rebuilding_.erase(home_shard);
+        }
+    }
+
     /// Origin-only master record.
     ThreadGroup& group() { return group_; }
 
@@ -128,6 +148,12 @@ private:
     std::array<DirShard, kDirShards> dir_;
     ThreadGroup group_;
     std::map<Tid, task::Task*> local_tasks_;
+    std::set<int> home_rebuilding_;
+    /// The rebuild set is written by the reaper and read by fault
+    /// transactions; the kRetry-until-clear protocol is monotonic, so a
+    /// reader acting on one (lock-free) look is always safe.
+    race::ShadowCell home_rebuild_shadow_{"home.rebuilding",
+                                          race::ShadowCell::Policy::kRacyOk};
 };
 
 } // namespace rko::core

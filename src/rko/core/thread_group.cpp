@@ -63,8 +63,8 @@ void ThreadGroups::origin_join(Pid pid, Tid tid, topo::KernelId where) {
     ++group.alive;
     ++group.spawned;
     group.location[tid] = where;
-    group.replica_mask |= 1u << where;
-    group.replica_mask |= 1u << k_.id();
+    group.replica_mask |= topo::kbit(where);
+    group.replica_mask |= topo::kbit(k_.id());
 }
 
 bool ThreadGroups::spawn(task::Task& parent, ProcessSite& site, Tid tid,
@@ -137,7 +137,7 @@ std::vector<Tid> ThreadGroups::reap_kernel(ProcessSite& site, topo::KernelId dea
         if (where == dead) reaped.push_back(tid);
     }
     for (const Tid tid : reaped) origin_exit(site.pid(), tid, 137);
-    group.replica_mask &= ~(1u << dead);
+    group.replica_mask &= ~topo::kbit(dead);
     return reaped;
 }
 
@@ -150,9 +150,9 @@ void ThreadGroups::teardown(ProcessSite& site) {
     // goes back to the allocator that owns it.
     k_.vma().munmap(site, mem::kHeapBase, mem::kMmapTop - mem::kHeapBase);
     // Replica sites are now empty shells; tell their kernels to drop them.
-    const std::uint32_t mask = site.group().replica_mask;
+    const topo::KernelMask mask = site.group().replica_mask;
     for (topo::KernelId peer = 0; peer < k_.fabric().nkernels(); ++peer) {
-        if (peer == k_.id() || (mask & (1u << peer)) == 0) continue;
+        if (peer == k_.id() || (mask & topo::kbit(peer)) == 0) continue;
         k_.node().send(peer,
                        msg::make_message(msg::MsgType::kGroupExit, msg::MsgKind::kOneway,
                                          TaskExitMsg{site.pid(), 0, 0}));
@@ -196,7 +196,7 @@ void ThreadGroups::on_group_update(msg::Node& node, msg::MessagePtr m) {
     case GroupUpdateKind::kLocation: {
         ProcessSite& site = k_.ensure_site(update.pid, k_.id());
         site.group().location[update.tid] = update.where;
-        site.group().replica_mask |= 1u << update.where;
+        site.group().replica_mask |= topo::kbit(update.where);
         break;
     }
     }

@@ -31,7 +31,8 @@ VmaServer::VmaServer(kernel::Kernel& k)
       remote_ops_(k.metrics().counter("vma.remote_ops")),
       local_ops_(k.metrics().counter("vma.local_ops")),
       fetches_(k.metrics().counter("vma.fetches")),
-      update_broadcasts_(k.metrics().counter("vma.update_broadcasts")) {}
+      update_broadcasts_(k.metrics().counter("vma.update_broadcasts")),
+      replica_hit_(k.metrics().counter("vma.replica_hit")) {}
 
 void VmaServer::install() {
     k_.node().register_handler(
@@ -186,15 +187,32 @@ std::int64_t VmaServer::origin_destructive(ProcessSite& site, VmaOp op,
     // (Exclusive demotes to Shared), PROT_NONE pulls the bytes home to
     // inaccessible origin frames, and *adding* permissions needs no page
     // action at all (wider access simply faults in under the new VMA).
-    if (op == VmaOp::kMunmap) {
-        k_.pages().revoke_range(site, addr, end);
-    } else if ((prot & mem::kProtRead) == 0) {
-        k_.pages().sequester_range(site, addr, end);
-    } else if ((prot & mem::kProtWrite) == 0) {
-        k_.pages().downgrade_range(site, addr, end);
+    //
+    // Ordering differs by home configuration. Unsharded (the pre-home
+    // protocol, kept verbatim): sweep the origin-resident directory, then
+    // broadcast. Sharded: broadcast FIRST — once every replica has erased
+    // the range (and bumped its epoch), no kernel can validate a new fault
+    // in it, so the per-home kHomeRangeOp sweeps that follow converge
+    // without chasing freshly-born entries.
+    if (!k_.home_map().sharded()) {
+        if (op == VmaOp::kMunmap) {
+            k_.pages().revoke_range(site, addr, end);
+        } else if ((prot & mem::kProtRead) == 0) {
+            k_.pages().sequester_range(site, addr, end);
+        } else if ((prot & mem::kProtWrite) == 0) {
+            k_.pages().downgrade_range(site, addr, end);
+        }
+        broadcast_update(site, op, addr, end, prot);
+    } else {
+        broadcast_update(site, op, addr, end, prot);
+        if (op == VmaOp::kMunmap) {
+            k_.pages().home_range_fanout(site, HomeRangeKind::kRevoke, addr, end);
+        } else if ((prot & mem::kProtRead) == 0) {
+            k_.pages().home_range_fanout(site, HomeRangeKind::kSequester, addr, end);
+        } else if ((prot & mem::kProtWrite) == 0) {
+            k_.pages().home_range_fanout(site, HomeRangeKind::kDowngrade, addr, end);
+        }
     }
-
-    broadcast_update(site, op, addr, end, prot);
 
     if (op == VmaOp::kMunmap && check::enabled()) {
         // Post-condition while still serialized: no origin PTE survives in
@@ -213,9 +231,9 @@ std::int64_t VmaServer::origin_destructive(ProcessSite& site, VmaOp op,
 void VmaServer::broadcast_update(ProcessSite& site, VmaOp op, mem::Vaddr start,
                                  mem::Vaddr end, std::uint32_t prot) {
     std::vector<topo::KernelId> targets;
-    const std::uint32_t mask = site.group().replica_mask;
+    const topo::KernelMask mask = site.group().replica_mask;
     for (topo::KernelId k = 0; k < k_.fabric().nkernels(); ++k) {
-        if (k != k_.id() && (mask & (1u << k)) != 0) targets.push_back(k);
+        if (k != k_.id() && (mask & topo::kbit(k)) != 0) targets.push_back(k);
     }
     if (targets.empty()) return;
     update_broadcasts_.inc();
@@ -223,7 +241,9 @@ void VmaServer::broadcast_update(ProcessSite& site, VmaOp op, mem::Vaddr start,
                      static_cast<std::uint64_t>(targets.size()));
     msg::Message request;
     request.hdr.type = msg::MsgType::kVmaUpdate;
-    request.set_payload(VmaUpdateReq{site.pid(), op, start, end, prot});
+    request.set_payload(VmaUpdateReq{site.pid(), op,
+                                     static_cast<std::uint32_t>(site.vma_epoch),
+                                     start, end, prot});
     // Acked broadcast: munmap must not return before every replica dropped
     // the range (POSIX visibility).
     k_.node().rpc_all(targets, request);
@@ -233,6 +253,7 @@ bool VmaServer::ensure_vma(ProcessSite& site, mem::Vaddr va, mem::Vma* out) {
     {
         ReadGuard guard(site.space().mmap_lock());
         if (const mem::Vma* vma = site.space().vmas().find(va)) {
+            if (!site.is_origin()) replica_hit_.inc();
             *out = *vma;
             return true;
         }
@@ -307,6 +328,13 @@ void VmaServer::on_vma_update(msg::Node& node, msg::MessagePtr m) {
     if (k_.has_site(req.pid)) {
         ProcessSite& site = k_.site(req.pid);
         WriteGuard guard(site.space().mmap_lock());
+        // Advance the replica epoch BEFORE (atomically with, under the mmap
+        // lock) the tree change: a sharded home's in-flight transaction
+        // that validated against the old tree re-reads this under its shard
+        // lock and retries (see PageOwner::origin_transaction). Monotonic —
+        // acked broadcasts can arrive out of order across ops.
+        site.vma_epoch = std::max(site.vma_epoch,
+                                  static_cast<std::uint64_t>(req.epoch));
         if (req.op == VmaOp::kMunmap) {
             site.space().vmas().erase_range(req.start, req.end);
             // Defence in depth: the revoke pass already dropped our PTEs

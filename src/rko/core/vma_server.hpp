@@ -50,6 +50,10 @@ public:
     std::uint64_t local_ops() const { return local_ops_.value; }
     std::uint64_t fetches() const { return fetches_.value; }
     std::uint64_t update_broadcasts() const { return update_broadcasts_.value; }
+    /// Replica-served VMA lookups (rko/home): ensure_vma calls a non-origin
+    /// kernel answered from its local tree, no RPC. Zero stale serves is
+    /// enforced by the 9th ("home") check family.
+    std::uint64_t replica_hits() const { return replica_hit_.value; }
 
 private:
     // Origin-side implementations (task actor or kworker).
@@ -71,6 +75,7 @@ private:
     trace::Counter& local_ops_;
     trace::Counter& fetches_;
     trace::Counter& update_broadcasts_;
+    trace::Counter& replica_hit_;
 };
 
 } // namespace rko::core

@@ -43,10 +43,17 @@ struct VmaFetchResp {
 struct VmaUpdateReq {
     Pid pid;
     VmaOp op;          ///< kMunmap = erase range, kMprotect = reprotect
+    /// Master vma_epoch after this op (rko/home): replicas advance their
+    /// local epoch to at least this, so a non-origin home's in-flight page
+    /// transactions re-validate exactly like the origin's do. Occupies what
+    /// was a padding hole, so the wire size (and every modeled copy cost)
+    /// is unchanged. 32 bits of epoch outlast any simulated run.
+    std::uint32_t epoch;
     mem::Vaddr start;
     mem::Vaddr end;
     std::uint32_t prot;
 };
+static_assert(sizeof(VmaUpdateReq) == 40, "epoch must fill the padding hole");
 
 struct VmaUpdateResp {
     std::uint32_t cleared_pages;
@@ -405,5 +412,52 @@ struct ElasticEvictReq {
 struct ElasticEvictResp {
     std::uint32_t evicted; ///< directory entries the origin stripped
 };
+
+// --- Sharded directory homes (rko/home; kHomeRangeOp / kHomeRebuild) --------
+
+/// Which destructive sweep a non-origin home should run over its local
+/// directory slice (mirrors PageOwner::revoke/downgrade/sequester_range).
+enum class HomeRangeKind : std::uint32_t { kRevoke = 0, kDowngrade, kSequester };
+
+/// Origin -> every eligible home, after a destructive VMA op's replica
+/// broadcast: sweep your directory entries in [start, end). Only sent with
+/// home_shards > 1; the shards=1 wire protocol is unchanged.
+struct HomeRangeOpReq {
+    Pid pid;
+    HomeRangeKind kind;
+    mem::Vaddr start;
+    mem::Vaddr end;
+};
+
+struct HomeRangeOpResp {
+    std::uint32_t touched; ///< directory entries this home swept
+};
+
+/// Failover census (rko/home): the kernel inheriting a dead owner's home
+/// shard asks each survivor which in-shard pages it still maps. Cursor-
+/// chunked: resume_vpn is 0 on the first call, then the reply's next_vpn.
+struct HomeRebuildReq {
+    Pid pid;
+    topo::KernelId dead;      ///< departed owner whose shard is moving
+    std::uint32_t shard;      ///< home-map shard being rebuilt
+    std::uint64_t resume_vpn; ///< scan cursor (first vpn to consider)
+};
+
+/// One census chunk: packed (vpn << 1 | writable) words, truncated on the
+/// wire to the entries actually carried (see wire_bytes).
+struct HomeRebuildResp {
+    static constexpr std::uint32_t kMaxEntries = 256;
+    std::uint32_t ready;      ///< zero: peer has not applied the membership
+                              ///< event yet — retry after a beat
+    std::uint32_t count;
+    std::uint32_t has_more;   ///< nonzero: call again with resume_vpn=next_vpn
+    std::uint64_t next_vpn;
+    std::array<std::uint64_t, kMaxEntries> entry;
+};
+
+inline std::size_t wire_bytes(const HomeRebuildResp& r) {
+    return offsetof(HomeRebuildResp, entry) +
+           static_cast<std::size_t>(r.count) * sizeof(std::uint64_t);
+}
 
 } // namespace rko::core

@@ -1,5 +1,6 @@
 #include "rko/elastic/elastic.hpp"
 
+#include <bit>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "rko/core/process.hpp"
 #include "rko/core/ssi.hpp"
 #include "rko/core/thread_group.hpp"
+#include "rko/home/home.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/msg/fabric.hpp"
 #include "rko/msg/node.hpp"
@@ -39,11 +41,13 @@ Elastic::Elastic(kernel::Kernel& k, const ElasticConfig& config)
       threads_lost_(k.metrics().counter("elastic.threads_lost")),
       drain_evacuated_(k.metrics().counter("elastic.drain_evacuated")),
       drain_pages_evicted_(k.metrics().counter("elastic.drain_pages_evicted")),
-      joins_(k.metrics().counter("elastic.joins")) {
+      joins_(k.metrics().counter("elastic.joins")),
+      home_rebuilds_(k.metrics().counter("elastic.home_rebuilds")),
+      home_entries_rebuilt_(k.metrics().counter("elastic.home_entries_rebuilt")) {
     RKO_ASSERT(config_.lease_misses >= 1);
     last_seen_.fill(-1);
     for (topo::KernelId kid = 0; kid < topo::kMaxKernels; ++kid) {
-        if ((config_.deferred_mask >> kid) & 1u) {
+        if ((config_.deferred_mask & topo::kbit(kid)) != 0) {
             state_[static_cast<std::size_t>(kid)] = PeerState::kParted;
         }
     }
@@ -131,6 +135,10 @@ void Elastic::declare_dead(topo::KernelId subject, bool broadcast) {
     // Fail the fast path first: pending rpcs to the corpse resume with
     // kPeerDead and future sends drop, before any re-homing begins.
     k_.node().set_peer_dead(subject);
+    // Sharded homes: stop routing directory traffic at the corpse NOW
+    // (inline with the state flip) — inherited shards answer kRetry until
+    // the reaper's census rebuild completes.
+    note_home_removed(subject);
     if (trace::Tracer* tr = trace::active(k_.engine())) {
         tr->instant(k_.engine(), k_.id(), "elastic.peer_dead",
                     static_cast<std::uint64_t>(subject));
@@ -156,6 +164,44 @@ void Elastic::broadcast_membership(core::MembershipEvent event,
     }
 }
 
+void Elastic::note_home_removed(topo::KernelId subject) {
+    home::Map& map = k_.home_map();
+    if (!map.sharded()) return;
+    if ((map.eligible() & topo::kbit(subject)) == 0) return; // already out
+    const topo::KernelMask before = map.eligible();
+    map.remove_kernel(subject);
+    if (k_.node().dead()) return; // a corpse inherits nothing
+    bool queued = false;
+    k_.for_each_site([&](core::ProcessSite& site) {
+        for (int s = 0; s < map.shards(); ++s) {
+            if (home::Map::owner_in(site.pid(), s, before) != subject) continue;
+            if (map.owner_of(site.pid(), s) != k_.id()) continue;
+            site.set_home_rebuilding(s, true);
+            home_rebuild_queue_.push_back(HomeRebuild{site.pid(), s, subject});
+            queued = true;
+        }
+    });
+    if (queued) ring_reaper();
+}
+
+void Elastic::process_home_rebuilds() {
+    while (!home_rebuild_queue_.empty()) {
+        const HomeRebuild job = home_rebuild_queue_.front();
+        home_rebuild_queue_.pop_front();
+        if (k_.node().dead()) continue;
+        if (!k_.has_site(job.pid)) continue; // process reaped meanwhile
+        core::ProcessSite& site = k_.site(job.pid);
+        home_rebuilds_.inc();
+        home_entries_rebuilt_.inc(
+            k_.pages().rebuild_home_shard(site, job.shard, job.from));
+        site.set_home_rebuilding(job.shard, false);
+        if (trace::Tracer* tr = trace::active(k_.engine())) {
+            tr->instant(k_.engine(), k_.id(), "elastic.home_rebuild",
+                        static_cast<std::uint64_t>(job.shard));
+        }
+    }
+}
+
 void Elastic::on_ping(msg::Node& node, msg::MessagePtr m) {
     if (m->hdr.kind == msg::MsgKind::kRequest) {
         node.reply(*m, msg::make_message(msg::MsgType::kPing, msg::MsgKind::kReply));
@@ -177,6 +223,9 @@ void Elastic::on_membership(msg::Node& node, msg::MessagePtr m) {
             membership_shadow_.on_write();
             // The node stays reachable (it answers census/vma traffic for
             // straggling messages); it is only removed from placement.
+            // Home shards it owned move to survivors just as on death —
+            // except its PTE census is still answerable, so nothing is lost.
+            note_home_removed(update.subject);
             if (trace::Tracer* tr = trace::active(k_.engine())) {
                 tr->instant(k_.engine(), k_.id(), "elastic.peer_parted",
                             static_cast<std::uint64_t>(update.subject));
@@ -206,11 +255,20 @@ void Elastic::on_evict(msg::Node& node, msg::MessagePtr m) {
     core::ElasticEvictResp resp{0};
     if (k_.has_site(req.pid)) {
         core::ProcessSite& site = k_.site(req.pid);
-        if (site.is_origin()) {
+        if (site.is_origin() || k_.home_map().sharded()) {
+            // Wait out a census rebuild: sweeping mid-rebuild would miss
+            // the entries the census is about to install.
+            for (int s = 0; s < k_.home_map().shards(); ++s) {
+                while (site.home_rebuilding(s)) {
+                    k_.engine().current().sleep_for(1000);
+                }
+            }
             resp.evicted = k_.pages().evict_holder(site, req.holder);
+        }
+        if (site.is_origin()) {
             // The parting kernel drops its site next; stop broadcasting VMA
             // updates at it.
-            site.group().replica_mask &= ~(1u << req.holder);
+            site.group().replica_mask &= ~topo::kbit(req.holder);
         }
     }
     node.reply(*m, msg::make_message(msg::MsgType::kElasticEvict,
@@ -246,6 +304,9 @@ void Elastic::reaper_body(sim::Actor& self) {
             drain_req_ = false;
             do_drain(self);
         }
+        // Inherited home shards first: faults parked on kRetry against a
+        // rebuilding shard unblock as soon as the census lands.
+        process_home_rebuilds();
         while (!dead_queue_.empty()) {
             const topo::KernelId dead = dead_queue_.front();
             dead_queue_.pop_front();
@@ -266,6 +327,12 @@ void Elastic::do_kill(sim::Actor& self) {
     // Fail-stop: the node black-holes from here on. Pending rpcs from this
     // kernel's fibers throw LocalNodeDead and unwind.
     k_.node().set_dead();
+    // Kworkers parked on a directory busy bit (this kernel serves home
+    // transactions with sharded homes) hold no rpc to fail — wake them so
+    // they observe the dead node and unwind too.
+    k_.for_each_site([&](core::ProcessSite& site) {
+        for (auto& shard : site.dir_shards()) shard.busy_wait.notify_all();
+    });
     // Unwind every hosted guest fiber: running threads throw at their next
     // checkpoint, blocked ones are woken into it. They exit *locally* (no
     // group messages) — the origin's reaper is the bookkeeper of record.
@@ -294,7 +361,15 @@ void Elastic::reap_dead(topo::KernelId dead) {
     // 1. Page ownership: strip the dead holder from every directory entry
     //    of every process homed here. Surviving sharers (or the origin)
     //    keep the data; sole-copy pages are lost and refault as zero-fill.
-    for (const Pid pid : origin_pids) {
+    //    With sharded homes every local site may hold a directory slice,
+    //    not just origin sites.
+    std::vector<Pid> dir_pids;
+    k_.for_each_site([&](core::ProcessSite& site) {
+        if (site.is_origin() || k_.home_map().sharded()) {
+            dir_pids.push_back(site.pid());
+        }
+    });
+    for (const Pid pid : dir_pids) {
         const auto counts = k_.pages().rehome_dead(k_.site(pid), dead);
         pages_rehomed_.inc(counts.first);
         pages_lost_.inc(counts.second);
@@ -418,32 +493,91 @@ void Elastic::do_drain(sim::Actor& self) {
         evacuate_once();
         self.park_for(balance_period());
     }
-    // Empty of threads. Hand every page copy back to its origin (pull
-    // dirty bytes home, strip this holder from the directory), then drop
-    // the now-bare replica sites.
+    // Empty of threads. Hand every page copy back (pull dirty bytes home,
+    // strip this holder from the directory), then drop the now-bare
+    // replica sites.
     std::vector<Pid> pids;
     k_.for_each_site([&](core::ProcessSite& site) { pids.push_back(site.pid()); });
-    for (const Pid pid : pids) {
-        core::ProcessSite& site = k_.site(pid);
-        RKO_ASSERT_MSG(!site.is_origin(), "drain of an origin kernel");
-        const topo::KernelId origin = site.origin();
-        msg::RpcStatus st = msg::RpcStatus::kOk;
-        auto reply = msg::rpc_retry(
-            k_.node(), origin,
-            [&] {
-                return msg::make_message(msg::MsgType::kElasticEvict,
-                                         msg::MsgKind::kRequest,
-                                         core::ElasticEvictReq{pid, k_.id()});
-            },
-            4, balance_period() / 4 + 1, &st);
-        if (reply != nullptr) {
-            drain_pages_evicted_.inc(reply->payload_as<core::ElasticEvictResp>().evicted);
+    if (!k_.home_map().sharded()) {
+        for (const Pid pid : pids) {
+            core::ProcessSite& site = k_.site(pid);
+            RKO_ASSERT_MSG(!site.is_origin(), "drain of an origin kernel");
+            const topo::KernelId origin = site.origin();
+            msg::RpcStatus st = msg::RpcStatus::kOk;
+            auto reply = msg::rpc_retry(
+                k_.node(), origin,
+                [&] {
+                    return msg::make_message(msg::MsgType::kElasticEvict,
+                                             msg::MsgKind::kRequest,
+                                             core::ElasticEvictReq{pid, k_.id()});
+                },
+                4, balance_period() / 4 + 1, &st);
+            if (reply != nullptr) {
+                drain_pages_evicted_.inc(
+                    reply->payload_as<core::ElasticEvictResp>().evicted);
+            }
+            k_.drop_site(pid);
         }
-        k_.drop_site(pid);
+        state_[static_cast<std::size_t>(k_.id())] = PeerState::kParted;
+        membership_shadow_.on_write();
+        broadcast_membership(core::MembershipEvent::kParted, k_.id());
+    } else {
+        // Sharded homes: our directory shards must move to survivors while
+        // our PTEs still exist (their census reconstructs the entries), and
+        // only then can the copies themselves be swept.
+        // 1. Stop serving new directory traffic (stale-routed faults get
+        //    kRetry) and let in-flight transactions at our slices settle.
+        k_.home_map().remove_kernel(k_.id());
+        auto slices_busy = [&] {
+            bool busy = false;
+            k_.for_each_site([&](core::ProcessSite& site) {
+                for (auto& shard : site.dir_shards()) {
+                    if (!shard.pending.empty()) busy = true;
+                    for (const auto& [vpn, e] : shard.entries) {
+                        (void)vpn;
+                        if (e.busy) busy = true;
+                    }
+                }
+            });
+            return busy;
+        };
+        while (slices_busy()) self.park_for(balance_period());
+        // 2. Announce the part: survivors inherit our shards and census
+        //    everyone's PTEs — including ours, which are still mapped.
+        state_[static_cast<std::size_t>(k_.id())] = PeerState::kParted;
+        membership_shadow_.on_write();
+        broadcast_membership(core::MembershipEvent::kParted, k_.id());
+        // 3. Every surviving home sweeps our copies out of its slice (the
+        //    handler waits out a mid-flight census rebuild first).
+        for (const Pid pid : pids) {
+            core::ProcessSite& site = k_.site(pid);
+            RKO_ASSERT_MSG(!site.is_origin(), "drain of an origin kernel");
+            topo::KernelMask targets =
+                (k_.home_map().eligible() | topo::kbit(site.origin())) &
+                ~topo::kbit(k_.id());
+            for (; targets != 0; targets &= targets - 1) {
+                const auto peer =
+                    static_cast<topo::KernelId>(std::countr_zero(targets));
+                if (state_[static_cast<std::size_t>(peer)] == PeerState::kDead) {
+                    continue;
+                }
+                msg::RpcStatus st = msg::RpcStatus::kOk;
+                auto reply = msg::rpc_retry(
+                    k_.node(), peer,
+                    [&] {
+                        return msg::make_message(
+                            msg::MsgType::kElasticEvict, msg::MsgKind::kRequest,
+                            core::ElasticEvictReq{pid, k_.id()});
+                    },
+                    4, balance_period() / 4 + 1, &st);
+                if (reply != nullptr) {
+                    drain_pages_evicted_.inc(
+                        reply->payload_as<core::ElasticEvictResp>().evicted);
+                }
+            }
+            k_.drop_site(pid);
+        }
     }
-    state_[static_cast<std::size_t>(k_.id())] = PeerState::kParted;
-    membership_shadow_.on_write();
-    broadcast_membership(core::MembershipEvent::kParted, k_.id());
     draining_ = false;
     if (trace::Tracer* tr = trace::active(k_.engine())) {
         tr->instant(k_.engine(), k_.id(), "elastic.parted");

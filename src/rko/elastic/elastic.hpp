@@ -71,7 +71,7 @@ struct ElasticConfig {
     /// Kernels that boot parted (hot-join targets): their balancers are not
     /// started and every kernel excludes them from placement until
     /// Machine::join_kernel. Bit per kernel id.
-    std::uint32_t deferred_mask = 0;
+    topo::KernelMask deferred_mask = 0;
 };
 
 /// Per-kernel membership-and-recovery service. Owns the reaper actor that
@@ -136,6 +136,12 @@ private:
     /// Survivor-side re-homing of one dead peer's footprint.
     void reap_dead(topo::KernelId dead);
     void declare_dead(topo::KernelId subject, bool broadcast);
+    /// Sharded homes (rko/home): removes `subject` from the local home map
+    /// and flags every shard this kernel inherits as rebuilding, queueing
+    /// the census rebuilds for the reaper. Inline-safe (pure state).
+    void note_home_removed(topo::KernelId subject);
+    /// Reaper-side: drains home_rebuild_queue_ (kHomeRebuild censuses).
+    void process_home_rebuilds();
     void broadcast_membership(core::MembershipEvent event, topo::KernelId subject);
     /// One drain sweep: detach queued threads, hint running ones, spuriously
     /// wake blocked ones. Returns threads nudged.
@@ -167,6 +173,13 @@ private:
     /// Virtual time each peer was last heard from; -1 = never (no lease yet).
     std::array<Nanos, static_cast<std::size_t>(topo::kMaxKernels)> last_seen_{};
     std::deque<topo::KernelId> dead_queue_;
+    /// One inherited home shard awaiting its census rebuild.
+    struct HomeRebuild {
+        Pid pid;
+        int shard;
+        topo::KernelId from; ///< the removed previous owner
+    };
+    std::deque<HomeRebuild> home_rebuild_queue_;
 
     std::function<void()> thread_killer_;
     std::function<void(Pid, Tid)> thread_lost_;
@@ -182,6 +195,8 @@ private:
     trace::Counter& drain_evacuated_; ///< threads nudged off a draining kernel
     trace::Counter& drain_pages_evicted_; ///< page copies handed home by drains
     trace::Counter& joins_;           ///< hot-joins performed by this kernel
+    trace::Counter& home_rebuilds_;   ///< home shards inherited and rebuilt
+    trace::Counter& home_entries_rebuilt_; ///< directory entries reconstructed
 };
 
 } // namespace rko::elastic

@@ -1,0 +1,102 @@
+// Sharded directory homes (DESIGN.md §14).
+//
+// Historically every page-ownership directory entry for process P lived at
+// P's origin kernel, making the origin the serialization point for all
+// faults, invalidations, and prefetch batches. The home Map decouples the
+// two roles: a page's *home* — the kernel holding its directory entry and
+// running its ownership transactions — is chosen by hashing the VPN into
+// one of `shards` buckets and rendezvous-hashing each (pid, shard) pair
+// over the currently-eligible kernels. With `shards == 1` every page's
+// home is the origin and the wire protocol is bit-identical to the
+// pre-home system; with more shards, faults on different pages resolve at
+// different kernels in parallel.
+//
+// Eligibility is shrink-only: it starts as the boot membership (deferred
+// kernels excluded) and loses kernels on death or part, but a later join
+// never re-adds them. Every kernel applies the same membership events in
+// the same order (elastic's broadcasts), so all live kernels agree on the
+// map without extra coordination — and a shard's owner only ever changes
+// when its current owner leaves, which is exactly the failover case the
+// elastic reaper already handles for page frames.
+#pragma once
+
+#include <cstdint>
+
+#include "rko/base/assert.hpp"
+#include "rko/mem/types.hpp"
+#include "rko/topo/topology.hpp"
+
+namespace rko::home {
+
+/// splitmix64 finalizer — cheap, well-mixed, and stable across platforms
+/// (the map must hash identically on every kernel).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Per-kernel view of the home map. All kernels converge on identical
+/// state because init() and remove_kernel() are driven by the same
+/// (totally ordered) boot + membership events everywhere.
+class Map {
+public:
+    /// Boot-time setup: `shards` directory shards spread over the kernels
+    /// in `eligible` (the boot membership minus deferred kernels).
+    void init(int shards, topo::KernelMask eligible) {
+        RKO_ASSERT(shards >= 1);
+        RKO_ASSERT(shards == 1 || eligible != 0);
+        shards_ = shards;
+        eligible_ = eligible;
+    }
+
+    /// True when home routing is active (more than one shard). The
+    /// shards==1 configuration must behave — and speak — exactly like the
+    /// pre-home system, so every new code path gates on this.
+    bool sharded() const { return shards_ > 1; }
+    int shards() const { return shards_; }
+    topo::KernelMask eligible() const { return eligible_; }
+
+    /// Which shard a virtual page number belongs to.
+    int shard_of(std::uint64_t vpn) const {
+        return sharded()
+                   ? static_cast<int>(splitmix64(vpn) %
+                                      static_cast<std::uint64_t>(shards_))
+                   : 0;
+    }
+
+    /// The kernel owning (pid, shard) under the current eligibility.
+    topo::KernelId owner_of(Pid pid, int shard) const {
+        return owner_in(pid, shard, eligible_);
+    }
+
+    /// Rendezvous (highest-random-weight) owner of (pid, shard) among the
+    /// kernels in `mask`. Pure so the elastic reaper can diff ownership
+    /// before/after a membership change.
+    static topo::KernelId owner_in(Pid pid, int shard, topo::KernelMask mask);
+
+    /// Membership shrink: a dead or parted kernel stops owning shards.
+    /// Idempotent; joins deliberately do NOT re-add (re-expansion would
+    /// need a handoff protocol the failover path doesn't).
+    void remove_kernel(topo::KernelId k) { eligible_ &= ~topo::kbit(k); }
+
+private:
+    int shards_ = 1;
+    topo::KernelMask eligible_ = 0;
+};
+
+/// Default shard count for MachineConfig: the RKO_HOME_SHARDS environment
+/// variable when set (clamped to >= 1), else 1 (home routing off).
+int shards_from_env();
+
+/// The home kernel for (pid, vpn): the origin when unsharded (or when the
+/// eligible set somehow emptied — the origin is immortal), else the
+/// rendezvous owner of the page's shard.
+inline topo::KernelId home_of(const Map& map, Pid pid, topo::KernelId origin,
+                              std::uint64_t vpn) {
+    if (!map.sharded() || map.eligible() == 0) return origin;
+    return Map::owner_in(pid, map.shard_of(vpn), map.eligible());
+}
+
+} // namespace rko::home

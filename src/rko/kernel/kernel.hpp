@@ -19,6 +19,7 @@
 
 #include "rko/base/stats.hpp"
 #include "rko/core/process.hpp"
+#include "rko/home/home.hpp"
 #include "rko/mem/mmu.hpp"
 #include "rko/mem/frame_alloc.hpp"
 #include "rko/mem/phys.hpp"
@@ -100,6 +101,12 @@ public:
     trace::MetricsRegistry& metrics() { return metrics_; }
     const trace::MetricsRegistry& metrics() const { return metrics_; }
 
+    /// This kernel's view of the sharded home map (rko/home). Initialized
+    /// at boot by the Machine; shrunk by elastic membership events. All
+    /// live kernels see identical state (DESIGN.md §14).
+    home::Map& home_map() { return home_map_; }
+    const home::Map& home_map() const { return home_map_; }
+
     core::VmaServer& vma() { return *vma_; }
     core::PageOwner& pages() { return *pages_; }
     core::DFutex& futex() { return *futex_; }
@@ -180,6 +187,7 @@ private:
     task::Scheduler sched_;
     base::Counters counters_;
 
+    home::Map home_map_;
     std::map<Pid, std::unique_ptr<core::ProcessSite>> sites_;
     std::map<Tid, std::unique_ptr<task::Task>> tasks_;
     Pid next_id_ = 0;

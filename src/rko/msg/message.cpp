@@ -34,6 +34,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kPagePush: return "page_push";
     case MsgType::kMembershipUpdate: return "membership_update";
     case MsgType::kElasticEvict: return "elastic_evict";
+    case MsgType::kHomeRangeOp: return "home_range_op";
+    case MsgType::kHomeRebuild: return "home_rebuild";
     case MsgType::kCount: break;
     }
     return "unknown";

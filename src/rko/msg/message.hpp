@@ -60,6 +60,9 @@ enum class MsgType : std::uint16_t {
     // Elastic membership (elastic/)
     kMembershipUpdate,  ///< membership event broadcast: dead/parted/join (nb)
     kElasticEvict,      ///< drain: evict a parting holder's page copies (blk)
+    // Sharded directory homes (rko/home)
+    kHomeRangeOp,       ///< origin -> home: ranged directory sweep (blk)
+    kHomeRebuild,       ///< new shard owner -> survivor: PTE census chunk (leaf)
     kCount
 };
 

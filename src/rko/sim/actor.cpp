@@ -1,5 +1,6 @@
 #include "rko/sim/actor.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "rko/race/race.hpp"
@@ -14,6 +15,9 @@ Actor::Actor(Engine& engine, std::string name, std::function<void(Actor&)> body,
       ctx_([this] { run_body(); }, stack_bytes) {}
 
 Actor::~Actor() {
+    if (state_ != State::kFinished && state_ != State::kNew) {
+        std::fprintf(stderr, "live actor at destruction: %s\n", name_.c_str());
+    }
     RKO_ASSERT_MSG(state_ == State::kFinished || state_ == State::kNew,
                    "actor destroyed while live; join() it first");
 }

@@ -20,9 +20,20 @@ using CoreId = int;
 using KernelId = int;
 
 /// Upper bound on kernels per machine — the page directory and group
-/// replica masks are 32-bit kernel bitmasks, and fixed-size per-kernel
+/// replica masks are KernelMask kernel bitmasks, and fixed-size per-kernel
 /// arrays (e.g. Task::fault_from) are sized by it.
-constexpr int kMaxKernels = 32;
+constexpr int kMaxKernels = 64;
+
+/// One bit per kernel id. Every holder / replica / membership set in the
+/// system is a KernelMask; use kbit() rather than open-coded shifts so the
+/// width stays in one place (kMaxKernels must not exceed its bit count).
+using KernelMask = std::uint64_t;
+
+constexpr KernelMask kbit(KernelId k) {
+    return KernelMask{1} << static_cast<unsigned>(k);
+}
+
+static_assert(kMaxKernels <= 64, "KernelMask is 64-bit");
 
 /// Every virtual-time constant in one place. Units: ns unless noted.
 struct CostModel {

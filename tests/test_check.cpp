@@ -57,7 +57,7 @@ TEST(Check, GateToggles) {
 
 TEST(Check, RegistryListsEveryFamily) {
     const auto& invariants = check::Registry::builtin().invariants();
-    ASSERT_EQ(invariants.size(), 8u);
+    ASSERT_EQ(invariants.size(), 9u);
     std::vector<std::string> names;
     for (const auto& inv : invariants) names.emplace_back(inv.name);
     EXPECT_NE(std::find(names.begin(), names.end(), "pages"), names.end());
@@ -67,6 +67,7 @@ TEST(Check, RegistryListsEveryFamily) {
     EXPECT_NE(std::find(names.begin(), names.end(), "locks"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "balance"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "elastic"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "home"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "race"), names.end());
     for (const auto& inv : invariants) EXPECT_STRNE(inv.paper_ref, "");
 }
@@ -123,9 +124,13 @@ TEST(Check, InjectedLostInvalidateIsCaught) {
     process.spawn(
         [&](Guest& g) {
             g.join(reader);
-            machine.kernel(0).pages().set_inject_lost_invalidate(true);
+            for (int ik = 0; ik < machine.nkernels(); ++ik) {
+                machine.kernel(ik).pages().set_inject_lost_invalidate(true);
+            }
             g.write<std::uint32_t>(buf, 0x43); // k1's invalidate is dropped
-            machine.kernel(0).pages().set_inject_lost_invalidate(false);
+            for (int ik = 0; ik < machine.nkernels(); ++ik) {
+                machine.kernel(ik).pages().set_inject_lost_invalidate(false);
+            }
         },
         0);
     machine.run();
@@ -148,6 +153,7 @@ TEST(Check, ScenarioRegistry) {
     EXPECT_NE(check::find_scenario("inject_lost_invalidate"), nullptr);
     EXPECT_NE(check::find_scenario("kill_storm"), nullptr);
     EXPECT_NE(check::find_scenario("join_storm"), nullptr);
+    EXPECT_NE(check::find_scenario("home_storm"), nullptr);
     EXPECT_EQ(check::find_scenario("no_such_scenario"), nullptr);
 }
 
@@ -223,6 +229,22 @@ TEST(Check, ElasticStormSeeds) {
         EXPECT_EQ(stats.runs, 4) << name;
         EXPECT_TRUE(stats.ok()) << name;
     }
+}
+
+// Satellite coverage: the sharded-home torture — 8-way homes under a
+// cross-kernel fault storm while a shard-owning kernel dies and another
+// drains. The nine audit families (home included) must stay clean and the
+// schedule must replay bit-identically across a seed window.
+TEST(Check, HomeStormSeeds) {
+    ScopedCheck on(true);
+    const check::Scenario* s = check::find_scenario("home_storm");
+    ASSERT_NE(s, nullptr);
+    check::SweepOptions options;
+    options.seeds = 4;
+    options.first_seed = 1;
+    const check::SweepStats stats = check::sweep(*s, options);
+    EXPECT_EQ(stats.runs, 4);
+    EXPECT_TRUE(stats.ok());
 }
 
 // The sweep treats a *clean* report from the fault-injection scenario as

@@ -11,6 +11,7 @@
 #include "rko/core/ssi.hpp"
 #include "rko/core/thread_group.hpp"
 #include "rko/core/vma_server.hpp"
+#include "rko/home/home.hpp"
 #include "rko/smp/smp.hpp"
 
 namespace rko {
@@ -385,7 +386,12 @@ TEST(MigrationEdge, RapidPingPongKeepsDataIntact) {
 }
 
 TEST(MessagingAccounting, RemoteFaultsProduceThreeLegs) {
-    // One remote write fault = request + reply + installed-commit.
+    // One remote write fault = request + reply + installed-commit. The
+    // count is the *unsharded* wire shape — a sharded home adds a hop, so
+    // skip there (test_home.cpp covers the sharded accounting).
+    if (home::shards_from_env() > 1) {
+        GTEST_SKIP() << "asserts the unsharded wire shape (RKO_HOME_SHARDS>1)";
+    }
     Machine machine = make_machine(4, 2);
     auto& process = machine.create_process(0);
     auto& writer = process.spawn(

@@ -11,10 +11,21 @@
 #include "rko/api/machine.hpp"
 #include "rko/core/page_owner.hpp"
 #include "rko/core/wire.hpp"
+#include "rko/home/home.hpp"
 #include "rko/smp/smp.hpp"
 
 namespace rko {
 namespace {
+
+/// Several tests below assert the exact *unsharded* wire shape (three-leg
+/// commits at the origin, origin-clipped prefetch windows, flat fan-out
+/// latency). Under RKO_HOME_SHARDS>1 those shapes legitimately change (an
+/// extra requester->home hop, per-home prefetch clipping), so they skip;
+/// sharded-mode behavior is covered by test_home.cpp and the home_storm
+/// explore scenario.
+#define RKO_SKIP_IF_SHARDED()                                               \
+    if (home::shards_from_env() > 1)                                        \
+    GTEST_SKIP() << "asserts the unsharded wire shape (RKO_HOME_SHARDS>1)"
 
 using namespace rko::time_literals;
 using api::Guest;
@@ -108,6 +119,7 @@ TEST(WireSize, DatalessUpgradeCostsHeadersNotPages) {
 // ---------------------------------------------------------------------------
 
 TEST(RangedRevoke, ObservationallyEquivalentToPerPage) {
+    RKO_SKIP_IF_SHARDED();
     constexpr int kPages = 8;
     Machine machine(smp::popcorn_config(8, 4));
     auto& process = machine.create_process(0);
@@ -268,6 +280,7 @@ TEST(ParallelFanout, PreservesMsiUnderDeliveryJitter) {
 }
 
 TEST(ParallelFanout, WriteFaultLatencyNearFlatInSharers) {
+    RKO_SKIP_IF_SHARDED();
     // The bench (b) acceptance shrunk to a test: invalidating 4 sharers
     // must cost at most 1.5x invalidating 1 (it was ~4x when the victim
     // loop was serial).
@@ -395,6 +408,7 @@ TEST(Prefetch, WindowOffIsPlainDemandProtocol) {
 }
 
 TEST(Prefetch, BatchesAndBeatsDemandFaulting) {
+    RKO_SKIP_IF_SHARDED();
     const StreamRun demand = stream_pages(32, 1);
     const StreamRun pf = stream_pages(32, 8);
     EXPECT_GT(pf.batch_faults, 0u);
@@ -420,6 +434,7 @@ TEST(Prefetch, SameSeedRunsAreBitIdentical) {
 }
 
 TEST(Prefetch, StopsAtVmaBoundary) {
+    RKO_SKIP_IF_SHARDED();
     // Two back-to-back VMAs; the stream covers only the first. Fault-around
     // windows are clipped to the faulting VMA, so no page of the second may
     // appear at the reader — even though the VMAs are contiguous.

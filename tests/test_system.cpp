@@ -132,7 +132,12 @@ TEST(System, WriteInvalidatesRemoteReader) {
     process.spawn(
         [&](Guest& g) {
             while (buf == 0 || sync == 0) g.yield();
-            EXPECT_EQ(g.read<int>(buf), 1); // faults page over as Shared
+            // Faults the page over as Shared. With sharded homes the read
+            // fault can beat t0's write commit (extra home hop), so spin
+            // past the zero-fill window; the first non-zero value must be 1.
+            int first = 0;
+            while ((first = g.read<int>(buf)) == 0) g.yield();
+            EXPECT_EQ(first, 1);
             g.rmw_u32(sync, [](std::uint32_t) { return 1u; });
             while (g.read<std::uint32_t>(sync) != 2) g.yield();
             second_read = g.read<int>(buf);
