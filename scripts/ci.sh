@@ -92,6 +92,13 @@ scripts/bench_compare.py bench/baselines/bench_futex_quick.json \
     build/bench_out/bench_futex_quick.json \
     --key "wake.*_ns" --key "mutex.*_ns_per_acq" \
   || fail bench "scripts/bench_compare.py bench/baselines/bench_futex_quick.json build/bench_out/bench_futex_quick.json --key 'wake.*_ns' --key 'mutex.*_ns_per_acq'"
+RKO_WORKSET_PUSH=32 ./build/bench/bench_migration --quick \
+    --json=build/bench_out/bench_migration_quick.json >/dev/null \
+  || fail bench "RKO_WORKSET_PUSH=32 ./build/bench/bench_migration --quick --json=..."
+scripts/bench_compare.py bench/baselines/bench_migration_quick.json \
+    build/bench_out/bench_migration_quick.json \
+    --key "workset.*_ns" \
+  || fail bench "scripts/bench_compare.py bench/baselines/bench_migration_quick.json build/bench_out/bench_migration_quick.json --key 'workset.*_ns'"
 ./build/bench/bench_mmap_scale --quick \
     --json=build/bench_out/bench_mmap_scale_quick.json >/dev/null \
   || fail bench "./build/bench/bench_mmap_scale --quick --json=..."

@@ -20,6 +20,7 @@
 #include "rko/api/process.hpp"
 #include "rko/balance/balance.hpp"
 #include "rko/check/gate.hpp"
+#include "rko/core/workset.hpp"
 #include "rko/elastic/elastic.hpp"
 #include "rko/home/home.hpp"
 #include "rko/kernel/kernel.hpp"
@@ -69,6 +70,15 @@ struct MachineConfig {
     /// timings bit-identical to the pre-home system. Defaults to the
     /// RKO_HOME_SHARDS environment variable when set.
     int home_shards = home::shards_from_env();
+    /// Working-set migration (DESIGN.md §15): a migrating thread's
+    /// checkpoint piggybacks up to this many of its hottest page numbers;
+    /// the destination pulls them from their homes in one scatter round
+    /// before resuming, and a short post-copy boost widens fault-around
+    /// for the tail. 0 disables: the tracker never ships, no
+    /// kWorksetPull/kWorksetPush messages exist on the wire, and runs are
+    /// bit-identical to the pre-workset protocol. Defaults to the
+    /// RKO_WORKSET_PUSH environment variable when set.
+    int workset_push = core::workset_push_from_env();
     /// Tracing & metrics; defaults follow the RKO_TRACE environment
     /// variable (see trace::TraceConfig::from_env). Metrics are collected
     /// regardless; `trace.enabled` only gates event recording.

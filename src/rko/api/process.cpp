@@ -206,6 +206,15 @@ void Guest::place(topo::KernelId kernel_id) {
         machine_.kernel(where).sched().acquire(t());
         if (t().on_core()) {
             check_killed();
+            // Working-set pre-copy (DESIGN.md §15): a freshly migrated-in
+            // task drains the hot-page list its checkpoint shipped — one
+            // blocking pull round on the guest's own actor (handlers are
+            // leaves; they cannot rpc). Runs here so every arrival path
+            // (api migrate and balancer steal chains alike) warms up.
+            if (t().pending_workset_count != 0) {
+                kernel::Kernel& kern = machine_.kernel(where);
+                kern.pages().workset_prefault(kern.site(pid()), t());
+            }
             return;
         }
         // A balancer claimed this task while it sat queued: acquire returned

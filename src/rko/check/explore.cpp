@@ -736,6 +736,60 @@ ScenarioResult run_home_storm(const ExploreConfig& cfg) {
     return finish(machine);
 }
 
+/// Working-set migration under write sharing (DESIGN.md §15): two resident
+/// writers on k0 and k1 keep a small region's ownership ping-ponging while
+/// a third writer re-dirties every page and migrates between k2 and k3
+/// each round with pre-copy armed. Every arrival's pull round races the
+/// sharers' write upgrades: the home-side try-claims skip busy entries, a
+/// pushed Shared copy can be invalidated while the install is still in
+/// flight, and the post-copy boost widens fault batches over pages the
+/// sharers are concurrently stealing back. All three write disjoint words,
+/// so the final content is schedule-independent and hashed across seeds.
+ScenarioResult run_migrate_under_write_sharing(const ExploreConfig& cfg) {
+    constexpr int kPages = 8;
+    constexpr int kRounds = 6;
+    MachineConfig mc = base_config(cfg);
+    mc.workset_push = 8; // force pre-copy on regardless of RKO_WORKSET_PUSH
+    Machine machine(mc);
+    auto& process = machine.create_process(0);
+    Vaddr buf = 0;
+    auto& init = process.spawn(
+        [&](Guest& g) { buf = g.mmap(kPages * kPageSize); }, 0);
+    // Resident sharers: each sweeps the region from its own kernel, writing
+    // its own word of every page, so pages stay write-shared the whole run.
+    for (int w = 0; w < 2; ++w) {
+        process.spawn(
+            [&, w](Guest& g) {
+                g.join(init);
+                for (int r = 0; r < 3 * kRounds; ++r) {
+                    const Vaddr page =
+                        buf + static_cast<Vaddr>((w + r) % kPages) * kPageSize;
+                    g.rmw_u32(page + static_cast<Vaddr>(w) * 8,
+                              [](std::uint32_t v) { return v + 1; });
+                    g.compute(2_us);
+                }
+            },
+            static_cast<topo::KernelId>(w));
+    }
+    // The migrating writer: re-dirties the whole region (keeping all eight
+    // pages hot in its tracker), then hops kernels; the checkpoint ships
+    // the hot set and the arrival pull round races the sharers' traffic.
+    process.spawn(
+        [&](Guest& g) {
+            g.join(init);
+            for (int r = 0; r < kRounds; ++r) {
+                for (int p = 0; p < kPages; ++p) {
+                    g.rmw_u32(buf + static_cast<Vaddr>(p) * kPageSize + 128,
+                              [](std::uint32_t v) { return v + 1; });
+                }
+                g.migrate(static_cast<topo::KernelId>(2 + r % 2));
+            }
+        },
+        2);
+    machine.run();
+    return finish(machine);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep driver.
 // ---------------------------------------------------------------------------
@@ -848,6 +902,11 @@ const std::vector<Scenario>& scenarios() {
          "shard-owning kernel dies and another drains mid-run",
          /*content_deterministic=*/false, /*expect_violation=*/false,
          &run_home_storm},
+        {"migrate_under_write_sharing",
+         "a writer migrates every round with workset pre-copy armed while "
+         "two kernels keep the region write-shared",
+         /*content_deterministic=*/true, /*expect_violation=*/false,
+         &run_migrate_under_write_sharing},
     };
     return list;
 }

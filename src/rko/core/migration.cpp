@@ -1,6 +1,10 @@
 #include "rko/core/migration.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "rko/check/gate.hpp"
+#include "rko/core/page_owner.hpp"
 #include "rko/core/thread_group.hpp"
 #include "rko/kernel/kernel.hpp"
 #include "rko/trace/trace.hpp"
@@ -61,13 +65,43 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
                  static_cast<std::uint64_t>(t.tid));
     }
 
-    // --- Phase 2: transfer + remote instantiation.
+    // --- Phase 2: transfer + remote instantiation. With working-set push
+    // enabled the checkpoint piggybacks the task's top-K hot VPNs (§15);
+    // the wire is truncated to what actually ships, so a disabled or empty
+    // tracker costs exactly the old message.
     const bool back = dest == t.origin;
+    MigrateReq req{};
+    req.pid = t.pid;
+    req.tid = t.tid;
+    req.origin = t.origin;
+    req.from = k_.id();
+    req.ctx = ctx;
+    req.workset_count = 0;
+    if (k_.pages().workset_push() > 0) {
+        std::array<task::WorksetEntry, task::kMaxWorkset> hot{};
+        std::uint32_t n = 0;
+        for (std::uint32_t i = 0; i < t.workset_size; ++i) {
+            if (t.workset[i].heat > 0) hot[n++] = t.workset[i];
+        }
+        // Hottest first to pick the K that matter, then VPN order on the
+        // wire — deterministic and contiguous for the pull round.
+        std::sort(hot.begin(), hot.begin() + n, [](const auto& a, const auto& b) {
+            return a.heat != b.heat ? a.heat > b.heat : a.vpn < b.vpn;
+        });
+        const auto keep = std::min<std::uint32_t>(
+            {n, static_cast<std::uint32_t>(k_.pages().workset_push()),
+             task::kMaxWorkset});
+        std::sort(hot.begin(), hot.begin() + keep,
+                  [](const auto& a, const auto& b) { return a.vpn < b.vpn; });
+        for (std::uint32_t i = 0; i < keep; ++i) req.workset_vpn[i] = hot[i].vpn;
+        req.workset_count = keep;
+    }
     msg::RpcStatus st = msg::RpcStatus::kOk;
     auto reply = k_.node().rpc(
-        dest, msg::make_message(back ? msg::MsgType::kMigrateBack : msg::MsgType::kMigrate,
-                                msg::MsgKind::kRequest,
-                                MigrateReq{t.pid, t.tid, t.origin, k_.id(), ctx}),
+        dest,
+        msg::make_message_prefix(back ? msg::MsgType::kMigrateBack
+                                      : msg::MsgType::kMigrate,
+                                 msg::MsgKind::kRequest, req, wire_bytes(req)),
         &st);
     if (reply == nullptr || !reply->payload_as<MigrateResp>().ok) {
         // Destination died mid-transfer or refused (finished entity): the
@@ -120,7 +154,14 @@ bool Migration::migrate_out(task::Task& t, topo::KernelId dest,
 }
 
 void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
-    const auto& req = m->payload_as<MigrateReq>();
+    const auto& req = m->payload_prefix_as<MigrateReq>();
+    // The workset tail travels only when the source shipped one (see
+    // migrate_out); bytes past payload_size are unspecified, so gate every
+    // tail read on the wire actually carrying the count.
+    const std::uint32_t shipped =
+        m->hdr.payload_size > offsetof(MigrateReq, workset_count)
+            ? std::min(req.workset_count, task::kMaxWorkset)
+            : 0;
     in_.inc();
     trace::Span span(k_.engine(), k_.id(), "migrate.instantiate",
                      static_cast<std::uint64_t>(req.tid));
@@ -158,8 +199,40 @@ void Migration::on_migrate(msg::Node& node, msg::MessagePtr m) {
             k_.groups().instantiate_local(req.pid, req.tid, req.origin, "migrated");
         t = &fresh;
     }
+    // The stride detector must restart on arrival — a revisit reactivates
+    // the task's OLD record here, and a stale last_fault_page/fault_run
+    // pair would fire a bogus multi-page kPageFaultBatch on the first
+    // unrelated fault. The fault stream crosses a different fabric edge
+    // now; fresh records get the same treatment for uniformity.
+    t->last_fault_page = 0;
+    t->fault_run = 0;
+    // Working-set migration (§15): restart the tracker seeded with the
+    // shipped hot set, queue it for the post-resume pull round, and arm
+    // the post-copy boost window so the tail outside the top-K streams.
+    t->workset_size = 0;
+    for (std::uint32_t i = 0; i < shipped; ++i) {
+        t->workset[t->workset_size++] = task::WorksetEntry{req.workset_vpn[i], 1};
+        t->pending_workset[i] = req.workset_vpn[i];
+    }
+    t->pending_workset_count = shipped;
+    t->workset_boost_until = k_.pages().workset_push() > 0
+                                 ? k_.engine().now() + PageOwner::kWorksetBoostNs
+                                 : 0;
     // Unpacking the context costs one pass over the save area.
     sim::current_actor().sleep_for(k_.costs().copy_cost(sizeof req.ctx));
+
+    // Instantiation slept twice (clone cost, context unpack) and a kill can
+    // interleave with either yield: the entry guard above saw a live node,
+    // but by now this kernel may be a corpse. Retire the half-born record —
+    // no fiber will ever arrive (the source's rpc ticket dies with the node
+    // and the thread re-places there), and a live kNew record on an out
+    // kernel both trips the membership audit and wedges do_kill's drain.
+    if (k_.node().dead()) {
+        k_.site(req.pid).local_tasks().erase(req.tid);
+        t->actor = nullptr;
+        t->state = task::TaskState::kExited;
+        return;
+    }
 
     // Tell the origin where the thread lives now (one-way; ordering with
     // the thread's own exit is per-channel FIFO from this kernel).

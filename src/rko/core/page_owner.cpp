@@ -75,6 +75,9 @@ PageOwner::PageOwner(kernel::Kernel& k)
       prefetch_wasted_(k.metrics().counter("pages.prefetch.wasted")),
       range_rpcs_(k.metrics().counter("pages.range_rpcs")),
       home_msgs_(k.metrics().counter("home.msgs")),
+      workset_pushed_(k.metrics().counter("migration.workset.pushed")),
+      workset_hit_(k.metrics().counter("migration.workset.hit")),
+      workset_wasted_(k.metrics().counter("migration.workset.wasted")),
       remote_latency_(k.metrics().histogram("pages.remote_fault_ns")) {}
 
 topo::KernelId PageOwner::home_of(ProcessSite& site, mem::Vaddr page) const {
@@ -121,6 +124,16 @@ void PageOwner::install() {
         msg::MsgType::kHomeRebuild, msg::HandlerClass::kLeaf,
         [this](msg::Node& node, msg::MessagePtr m) {
             on_home_rebuild(node, std::move(m));
+        });
+    k_.node().register_handler(
+        msg::MsgType::kWorksetPull, msg::HandlerClass::kBlocking,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_workset_pull(node, std::move(m));
+        });
+    k_.node().register_handler(
+        msg::MsgType::kWorksetPush, msg::HandlerClass::kLeaf,
+        [this](msg::Node& node, msg::MessagePtr m) {
+            on_workset_push(node, std::move(m));
         });
 }
 
@@ -274,9 +287,13 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
             // Another transaction owns the entry; wait for any release and
             // re-look-up (the entry may have been erased meanwhile).
             shard.lock.unlock();
-            shard.busy_wait.wait(k_.engine());
             // A killed kernel's busy bits never release: the kill notifies
-            // these lists so parked kworkers unwind instead of leaking.
+            // these lists so parked kworkers unwind instead of leaking. The
+            // pre-wait check covers late arrivals — a fiber that reaches a
+            // leaked busy bit after the kill's one-shot notify would park
+            // with nobody left to wake it.
+            if (k_.node().dead()) throw msg::LocalNodeDead{};
+            shard.busy_wait.wait(k_.engine());
             if (k_.node().dead()) throw msg::LocalNodeDead{};
             continue;
         }
@@ -308,8 +325,11 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 // dead the data is lost and the requester zero-fills.
                 bool have_data = false;
                 topo::KernelMask live = snapshot.sharers;
-                if (snapshot.holds(k_.id())) {
-                    RKO_ASSERT(local_fetch(site, page, false, out.data.data()));
+                // Our own copy can be gone despite the directory listing us:
+                // a munmap's replica sweep drops PTEs without waiting on the
+                // busy bit. Fall through to the remote sharers if so.
+                if (snapshot.holds(k_.id()) &&
+                    local_fetch(site, page, false, out.data.data())) {
                     out.source = static_cast<std::uint8_t>(k_.id());
                     have_data = true;
                 } else {
@@ -317,6 +337,10 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                          mask &= mask - 1) {
                         const auto source =
                             static_cast<topo::KernelId>(std::countr_zero(mask));
+                        if (source == k_.id()) {
+                            live &= ~topo::kbit(source); // local copy gone
+                            continue;
+                        }
                         if (k_.node().peer_dead(source)) {
                             live &= ~topo::kbit(source);
                             continue;
@@ -334,8 +358,15 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                             continue;
                         }
                         const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
-                        RKO_ASSERT_MSG(fetched.ok,
-                                       "sharer lost its copy mid-transaction");
+                        if (!fetched.ok) {
+                            // The sharer dropped its copy between our
+                            // snapshot and the fetch (a munmap's replica
+                            // sweep is not gated on our busy bit) — same
+                            // transient the write path tolerates from
+                            // invalidate replies. Try the next sharer.
+                            live &= ~topo::kbit(source);
+                            continue;
+                        }
                         out.data = fetched.data;
                         out.source = static_cast<std::uint8_t>(source);
                         have_data = true;
@@ -355,8 +386,10 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                 // dead owner took the only copy with it — zero-fill.
                 bool have_data = false;
                 if (snapshot.owner == k_.id()) {
-                    RKO_ASSERT(local_fetch(site, page, true, out.data.data()));
-                    have_data = true;
+                    // Our exclusive copy can be gone despite the directory:
+                    // munmap's replica sweep is not gated on the busy bit.
+                    // Zero-fill like a dead owner if so.
+                    have_data = local_fetch(site, page, true, out.data.data());
                 } else if (!k_.node().peer_dead(snapshot.owner)) {
                     fetches_.inc();
                     msg::RpcStatus st = msg::RpcStatus::kOk;
@@ -367,9 +400,14 @@ FaultStatus PageOwner::origin_transaction(ProcessSite& site, mem::Vaddr page,
                         &st);
                     if (reply != nullptr) {
                         const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
-                        RKO_ASSERT_MSG(fetched.ok, "owner lost its copy mid-transaction");
-                        out.data = fetched.data;
-                        have_data = true;
+                        // ok=false: the owner dropped the page between our
+                        // snapshot and the fetch (munmap replica sweep) —
+                        // transient, fall through to zero-fill like a dead
+                        // owner.
+                        if (fetched.ok) {
+                            out.data = fetched.data;
+                            have_data = true;
+                        }
                     }
                 }
                 if (have_data) {
@@ -581,10 +619,13 @@ bool PageOwner::install_locally(ProcessSite& site, const mem::Vma& vma,
 mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
                                          mem::Vaddr page, std::uint32_t access,
                                          task::Task* t) {
-    const auto attribute = [t](const PageFaultResp& r) {
+    const auto attribute = [t, page](const PageFaultResp& r) {
         if (t == nullptr) return;
         const auto src = static_cast<std::size_t>(r.source);
         if (src < t->fault_from.size()) ++t->fault_from[src];
+        // Same signal feeds the working-set tracker: every installed fault
+        // marks its page hot for a later pre-copy migration (§15).
+        t->workset_touch(mem::vpn_of(page));
     };
     PageFaultResp resp{};
     // Route by the page's HOME — the origin when unsharded (bit-identical
@@ -632,6 +673,23 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
             if (cap >= 2) window = static_cast<std::uint32_t>(cap);
         }
     }
+    // Post-migration boost (§15): a freshly migrated thread's remote read
+    // faults batch from the FIRST touch (no min-run — the whole address
+    // space is cold here, so any pattern benefits) with the widened cap.
+    // The home recognizes the flag, batches its downgrades under one
+    // shootdown, and replies after the pushes, so the window lands
+    // installed before the guest resumes.
+    bool boosted = false;
+    if (workset_push_ > 0 && t != nullptr && (access & mem::kProtWrite) == 0 &&
+        t->workset_boost_until > k_.engine().now()) {
+        const std::uint64_t avail = (vma.end - page) >> mem::kPageShift;
+        const std::uint64_t cap =
+            std::min<std::uint64_t>(kMaxWorksetAround, avail);
+        if (cap >= 2 && cap > window) {
+            window = static_cast<std::uint32_t>(cap);
+            boosted = true;
+        }
+    }
 
     const Nanos t0 = k_.engine().now();
     msg::RpcStatus rpc_status = msg::RpcStatus::kOk;
@@ -641,7 +699,7 @@ mem::Mmu::FaultResult PageOwner::acquire(ProcessSite& site, const mem::Vma& vma,
             home,
             msg::make_message(msg::MsgType::kPageFaultBatch, msg::MsgKind::kRequest,
                               PageFaultBatchReq{site.pid(), page, access, k_.id(),
-                                                window}),
+                                                window, boosted ? 1u : 0u}),
             &rpc_status);
     } else {
         reply = k_.node().rpc(
@@ -743,6 +801,9 @@ bool claim_busy(sim::Engine& engine, msg::Node& node,
     auto it = shard.entries.find(vpn);
     while (it != shard.entries.end() && it->second.busy) {
         shard.lock.unlock();
+        // Pre-wait check: a late arrival at a killed kernel's leaked busy
+        // bit would otherwise park after the kill's one-shot notify.
+        if (node.dead()) throw msg::LocalNodeDead{};
         shard.busy_wait.wait(engine);
         if (node.dead()) throw msg::LocalNodeDead{}; // killed mid-wait
         shard.lock.lock();
@@ -1077,6 +1138,15 @@ std::uint32_t PageOwner::sequester_range(ProcessSite& site, mem::Vaddr start,
 std::uint32_t PageOwner::home_range_fanout(ProcessSite& site, HomeRangeKind kind,
                                            mem::Vaddr start, mem::Vaddr end) {
     RKO_ASSERT(site.is_origin() && k_.home_map().sharded());
+    // Wait out a census rebuild of any shard we just inherited (elastic):
+    // sweeping mid-rebuild would miss the entries the census is about to
+    // install, and the holders they name would keep PTEs in the dead range.
+    // The rebuilder never takes the vma_op_lock our caller holds.
+    for (int s = 0; s < k_.home_map().shards(); ++s) {
+        while (site.home_rebuilding(s)) {
+            k_.engine().current().sleep_for(1000);
+        }
+    }
     // Local slice first (the origin always owns some shards), then one
     // kHomeRangeOp per other eligible home — their sweeps run concurrently
     // under rpc_scatter. The replica broadcast already completed, so no
@@ -1116,6 +1186,15 @@ void PageOwner::on_home_range_op(msg::Node& node, msg::MessagePtr m) {
     HomeRangeOpResp resp{0};
     if (k_.has_site(req.pid)) {
         ProcessSite& site = k_.site(req.pid);
+        // Wait out a census rebuild of a shard this kernel just inherited
+        // (elastic): sweeping mid-rebuild finds no entries — the census
+        // installs them right after, and the origin's post-munmap audit
+        // would then see holders that were never invalidated.
+        for (int s = 0; s < k_.home_map().shards(); ++s) {
+            while (site.home_rebuilding(s)) {
+                k_.engine().current().sleep_for(1000);
+            }
+        }
         // The origin holds ITS vma_op_lock across the whole destructive op;
         // this guards the LOCAL slice against a concurrent local sweep
         // (drain eviction). Lock order is strictly origin -> home, so the
@@ -1523,9 +1602,10 @@ std::uint32_t PageOwner::local_downgrade_range(
 std::vector<mem::Vaddr> PageOwner::claim_prefetch_pages(ProcessSite& site,
                                                         mem::Vaddr first,
                                                         std::uint32_t window,
-                                                        topo::KernelId requester) {
+                                                        topo::KernelId requester,
+                                                        std::uint32_t hard_cap) {
     std::vector<mem::Vaddr> grants;
-    const std::uint32_t cap = std::min(window, kMaxFaultAround);
+    const std::uint32_t cap = std::min(window, hard_cap);
     // Re-clip against the MASTER VMA — the requester clipped against its
     // replica, which may be stale.
     mem::Vaddr limit;
@@ -1666,6 +1746,251 @@ void PageOwner::push_prefetch_page(ProcessSite& site, mem::Vaddr page,
 }
 
 // ---------------------------------------------------------------------------
+// Working-set migration push (home side, DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+std::vector<mem::Vaddr> PageOwner::claim_workset_pages(ProcessSite& site,
+                                                       const std::uint64_t* vpns,
+                                                       std::uint32_t count,
+                                                       topo::KernelId requester) {
+    std::vector<mem::Vaddr> grants;
+    for (std::uint32_t i = 0; i < count && i < task::kMaxWorkset; ++i) {
+        const std::uint64_t vpn = vpns[i];
+        const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+        // Per-page VMA validation — an explicit hot-page list has no single
+        // clipping range like a fault-around window does.
+        {
+            ReadGuard guard(site.space().mmap_lock());
+            const mem::Vma* vma = site.space().vmas().find(page);
+            if (vma == nullptr || (vma->prot & mem::kProtRead) == 0) continue;
+        }
+        // Sharded homes: only pages homed HERE can be claimed; a stale
+        // route (home moved since the list shipped) demand-faults later.
+        if (k_.home_map().sharded() && home_of(site, page) != k_.id()) continue;
+        auto& shard = site.dir_shard(vpn);
+        // Try-claim only (the prefetch deadlock discipline): a page that is
+        // absent (never touched — the requester zero-fills cheaply), busy
+        // (live transaction), or already held by the requester is skipped,
+        // never waited for.
+        shard.lock.lock();
+        auto it = shard.entries.find(vpn);
+        if (it == shard.entries.end() || it->second.busy ||
+            it->second.holds(requester)) {
+            shard.lock.unlock();
+            continue;
+        }
+        it->second.busy = true;
+        shard.lock.unlock();
+        grants.push_back(page);
+    }
+    return grants;
+}
+
+std::uint32_t PageOwner::push_workset_pages(ProcessSite& site,
+                                            const std::vector<mem::Vaddr>& pages,
+                                            topo::KernelId requester) {
+    if (pages.empty()) return 0;
+    struct PushPage {
+        mem::Vaddr page = 0;
+        std::uint64_t vpn = 0;
+        PageDirEntry updated;
+        topo::KernelId source = -1;
+        bool local = false;     ///< bytes come from this kernel's own copy
+        bool downgrade = false; ///< source was Exclusive (strip its write bit)
+        bool cancelled = false;
+        PagePushMsg push{};
+    };
+    std::vector<PushPage> work(pages.size());
+    const auto cancel_claim = [&](std::uint64_t vpn) {
+        auto& shard = site.dir_shard(vpn);
+        shard.lock.lock();
+        auto it = shard.entries.find(vpn);
+        if (it != shard.entries.end()) it->second.busy = false;
+        shard.busy_wait.notify_all();
+        shard.lock.unlock();
+    };
+
+    // Plan: snapshot every claimed entry and decide each page's byte
+    // source and post-push directory state (the same transitions a demand
+    // read fault would make).
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        PushPage& p = work[i];
+        p.page = pages[i];
+        p.vpn = mem::vpn_of(p.page);
+        auto& shard = site.dir_shard(p.vpn);
+        shard.lock.lock();
+        auto it = shard.entries.find(p.vpn);
+        RKO_ASSERT_MSG(it != shard.entries.end() && it->second.busy,
+                       "workset push lost its claimed entry");
+        const PageDirEntry snapshot = it->second;
+        shard.lock.unlock();
+        p.updated = snapshot;
+        p.updated.busy = false;
+        p.push.pid = site.pid();
+        p.push.va = p.page;
+        p.push.data_included = true;
+        p.push.zero_fill = false;
+        if (snapshot.state == PageDirEntry::State::kShared) {
+            p.source = snapshot.holds(k_.id())
+                           ? k_.id()
+                           : static_cast<topo::KernelId>(
+                                 std::countr_zero(snapshot.sharers));
+            p.updated.sharers = snapshot.sharers | topo::kbit(requester);
+        } else {
+            p.source = snapshot.owner;
+            p.downgrade = true;
+            p.updated.state = PageDirEntry::State::kShared;
+            p.updated.sharers = topo::kbit(snapshot.owner) | topo::kbit(requester);
+            p.updated.owner = -1;
+        }
+        p.local = p.source == k_.id();
+        p.push.source = static_cast<std::uint8_t>(p.source);
+    }
+
+    // Batched local capture. Where the per-page paths pay one modeled
+    // shootdown PER downgraded page, the whole workset's home-held pages
+    // share one generation bump and one shootdown (the local_*_range
+    // shape) — this is what makes pushing 32 pages cheaper than 32 demand
+    // faults. Protects and the bump share a no-yield window; the copy
+    // sleeps land after it closes (see local_invalidate).
+    {
+        WriteGuard guard(site.space().mmap_lock());
+        std::uint32_t downgraded = 0;
+        for (PushPage& p : work) {
+            if (!p.local || !p.downgrade) continue;
+            const mem::Pte* pte = site.space().page_table().find(p.page);
+            RKO_ASSERT_MSG(pte != nullptr && pte->present,
+                           "workset push: directory says local copy, no PTE");
+            if ((pte->prot & mem::kProtWrite) != 0) {
+                site.space().page_table().protect(p.page,
+                                                  pte->prot & ~mem::kProtWrite);
+                ++downgraded;
+            }
+        }
+        if (downgraded != 0) site.space().bump_tlb_generation();
+        Nanos copy_cost = 0;
+        for (PushPage& p : work) {
+            if (!p.local) continue;
+            const mem::Pte* pte = site.space().page_table().find(p.page);
+            RKO_ASSERT_MSG(pte != nullptr && pte->present,
+                           "workset push: directory says local copy, no PTE");
+            std::memcpy(p.push.data.data(), k_.phys().frame_ptr(pte->paddr),
+                        mem::kPageSize);
+            copy_cost += k_.costs().page_copy;
+        }
+        if (copy_cost != 0) sim::current_actor().sleep_for(copy_cost);
+        if (downgraded != 0) {
+            sim::current_actor().sleep_for(k_.costs().tlb_shootdown);
+        }
+    }
+
+    // Remote byte sources: per-page fetches (rare — the home usually holds
+    // what it serves). A source that died (elastic) cancels that page's
+    // push; the requester demand-faults it after the membership update.
+    for (PushPage& p : work) {
+        if (p.local || p.cancelled) continue;
+        fetches_.inc();
+        msg::RpcStatus st = msg::RpcStatus::kOk;
+        auto reply = k_.node().rpc(
+            p.source,
+            msg::make_message(msg::MsgType::kPageFetch, msg::MsgKind::kRequest,
+                              PageFetchReq{site.pid(), p.page, p.downgrade}),
+            &st);
+        if (reply == nullptr) {
+            cancel_claim(p.vpn);
+            p.cancelled = true;
+            continue;
+        }
+        const auto& fetched = reply->payload_prefix_as<PageFetchResp>();
+        RKO_ASSERT_MSG(fetched.ok, "source lost its copy mid-workset-push");
+        p.push.data = fetched.data;
+    }
+
+    // Elastic: a requester that died while we captured will never confirm —
+    // release every claim instead of parking pendings nobody commits, and
+    // let the kWorksetPush sends below never happen (they would dead-letter
+    // with kPeerDead anyway).
+    if (k_.node().peer_dead(requester)) {
+        for (PushPage& p : work) {
+            if (!p.cancelled) cancel_claim(p.vpn);
+        }
+        return 0;
+    }
+
+    // Park pendings and ship. The destination's confirm (kPageInstalled
+    // from on_workset_push, success or not) commits or rolls each one back
+    // and releases the busy bit — the standard three-phase shape.
+    std::uint32_t pushed = 0;
+    for (PushPage& p : work) {
+        if (p.cancelled) continue;
+        auto& shard = site.dir_shard(p.vpn);
+        shard.lock.lock();
+        RKO_ASSERT(shard.entries.contains(p.vpn));
+        shard.pending[p.vpn] = p.updated;
+        shard.pending_from[p.vpn] = requester;
+        shard.lock.unlock();
+        workset_pushed_.inc();
+        k_.node().send(requester,
+                       msg::make_message_prefix(msg::MsgType::kWorksetPush,
+                                                msg::MsgKind::kOneway, p.push,
+                                                wire_bytes(p.push)));
+        ++pushed;
+    }
+    return pushed;
+}
+
+void PageOwner::workset_prefault(ProcessSite& site, task::Task& t) {
+    const std::uint32_t count =
+        std::min<std::uint32_t>(t.pending_workset_count, task::kMaxWorkset);
+    t.pending_workset_count = 0;
+    if (count == 0 || workset_push_ <= 0) return;
+    // Group the shipped list by home and post ONE kWorksetPull per home,
+    // all in a single scatter round. Pages homed HERE are skipped — their
+    // faults never cross the fabric, so pushing them buys nothing.
+    std::vector<std::pair<topo::KernelId, WorksetPullReq>> per_home;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t vpn = t.pending_workset[i];
+        const mem::Vaddr page = static_cast<mem::Vaddr>(vpn) << mem::kPageShift;
+        // Warm the replica VMA tree first: VMAs replicate lazily on fault,
+        // so a freshly instantiated site knows nothing yet — and a push
+        // arriving with no covering replica VMA is dropped as a racing
+        // munmap. A page whose mapping vanished for real is just skipped.
+        mem::Vma vma;
+        if (!k_.vma().ensure_vma(site, page, &vma) ||
+            (vma.prot & mem::kProtRead) == 0) {
+            continue;
+        }
+        const topo::KernelId home = home_of(site, page);
+        if (home == k_.id()) continue;
+        auto it = std::find_if(per_home.begin(), per_home.end(),
+                               [home](const auto& e) { return e.first == home; });
+        if (it == per_home.end()) {
+            WorksetPullReq req{};
+            req.pid = site.pid();
+            req.requester = k_.id();
+            per_home.emplace_back(home, req);
+            it = std::prev(per_home.end());
+        }
+        it->second.vpn[it->second.count++] = vpn;
+    }
+    std::vector<msg::Node::ScatterItem> posts;
+    for (auto& [home, req] : per_home) {
+        if (k_.node().peer_dead(home)) continue;
+        posts.push_back(
+            {home, msg::make_message_prefix(msg::MsgType::kWorksetPull,
+                                            msg::MsgKind::kRequest, req,
+                                            wire_bytes(req))});
+    }
+    if (posts.empty()) return;
+    // Each home replies AFTER its pushes on a FIFO channel, so when the
+    // scatter returns every granted page is installed locally — pre-copy
+    // behaves as a barrier and the guest resumes into a warm set. Dead
+    // homes (null replies) cost nothing; their pages demand-fault once the
+    // membership update re-routes them.
+    k_.node().rpc_scatter(std::move(posts));
+}
+
+// ---------------------------------------------------------------------------
 // Message handlers.
 // ---------------------------------------------------------------------------
 
@@ -1702,6 +2027,7 @@ void PageOwner::on_page_fault_batch(msg::Node& node, msg::MessagePtr m) {
     const auto& req = m->payload_as<PageFaultBatchReq>();
     PageFaultBatchResp resp{};
     std::vector<mem::Vaddr> grants;
+    const bool workset = req.workset != 0;
     if (!k_.has_site(req.pid) || k_.node().peer_dead(req.requester)) {
         resp.first.status = FaultStatus::kSegv;
     } else if (k_.home_map().sharded() &&
@@ -1714,19 +2040,30 @@ void PageOwner::on_page_fault_batch(msg::Node& node, msg::MessagePtr m) {
             if (k_.node().peer_dead(req.requester)) {
                 abandon_pending(site, req.va, req.requester);
             } else {
-                grants = claim_prefetch_pages(site, req.va, req.window,
-                                              req.requester);
+                grants = claim_prefetch_pages(
+                    site, req.va, req.window, req.requester,
+                    workset ? kMaxWorksetAround : kMaxFaultAround);
             }
         }
     }
     resp.extra_granted = static_cast<std::uint32_t>(grants.size());
-    // Reply FIRST: the channel is FIFO, so the requester installs the
-    // demand page while the pushes are still being generated behind it.
+    if (workset && !grants.empty()) {
+        // Boosted batch (§15): push FIRST, reply last — the inverse of the
+        // streaming order below. The channel is FIFO, so every pushed page
+        // is already installed when the demand reply unblocks the guest; it
+        // resumes into a warm window instead of re-faulting page by page
+        // into busy directory entries while the pushes are still in flight.
+        push_workset_pages(k_.site(req.pid), grants, req.requester);
+    }
     node.reply(*m, msg::make_message_prefix(msg::MsgType::kPageFaultBatch,
                                             msg::MsgKind::kReply, resp,
                                             wire_bytes(resp)));
-    for (const mem::Vaddr page : grants) {
-        push_prefetch_page(k_.site(req.pid), page, req.requester);
+    if (!workset) {
+        // Reply went first: the requester installs the demand page while
+        // the pushes are still being generated behind it.
+        for (const mem::Vaddr page : grants) {
+            push_prefetch_page(k_.site(req.pid), page, req.requester);
+        }
     }
 }
 
@@ -1791,9 +2128,8 @@ void PageOwner::on_page_invalidate_range(msg::Node& node, msg::MessagePtr m) {
                                      msg::MsgKind::kReply, resp));
 }
 
-void PageOwner::on_page_push(msg::Node& node, msg::MessagePtr m) {
-    (void)node;
-    const auto& push = m->payload_prefix_as<PagePushMsg>();
+bool PageOwner::install_pushed_page(const PagePushMsg& push,
+                                    topo::KernelId from) {
     bool installed = false;
     if (k_.has_site(push.pid)) {
         ProcessSite& site = k_.site(push.pid);
@@ -1821,17 +2157,50 @@ void PageOwner::on_page_push(msg::Node& node, msg::MessagePtr m) {
             installed = install_locally(site, vma, push.va, mem::kProtRead, resp);
         }
     }
-    if (installed) {
+    // ALWAYS confirm — success or not — or the home's busy bit leaks and
+    // every later fault on the page hangs.
+    k_.node().send(from,
+                   msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,
+                                     PageInstalledMsg{push.pid, push.va, k_.id(),
+                                                      installed}));
+    return installed;
+}
+
+void PageOwner::on_page_push(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& push = m->payload_prefix_as<PagePushMsg>();
+    if (install_pushed_page(push, m->hdr.src)) {
         prefetch_hit_.inc();
     } else {
         prefetch_wasted_.inc();
     }
-    // ALWAYS confirm — success or not — or the origin's busy bit leaks and
-    // every later fault on the page hangs.
-    k_.node().send(m->hdr.src,
-                   msg::make_message(msg::MsgType::kPageInstalled, msg::MsgKind::kOneway,
-                                     PageInstalledMsg{push.pid, push.va, k_.id(),
-                                                      installed}));
+}
+
+void PageOwner::on_workset_push(msg::Node& node, msg::MessagePtr m) {
+    (void)node;
+    const auto& push = m->payload_prefix_as<PagePushMsg>();
+    if (install_pushed_page(push, m->hdr.src)) {
+        workset_hit_.inc();
+    } else {
+        workset_wasted_.inc();
+    }
+}
+
+void PageOwner::on_workset_pull(msg::Node& node, msg::MessagePtr m) {
+    const auto& req = m->payload_prefix_as<WorksetPullReq>();
+    WorksetPullResp resp{};
+    if (k_.has_site(req.pid) && !k_.node().peer_dead(req.requester) &&
+        workset_push_ > 0) {
+        ProcessSite& site = k_.site(req.pid);
+        const auto grants =
+            claim_workset_pages(site, req.vpn.data(), req.count, req.requester);
+        resp.granted = push_workset_pages(site, grants, req.requester);
+    }
+    // Reply AFTER the pushes: the channel is FIFO, so by the time the
+    // puller's scatter completes every granted kWorksetPush has already
+    // been dispatched and installed — the pull round is a barrier.
+    node.reply(*m, msg::make_message(msg::MsgType::kWorksetPull,
+                                     msg::MsgKind::kReply, resp));
 }
 
 } // namespace rko::core

@@ -37,12 +37,21 @@ public:
     /// Consecutive +1-page faults a thread must string together before a
     /// read fault is upgraded to a batched transaction.
     static constexpr std::uint32_t kPrefetchMinRun = 3;
+    /// Window cap for a post-migration boosted batch (DESIGN.md §15) —
+    /// wider than kMaxFaultAround because the requester just lost its whole
+    /// address space and the home batches the downgrades under one
+    /// shootdown.
+    static constexpr std::uint32_t kMaxWorksetAround = 32;
+    /// How long (virtual ns) after arrival a migrated thread keeps its
+    /// post-copy boost: remote read faults batch from the first touch
+    /// (min-run 1) with the widened window.
+    static constexpr Nanos kWorksetBoostNs = 2'000'000;
 
     explicit PageOwner(kernel::Kernel& k);
 
-    /// Registers kPageFault / kPageFaultBatch / kHomeRangeOp (blocking),
-    /// kPageFetch / kPageInvalidate / kPageInvalidateRange / kPagePush /
-    /// kHomeRebuild (leaf).
+    /// Registers kPageFault / kPageFaultBatch / kHomeRangeOp / kWorksetPull
+    /// (blocking), kPageFetch / kPageInvalidate / kPageInvalidateRange /
+    /// kPagePush / kHomeRebuild / kWorksetPush (leaf).
     void install();
 
     /// Protocol ablation: when false, read faults also take exclusive
@@ -56,6 +65,21 @@ public:
     /// bit-identical to the plain demand-fault protocol.
     void set_prefetch_window(int pages) { prefetch_window_ = pages; }
     int prefetch_window() const { return prefetch_window_; }
+
+    /// Working-set migration (DESIGN.md §15): how many hot pages a
+    /// migration pre-copies (top-K of the task tracker, <= kMaxWorkset).
+    /// <= 0 disables the whole feature — no workset tail on kMigrate, no
+    /// kWorksetPull/kWorksetPush traffic, no post-copy boost — and runs
+    /// are bit-identical to the plain demand-fault protocol.
+    void set_workset_push(int k) { workset_push_ = k; }
+    int workset_push() const { return workset_push_; }
+
+    /// Post-resume pre-copy pull (runs on the migrated guest's actor):
+    /// drains t.pending_workset in ONE rpc_scatter of kWorksetPull rounds,
+    /// one per home; when it returns every granted page is installed
+    /// locally. Pages homed here, and pulls to homes that died mid-round,
+    /// simply demand-fault later.
+    void workset_prefault(ProcessSite& site, task::Task& t);
 
     /// TEST-ONLY fault injection: write transactions skip one victim's
     /// invalidation, planting exactly the stale-copy coherence bug the
@@ -150,6 +174,13 @@ public:
     /// sequester paths (each replaces up to kMaxPages per-page round trips).
     std::uint64_t range_rpcs() const { return range_rpcs_.value; }
     const base::Histogram& remote_fault_latency() const { return remote_latency_; }
+    /// Working-set pages this (home) kernel pushed to migration
+    /// destinations (pre-copy pulls + boosted batches).
+    std::uint64_t workset_pushed() const { return workset_pushed_.value; }
+    /// Workset pushes this (destination) kernel installed / failed to
+    /// install.
+    std::uint64_t workset_hit() const { return workset_hit_.value; }
+    std::uint64_t workset_wasted() const { return workset_wasted_.value; }
 
 private:
     /// The heart of the protocol; runs at the origin (task or kworker).
@@ -208,9 +239,25 @@ private:
     // transaction and ships the bytes as an unsolicited kPagePush.
     std::vector<mem::Vaddr> claim_prefetch_pages(ProcessSite& site, mem::Vaddr first,
                                                  std::uint32_t window,
-                                                 topo::KernelId requester);
+                                                 topo::KernelId requester,
+                                                 std::uint32_t cap = kMaxFaultAround);
     void push_prefetch_page(ProcessSite& site, mem::Vaddr page,
                             topo::KernelId requester);
+
+    // Working-set push (home side, DESIGN.md §15). claim_workset_pages
+    // try-claims an explicit VPN list (same skip rules as the prefetch
+    // claim); push_workset_pages then runs every claimed page's
+    // read-replication transaction with the LOCAL byte captures batched —
+    // all home-held downgrades share one generation bump and one modeled
+    // shootdown — and ships each page as kWorksetPush. Pushes park the
+    // ordinary pending state; the destination's confirms commit them.
+    std::vector<mem::Vaddr> claim_workset_pages(ProcessSite& site,
+                                                const std::uint64_t* vpns,
+                                                std::uint32_t count,
+                                                topo::KernelId requester);
+    std::uint32_t push_workset_pages(ProcessSite& site,
+                                     const std::vector<mem::Vaddr>& pages,
+                                     topo::KernelId requester);
 
     void on_page_fault(msg::Node& node, msg::MessagePtr m);
     void on_home_range_op(msg::Node& node, msg::MessagePtr m);
@@ -221,11 +268,18 @@ private:
     void on_page_invalidate_range(msg::Node& node, msg::MessagePtr m);
     void on_page_installed(msg::Node& node, msg::MessagePtr m);
     void on_page_push(msg::Node& node, msg::MessagePtr m);
+    void on_workset_pull(msg::Node& node, msg::MessagePtr m);
+    void on_workset_push(msg::Node& node, msg::MessagePtr m);
+
+    /// Shared tail of on_page_push / on_workset_push: install the pushed
+    /// page and ALWAYS confirm. Returns whether the install stuck.
+    bool install_pushed_page(const PagePushMsg& push, topo::KernelId from);
 
     kernel::Kernel& k_;
     bool read_replication_ = true;
     bool inject_lost_invalidate_ = false;
     int prefetch_window_ = 1;
+    int workset_push_ = 0;
     // Registry-backed ("pages.*" in the kernel's MetricsRegistry).
     trace::Counter& local_faults_;
     trace::Counter& remote_faults_;
@@ -236,6 +290,9 @@ private:
     trace::Counter& prefetch_wasted_;
     trace::Counter& range_rpcs_;
     trace::Counter& home_msgs_;
+    trace::Counter& workset_pushed_;
+    trace::Counter& workset_hit_;
+    trace::Counter& workset_wasted_;
     base::Histogram& remote_latency_;
 };
 

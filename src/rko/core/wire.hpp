@@ -155,7 +155,15 @@ struct PageFaultBatchReq {
     std::uint32_t access; ///< mem::Prot bits (read streams only in practice)
     topo::KernelId requester;
     std::uint32_t window; ///< total pages including the faulting one, >= 2
+    /// Nonzero: the requester is in its post-migration boost window
+    /// (DESIGN.md §15). The home may grant past kMaxFaultAround (up to
+    /// kMaxWorksetAround) and batches its local downgrades under one
+    /// shootdown. Occupies what was a padding hole, so the wire size (and
+    /// the modeled copy cost of every existing batch fault) is unchanged.
+    std::uint32_t workset;
 };
+static_assert(sizeof(PageFaultBatchReq) == 32,
+              "workset flag must fill the padding hole");
 
 /// The faulting page's result plus how many pushes follow it down the
 /// origin->requester channel. The data array sits last (inside `first`) so
@@ -307,10 +315,52 @@ struct MigrateReq {
     topo::KernelId origin;
     topo::KernelId from;
     task::ThreadContext ctx; ///< the architectural state being shipped
+    /// Pre-copy working set (DESIGN.md §15): the source's top-K hot VPNs,
+    /// piggybacked on the checkpoint so the destination can pull them in one
+    /// scatter round instead of demand-faulting each. Truncated on the wire
+    /// (see wire_bytes): with workset_push=0 the message ends exactly where
+    /// the pre-workset MigrateReq did, so the modeled transfer cost — and
+    /// every baseline derived from it — is unchanged when the feature is off.
+    std::uint32_t workset_count;
+    std::array<std::uint64_t, task::kMaxWorkset> workset_vpn;
 };
+
+/// Disabled-path wire size: ends right after ctx, as before the workset tail.
+static_assert(offsetof(MigrateReq, workset_count) ==
+                  sizeof(Pid) + sizeof(Tid) + 2 * sizeof(topo::KernelId) +
+                      sizeof(task::ThreadContext),
+              "workset tail must start where the old MigrateReq ended");
+
+inline std::size_t wire_bytes(const MigrateReq& r) {
+    if (r.workset_count == 0) return offsetof(MigrateReq, workset_count);
+    return offsetof(MigrateReq, workset_vpn) +
+           static_cast<std::size_t>(r.workset_count) * sizeof(std::uint64_t);
+}
 
 struct MigrateResp {
     bool ok;
+};
+
+/// Destination -> home (kWorksetPull, blocking): after a migrated thread
+/// resumes, it asks each home for the shipped hot pages that home serves.
+/// The home try-claims what it can (absent/busy/already-held pages are
+/// skipped, never waited on — the prefetch deadlock discipline), replies
+/// with the granted count, then pushes each page as kWorksetPush. Truncated
+/// on the wire to the VPNs actually carried.
+struct WorksetPullReq {
+    Pid pid;
+    topo::KernelId requester;
+    std::uint32_t count;
+    std::array<std::uint64_t, task::kMaxWorkset> vpn;
+};
+
+inline std::size_t wire_bytes(const WorksetPullReq& r) {
+    return offsetof(WorksetPullReq, vpn) +
+           static_cast<std::size_t>(r.count) * sizeof(std::uint64_t);
+}
+
+struct WorksetPullResp {
+    std::uint32_t granted; ///< pushes that will follow down the channel
 };
 
 enum class GroupUpdateKind : std::uint32_t { kJoin = 0, kLocation };

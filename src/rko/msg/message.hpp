@@ -63,6 +63,9 @@ enum class MsgType : std::uint16_t {
     // Sharded directory homes (rko/home)
     kHomeRangeOp,       ///< origin -> home: ranged directory sweep (blk)
     kHomeRebuild,       ///< new shard owner -> survivor: PTE census chunk (leaf)
+    // Working-set migration (core/migration + core/page_owner, §15)
+    kWorksetPull,       ///< migrated thread -> home: push my shipped hot pages (blk)
+    kWorksetPush,       ///< home -> destination: one pre-copied page (leaf)
     kCount
 };
 

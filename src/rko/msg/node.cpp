@@ -207,6 +207,12 @@ std::vector<MessagePtr> Node::rpc_scatter(std::vector<ScatterItem> items) {
     scatter_posts_ += items.size();
     scatter_fanout_.add(static_cast<Nanos>(items.size()));
     for (std::size_t i = 0; i < items.size(); ++i) {
+        // Channel::send yields (publish cost, backpressure), so the node
+        // can be killed mid-loop. set_dead already failed every ticket
+        // posted so far; a ticket emplaced after that sweep would be
+        // orphaned — its send drops silently and no reply or failure ever
+        // decrements outstanding — so stop posting and unwind instead.
+        if (dead_) throw LocalNodeDead{};
         if (dead_peers_.count(items[i].dst) != 0) {
             // Known-dead destination: its reply slot stays null.
             --slot.outstanding;

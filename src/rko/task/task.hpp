@@ -45,6 +45,18 @@ struct ThreadContext {
 };
 static_assert(std::is_trivially_copyable_v<ThreadContext>);
 
+/// Working-set tracker capacity (DESIGN.md §15): the top-K hot pages a
+/// migration pre-copies. Also the per-slot bound on the wire structures
+/// that ship and pull the set.
+inline constexpr std::uint32_t kMaxWorkset = 32;
+
+/// One tracked hot page: heat is bumped on every fault install and halved
+/// by the balancer's decay tick so phase shifts age out.
+struct WorksetEntry {
+    std::uint64_t vpn = 0;
+    std::uint32_t heat = 0;
+};
+
 struct Task {
     Tid tid = 0;
     Pid pid = 0; ///< thread-group id (process)
@@ -82,12 +94,62 @@ struct Task {
 
     // --- fault-around prefetch (core/page_owner, DESIGN.md §10) ---
     /// Stride detector state: the last page this task faulted on and how
-    /// many consecutive faults advanced by exactly one page. A migrating
-    /// thread gets a fresh task record at the destination, so the run
-    /// restarts there — deliberately, since its fault stream now crosses
-    /// a different fabric edge.
+    /// many consecutive faults advanced by exactly one page. Migration
+    /// resets both on arrival (Migration::on_migrate) — deliberately, since
+    /// the fault stream now crosses a different fabric edge. The reset must
+    /// be explicit: a thread revisiting a kernel reactivates its *old* task
+    /// record there, and a stale run would fire a bogus multi-page
+    /// kPageFaultBatch on the first unrelated fault.
     mem::Vaddr last_fault_page = 0;
     std::uint32_t fault_run = 0;
+
+    // --- working-set migration (core/migration + core/page_owner, §15) ---
+    /// Top-K hot-page tracker feeding pre-copy migration: a fault install
+    /// bumps its page's heat (claiming a cold slot if absent), the
+    /// balancer's decay tick halves every heat so phase shifts age out.
+    /// Fixed slots, no heap; zero-heat slots are reclaimable.
+    std::array<WorksetEntry, kMaxWorkset> workset{};
+    std::uint32_t workset_size = 0;
+    /// Pages shipped with this task's checkpoint and not yet pulled: filled
+    /// by Migration::on_migrate, drained by the post-resume kWorksetPull
+    /// round (PageOwner::workset_prefault).
+    std::array<std::uint64_t, kMaxWorkset> pending_workset{};
+    std::uint32_t pending_workset_count = 0;
+    /// Post-copy boost deadline: until this virtual time the destination
+    /// treats this task's remote read faults as streaming (min-run 1,
+    /// window widened past kMaxFaultAround) so the tail outside the
+    /// shipped top-K streams in instead of trickling.
+    Nanos workset_boost_until = 0;
+
+    /// Records a fault install on `vpn` in the working-set tracker.
+    /// O(K) scan, K = kMaxWorkset; called once per page fault, where it is
+    /// noise next to the modeled trap cost. When full and every slot is
+    /// warm the touch is dropped — a page must outlive a decay tick's
+    /// cooling to displace an established entry.
+    void workset_touch(std::uint64_t vpn) {
+        std::uint32_t coldest = 0;
+        std::uint32_t coldest_heat = ~std::uint32_t{0};
+        for (std::uint32_t i = 0; i < workset_size; ++i) {
+            if (workset[i].vpn == vpn) {
+                ++workset[i].heat;
+                return;
+            }
+            if (workset[i].heat < coldest_heat) {
+                coldest_heat = workset[i].heat;
+                coldest = i;
+            }
+        }
+        if (workset_size < kMaxWorkset) {
+            workset[workset_size++] = WorksetEntry{vpn, 1};
+        } else if (coldest_heat == 0) {
+            workset[coldest] = WorksetEntry{vpn, 1};
+        }
+    }
+
+    /// Ages the tracker (balancer decay tick): halve every heat.
+    void workset_decay() {
+        for (std::uint32_t i = 0; i < workset_size; ++i) workset[i].heat >>= 1;
+    }
 
     // --- hierarchical futex owner affinity (core/dfutex, DESIGN.md §13) ---
     /// The word this task last slept on (0 = never). The balancer matches
